@@ -1,0 +1,146 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation isolates one mechanism:
+
+* wrong-path fetch on/off — the corruption source: with it off, even
+  no-repair behaves like perfect repair;
+* forward-walk repair bits — the duplicate-write elimination;
+* OBQ coalescing at small OBQ sizes — checkpoint-pressure relief;
+* limited-PC candidate policy — utility vs. recency vs. random;
+* limited-PC non-repaired policy — leave-as-is vs. invalidate.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import BASELINE_SYSTEM
+from repro.harness.report import format_table
+from repro.harness.runner import pair_results, run_matrix, select_workloads
+from repro.harness.systems import SystemConfig
+from repro.metrics.aggregate import overall
+from repro.pipeline.config import PipelineConfig
+
+
+def _gain(paired, name):
+    results = paired.get(name, [])
+    return overall(list(results)).mean_ipc_gain
+
+
+def _sweep(systems, scale, pipeline=None):
+    workloads = select_workloads(scale)
+    results = run_matrix(
+        workloads, [BASELINE_SYSTEM, *systems], scale, pipeline=pipeline
+    )
+    return pair_results(results, BASELINE_SYSTEM.name)
+
+
+def test_ablation_wrong_path(benchmark, scale):
+    """No wrong path => nothing corrupts => no-repair ~= perfect."""
+    systems = [
+        SystemConfig(name="no-repair", scheme="none"),
+        SystemConfig(name="perfect-repair", scheme="perfect"),
+    ]
+
+    def run():
+        with_wp = _sweep(systems, scale)
+        without_wp = _sweep(
+            systems, scale, pipeline=PipelineConfig(wrong_path=False)
+        )
+        return with_wp, without_wp
+
+    with_wp, without_wp = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        (
+            name,
+            f"{_gain(with_wp, name) * 100:+.2f}%",
+            f"{_gain(without_wp, name) * 100:+.2f}%",
+        )
+        for name in ("no-repair", "perfect-repair")
+    ]
+    print()
+    print(format_table(["system", "wrong-path ON", "wrong-path OFF"], rows,
+                       "Ablation: wrong-path fetch"))
+    # Without wrong-path pollution, no-repair recovers most of the gap
+    # to perfect repair.
+    gap_on = _gain(with_wp, "perfect-repair") - _gain(with_wp, "no-repair")
+    gap_off = _gain(without_wp, "perfect-repair") - _gain(without_wp, "no-repair")
+    assert gap_off < gap_on
+
+
+def test_ablation_repair_bits(benchmark, scale):
+    """Repair bits eliminate duplicate writes, shortening repair."""
+    systems = [
+        SystemConfig(name="fwd-bits", scheme="forward", ports="32-4-2"),
+        SystemConfig(
+            name="fwd-nobits", scheme="forward", ports="32-4-2", use_repair_bits=False
+        ),
+    ]
+    paired = benchmark.pedantic(_sweep, args=(systems, scale), iterations=1, rounds=1)
+    with_bits = _gain(paired, "fwd-bits")
+    without_bits = _gain(paired, "fwd-nobits")
+    print(f"\nrepair bits: with {with_bits:+.2%}, without {without_bits:+.2%}")
+    assert with_bits >= without_bits - 0.01
+
+
+def test_ablation_coalescing(benchmark, scale):
+    """Coalescing relieves OBQ pressure most at small OBQ sizes."""
+    systems = []
+    for entries in (16, 32):
+        for coalesce in (False, True):
+            tag = "coal" if coalesce else "plain"
+            systems.append(
+                SystemConfig(
+                    name=f"fwd-{entries}-{tag}",
+                    scheme="forward",
+                    ports=f"{entries}-4-2",
+                    coalesce=coalesce,
+                )
+            )
+    paired = benchmark.pedantic(_sweep, args=(systems, scale), iterations=1, rounds=1)
+    rows = []
+    for entries in (16, 32):
+        plain = _gain(paired, f"fwd-{entries}-plain")
+        coal = _gain(paired, f"fwd-{entries}-coal")
+        rows.append((entries, f"{plain * 100:+.2f}%", f"{coal * 100:+.2f}%"))
+    print()
+    print(format_table(["OBQ entries", "plain", "coalescing"], rows,
+                       "Ablation: OBQ coalescing"))
+    # Coalescing should not hurt at the pressured 16-entry size.
+    assert _gain(paired, "fwd-16-coal") >= _gain(paired, "fwd-16-plain") - 0.01
+
+
+def test_ablation_limited_policy(benchmark, scale):
+    """Utility-aware candidate selection beats recency beats random."""
+    systems = [
+        SystemConfig(name="lim-utility", scheme="limited", repair_count=2, policy="utility"),
+        SystemConfig(name="lim-recency", scheme="limited", repair_count=2, policy="recency"),
+        SystemConfig(name="lim-random", scheme="limited", repair_count=2, policy="random"),
+    ]
+    paired = benchmark.pedantic(_sweep, args=(systems, scale), iterations=1, rounds=1)
+    utility = _gain(paired, "lim-utility")
+    recency = _gain(paired, "lim-recency")
+    random_pick = _gain(paired, "lim-random")
+    print(
+        f"\nlimited-PC policy: utility {utility:+.2%}, recency {recency:+.2%}, "
+        f"random {random_pick:+.2%}"
+    )
+    assert utility >= random_pick - 0.005
+
+
+def test_ablation_limited_invalidate(benchmark, scale):
+    """Leaving non-repaired PCs valid beats blanket invalidation."""
+    systems = [
+        SystemConfig(name="lim-leave", scheme="limited", repair_count=4, limited_write_ports=4),
+        SystemConfig(
+            name="lim-inv",
+            scheme="limited",
+            repair_count=4,
+            limited_write_ports=4,
+            invalidate_others=True,
+        ),
+    ]
+    paired = benchmark.pedantic(_sweep, args=(systems, scale), iterations=1, rounds=1)
+    leave = _gain(paired, "lim-leave")
+    invalidate = _gain(paired, "lim-inv")
+    print(f"\nnon-repaired policy: leave {leave:+.2%}, invalidate {invalidate:+.2%}")
+    # Paper §3.3: leave-as-is is the better policy.
+    assert leave >= invalidate - 0.005

@@ -1,0 +1,69 @@
+"""Pipeline-depth sensitivity (paper §6.2's forward-looking claim).
+
+The paper argues update-at-retire degrades as pipelines deepen (more
+in-flight instances = staler counts) while repaired designs hold up.
+This bench sweeps the front-end depth and checks the trend.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import BASELINE_SYSTEM
+from repro.harness.report import format_table
+from repro.harness.runner import pair_results, run_matrix, select_workloads
+from repro.harness.systems import SystemConfig
+from repro.metrics.aggregate import overall
+from repro.pipeline.config import PipelineConfig
+
+_SYSTEMS = [
+    SystemConfig(name="retire-update", scheme="retire"),
+    SystemConfig(name="forward-walk", scheme="forward", ports="32-4-2", coalesce=True),
+    SystemConfig(name="perfect-repair", scheme="perfect"),
+]
+
+_DEPTHS = (8, 12, 20)
+
+
+def _gain(paired, name):
+    return overall(list(paired.get(name, []))).mean_ipc_gain
+
+
+def test_depth_sensitivity(benchmark, scale):
+    def run():
+        workloads = select_workloads(scale)
+        sweeps = {}
+        for depth in _DEPTHS:
+            config = PipelineConfig(frontend_depth=depth)
+            results = run_matrix(
+                workloads, [BASELINE_SYSTEM, *_SYSTEMS], scale, pipeline=config
+            )
+            sweeps[depth] = pair_results(results, BASELINE_SYSTEM.name)
+        return sweeps
+
+    sweeps = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    rows = []
+    for depth in _DEPTHS:
+        rows.append(
+            (
+                depth,
+                f"{_gain(sweeps[depth], 'retire-update') * 100:+.2f}%",
+                f"{_gain(sweeps[depth], 'forward-walk') * 100:+.2f}%",
+                f"{_gain(sweeps[depth], 'perfect-repair') * 100:+.2f}%",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["frontend depth", "retire-update", "forward-walk", "perfect"],
+            rows,
+            title="IPC gain vs. pipeline depth",
+        )
+    )
+
+    # Shape: retire-update never improves with depth; repaired designs
+    # keep a clear edge over it at the deepest setting.
+    shallow, _, deep = (_gain(sweeps[d], "retire-update") for d in _DEPTHS)
+    assert deep <= shallow + 0.01
+    assert _gain(sweeps[_DEPTHS[-1]], "forward-walk") > _gain(
+        sweeps[_DEPTHS[-1]], "retire-update"
+    )

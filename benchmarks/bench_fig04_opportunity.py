@@ -1,0 +1,20 @@
+"""Figure 4 bench: MPKI opportunity of local prediction vs. no repair.
+
+Expected shape (paper): the ideal local predictor shows a large MPKI
+reduction in every category; without repair nearly all of it is lost
+and some categories go negative.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig04_opportunity(benchmark, scale):
+    figure = run_figure(benchmark, "fig4", scale)
+    ideal = figure.data["ideal"]
+    none = figure.data["no_repair"]
+    # The opportunity is substantial overall...
+    assert ideal["overall"] > 0.10
+    # ...and no-repair forfeits the large majority of it.
+    assert none["overall"] < ideal["overall"] * 0.5

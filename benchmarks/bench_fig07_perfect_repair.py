@@ -1,0 +1,25 @@
+"""Figure 7 bench: perfect-repair potential of CBPw-Loop{64,128,256}.
+
+Expected shape (paper): ~28-31% MPKI reduction and ~3.6-4% IPC gain,
+mildly increasing with table size; the S-curve spans from ~0 to
+strongly positive.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig07_perfect_repair(benchmark, scale):
+    figure = run_figure(benchmark, "fig7", scale)
+    overall_mpki = figure.data["overall_mpki"]
+    overall_ipc = figure.data["overall_ipc"]
+    # Substantial MPKI reduction at every size, positive IPC gains.
+    for entries in (64, 128, 256):
+        assert overall_mpki[entries] > 0.10
+        assert overall_ipc[entries] > 0.0
+    # Bigger tables never hurt much (small-sample slack allowed).
+    assert overall_mpki[256] >= overall_mpki[64] - 0.05
+    # The S-curve has a strongly positive right tail.
+    gains = [gain for _, gain in figure.data["scurve"]]
+    assert max(gains) > 0.01

@@ -1,0 +1,16 @@
+"""Figure 8 bench: repairs required per misprediction.
+
+Expected shape (paper): several PCs need repairing on an average
+misprediction (avg ~5, workload averages up to ~16) with large worst
+cases — repair is not a one-write fix.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig08_repair_counts(benchmark, scale):
+    figure = run_figure(benchmark, "fig8", scale)
+    assert figure.data["suite_mean"] > 1.5, "repair demand should exceed one PC"
+    assert figure.data["suite_max"] >= 8, "worst case should be many writes"

@@ -1,0 +1,24 @@
+"""Figure 9 bench: update-at-retire and no-repair.
+
+Expected shape (paper): both prior approaches retain far less than the
+walk-based schemes — no-repair ~0%, retire-update well under half of
+the perfect gains (its stale counts cost it tight loops; see
+EXPERIMENTS.md for where our floor sits relative to the paper's 41%).
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig09_prior_simple(benchmark, scale):
+    figure = run_figure(benchmark, "fig9", scale)
+    retained = figure.data["retained"]
+    perfect = figure.data["perfect"]["overall"]
+    assert perfect > 0.0
+    # Neither simple approach comes close to perfect repair.
+    assert retained["no-repair"] < 0.5
+    assert retained["retire-update"] < 0.5
+    # And neither collapses catastrophically below baseline.
+    assert retained["no-repair"] > -0.5
+    assert retained["retire-update"] > -0.5

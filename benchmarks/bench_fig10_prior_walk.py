@@ -1,0 +1,22 @@
+"""Figure 10 bench: backward-walk and snapshot repair vs. resources.
+
+Expected shape (paper): both improve monotonically with entries/ports;
+lavish 64-64-64 budgets retain most gains, realistic budgets roughly
+half for backward walk and less for the snapshot queue.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig10_prior_walk(benchmark, scale):
+    figure = run_figure(benchmark, "fig10", scale)
+    retained = figure.data["retained"]
+    # More resources never hurt much (allow small-sample slack).
+    assert retained["backward-64-64-64"] >= retained["backward-16-4-4"] - 0.15
+    # The lavish configuration retains a solid majority.
+    assert retained["backward-64-64-64"] > 0.5
+    # Snapshot repair never beats the equally-provisioned backward walk
+    # at realistic budgets (its restore is table-sized).
+    assert retained["snapshot-32-4-4"] <= retained["backward-32-4-4"] + 0.10

@@ -1,0 +1,21 @@
+"""Figure 11 bench: forward-walk repair vs. resources + coalescing.
+
+Expected shape (paper): FWD-32-4-2 retains roughly three quarters of
+the perfect-repair gains; a bigger OBQ helps; coalescing adds a few
+points on the 32-entry configuration.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig11_forward_walk(benchmark, scale):
+    figure = run_figure(benchmark, "fig11", scale)
+    retained = figure.data["retained"]
+    # The headline configuration retains a majority of the gains.
+    assert retained["forward-32-4-2"] > 0.4
+    # A 64-entry OBQ does at least as well (slack for noise).
+    assert retained["forward-64-4-2"] >= retained["forward-32-4-2"] - 0.10
+    # Coalescing does not hurt the pressured configuration.
+    assert figure.data["coalesce_delta"] > -0.10

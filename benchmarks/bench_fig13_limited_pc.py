@@ -1,0 +1,22 @@
+"""Figure 13 bench: limited-PC repair scaling.
+
+Expected shape (paper): gains scale monotonically with the number of
+repaired PCs; the SQ variant tracks the carried variant; the scheme is
+competitive despite repairing a handful of PCs.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig13_limited_pc(benchmark, scale):
+    figure = run_figure(benchmark, "fig13", scale)
+    retained = figure.data["retained"]
+    # Scaling with M is monotone (within small-sample slack, checked
+    # pairwise inside the figure itself).
+    assert figure.data["monotone"]
+    # 16 repaired PCs recover a large share of the perfect gains.
+    assert retained["limited-16pc"] > 0.4
+    # The SQ variant is in the same family as the 8-PC carried variant.
+    assert abs(retained["limited-8pc-sq32"] - retained["limited-8pc"]) < 0.35

@@ -1,0 +1,22 @@
+"""Figure 14 bench: iso-storage TAGE scaling and a 57KB TAGE baseline.
+
+Expected shape (paper): spending ~2KB on a repaired local predictor
+beats spending it on more TAGE (~3x); on a 57KB TAGE the local
+predictor still adds IPC with every repair technique.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig14_sensitivity(benchmark, scale):
+    figure = run_figure(benchmark, "fig14", scale)
+    iso = figure.data["iso_storage"]
+    large = figure.data["large_baseline"]
+    # The repaired local predictor beats iso-storage TAGE scaling.
+    assert iso["tage8+forward-walk"] > iso["tage-9kb"]
+    # Perfect repair still helps on the 57KB baseline.
+    assert large["tage57+perfect"] > 0.0
+    # Realistic repair keeps a useful fraction of it.
+    assert large["tage57+forward-walk"] > large["tage57+perfect"] * 0.25

@@ -1,0 +1,25 @@
+"""Table 1 bench: workload suite composition.
+
+Expected shape (paper): 202 workloads across seven categories with the
+paper's exact per-category counts, and category-distinct branch
+behaviour (HPC few sites / long runs, Server many sites, ...).
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_tab01_workloads(benchmark, scale):
+    figure = run_figure(benchmark, "tab1", scale)
+    counts = figure.data["counts"]
+    assert figure.data["total"] == 202
+    assert counts == {
+        "server": 29,
+        "hpc": 8,
+        "ispec": 34,
+        "fspec": 64,
+        "mm": 15,
+        "bp": 16,
+        "personal": 36,
+    }

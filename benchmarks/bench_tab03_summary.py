@@ -1,0 +1,32 @@
+"""Table 3 bench: summary of all repair techniques.
+
+Expected shape (paper, ordering by IPC gain): no-repair and the simple
+prior techniques at the bottom, walk-based repair in the middle,
+forward walk (plus coalescing) close to perfect repair at the top, all
+with small storage adders over the 7.9KB predictor pair.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_tab03_summary(benchmark, scale):
+    figure = run_figure(benchmark, "tab3", scale)
+    rows = figure.data["rows"]
+
+    perfect = rows["perfect-repair"]
+    forward = rows["forward-walk-coalesce"]
+    backward = rows["backward-walk"]
+    none = rows["no-repair"]
+
+    # The headline claim: forward walk retains most of the perfect
+    # gains, prior walk-based repair clearly less, no-repair none.
+    assert perfect["ipc_gain"] > 0.0
+    assert forward["retained"] > backward["retained"]
+    assert backward["retained"] > none["retained"]
+    assert forward["retained"] > 0.4
+
+    # Storage sanity: repair adders are small next to the snapshot
+    # scheme's checkpoint budget.
+    assert rows["forward-walk"]["storage_kb"] < rows["snapshot"]["storage_kb"]

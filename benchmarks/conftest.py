@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to the ``smoke`` scale so the whole suite completes
+in minutes; set ``REPRO_SCALE=small`` (or ``full``) for
+publication-quality sweeps.  Each benchmark runs its experiment exactly
+once (``pedantic`` with one round) — the measured quantity is the
+experiment's wall time, and the printed artifact is the reproduced
+table/figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.scale import Scale, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """Benchmark scale (env REPRO_SCALE, default smoke)."""
+    return current_scale(default="smoke")
+
+
+def run_figure(benchmark, experiment_id: str, scale: Scale):
+    """Run one experiment under pytest-benchmark and print the artifact."""
+    from repro.harness.figures import run_experiment
+
+    figure = benchmark.pedantic(
+        run_experiment, args=(experiment_id, scale), iterations=1, rounds=1
+    )
+    print()
+    print(figure.render())
+    return figure

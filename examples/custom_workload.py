@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Build a custom workload and study its local-predictability.
+
+Models a database page-scan kernel: a hot scan loop over fixed-size
+pages (stable trip count = rows per page), a filter branch with high
+bias, and a periodic commit path — then measures how much of TAGE's
+misprediction traffic a repaired loop predictor recovers, and how the
+BHT size changes the answer.
+
+This is the intro-motivating scenario: per-branch patterns that global
+history cannot see because the filter noise decorrelates it.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from repro.core import LoopPredictor, LoopPredictorConfig, RepairPortConfig, StandardLocalUnit
+from repro.core.repair import ForwardWalkRepair, PerfectRepair
+from repro.memory import CacheHierarchy
+from repro.pipeline import PipelineModel
+from repro.predictors import TagePredictor
+from repro.trace import collect_stats
+from repro.workloads import WorkloadParams, WorkloadSpec, generate_trace
+
+
+def page_scan_workload() -> WorkloadSpec:
+    """A synthetic page-scan kernel: stable-trip loops + filter noise."""
+    params = WorkloadParams(
+        n_loops=3,            # page scan, index walk, batch loop
+        n_tight_loops=2,      # memcmp-style inner loops
+        n_forward_loops=2,    # commit-every-N paths
+        n_patterns=4,
+        n_biased=4,           # filter predicates
+        n_global=1,
+        trip_min=24,          # rows per page
+        trip_max=64,
+        trip_entropy=0.02,    # occasional short page
+        bias_min=0.9,
+        bias_max=0.97,
+        loop_region_weight=0.85,
+        gap_min=4,
+        gap_max=10,
+        working_set_kb=512,
+        load_prob=0.3,
+        stream_prob=0.6,
+    )
+    return WorkloadSpec(name="db-page-scan", category="custom", seed=1234, params=params)
+
+
+def run_system(trace, entries: int | None, perfect: bool = False):
+    unit = None
+    if entries is not None:
+        scheme = PerfectRepair() if perfect else ForwardWalkRepair(
+            RepairPortConfig(32, 4, 2), coalesce=True
+        )
+        unit = StandardLocalUnit(
+            LoopPredictor(LoopPredictorConfig.entries(entries)), scheme
+        )
+    model = PipelineModel(TagePredictor(), unit=unit, hierarchy=CacheHierarchy())
+    return model.run(trace)
+
+
+def main() -> None:
+    spec = page_scan_workload()
+    trace = generate_trace(spec, 25_000)
+    stats = collect_stats(trace)
+    print(
+        f"{spec.name}: {stats.total_branches} branches, "
+        f"{stats.static_sites} sites, mean run length "
+        f"{stats.mean_run_length():.1f}, taken rate {stats.taken_rate:.2f}\n"
+    )
+
+    base = run_system(trace, None)
+    print(f"TAGE baseline        : IPC {base.ipc:.3f}  MPKI {base.mpki:.2f}")
+
+    for entries in (64, 128, 256):
+        result = run_system(trace, entries)
+        gain = result.ipc / base.ipc - 1.0
+        red = (base.mpki - result.mpki) / base.mpki
+        print(
+            f"loop{entries:<4d} fwd repair : IPC {result.ipc:.3f}  "
+            f"MPKI {result.mpki:.2f}  (redn {red:+.1%}, gain {gain:+.2%})"
+        )
+
+    oracle = run_system(trace, 128, perfect=True)
+    red = (base.mpki - oracle.mpki) / base.mpki
+    gain = oracle.ipc / base.ipc - 1.0
+    print(
+        f"loop128 perfect      : IPC {oracle.ipc:.3f}  MPKI {oracle.mpki:.2f}  "
+        f"(redn {red:+.1%}, gain {gain:+.2%})  <- upper bound"
+    )
+
+
+if __name__ == "__main__":
+    main()

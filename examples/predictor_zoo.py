@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare the global-predictor zoo on one workload.
+
+Runs bimodal, gshare, hybrid (tournament), perceptron, and the three
+TAGE presets over the same trace — a baseline sanity panel showing the
+historical accuracy progression the paper builds on (TAGE being the
+baseline *because* it wins).
+
+Run:
+    python examples/predictor_zoo.py [workload-name] [n-branches]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.report import format_table
+from repro.memory import CacheHierarchy
+from repro.pipeline import PipelineModel
+from repro.predictors import (
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    PerceptronPredictor,
+    ScTagePredictor,
+    TageConfig,
+    TagePredictor,
+)
+from repro.workloads import generate_trace, get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ispec-gcc"
+    n_branches = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    trace = generate_trace(get_workload(workload), n_branches)
+    print(f"workload: {workload}, {len(trace)} branches\n")
+
+    predictors = [
+        ("bimodal", BimodalPredictor()),
+        ("gshare", GSharePredictor()),
+        ("hybrid", HybridPredictor()),
+        ("perceptron", PerceptronPredictor()),
+        ("tage-7.1kb", TagePredictor(TageConfig.kb8())),
+        ("tage-9kb", TagePredictor(TageConfig.kb9())),
+        ("tage-57kb", TagePredictor(TageConfig.kb64())),
+        ("tage+sc", ScTagePredictor()),
+    ]
+
+    rows = []
+    for name, predictor in predictors:
+        stats = PipelineModel(predictor, hierarchy=CacheHierarchy()).run(trace)
+        rows.append(
+            (
+                name,
+                f"{predictor.storage_kb():.1f}",
+                f"{stats.mpki:.2f}",
+                f"{stats.branch_accuracy:.3%}",
+                f"{stats.ipc:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ["predictor", "KB", "MPKI", "accuracy", "IPC"],
+            rows,
+            title="Global predictor baselines",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

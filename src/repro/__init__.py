@@ -1,0 +1,46 @@
+"""repro: reproduction of "Towards the adoption of Local Branch
+Predictors in Modern Out-of-Order Superscalar Processors" (MICRO 2019).
+
+Quickstart::
+
+    from repro.harness import run_system, build_system
+    from repro.workloads import get_workload, generate_trace
+
+    spec = get_workload("hpc-fft")
+    trace = generate_trace(spec, 20_000)
+    stats = run_system(trace, system="forward-walk")
+    print(stats.ipc, stats.mpki)
+
+Packages:
+
+* :mod:`repro.core` — the paper's contribution: CBPw-Loop (two-level
+  BHT + PT), checkpointing structures, and every repair scheme;
+* :mod:`repro.predictors` — TAGE and other global baselines;
+* :mod:`repro.pipeline` — the Skylake-like OOO core timing model;
+* :mod:`repro.memory` — the cache hierarchy;
+* :mod:`repro.trace` / :mod:`repro.workloads` — trace substrate and the
+  202-workload synthetic suite;
+* :mod:`repro.metrics` / :mod:`repro.harness` — measurement and the
+  per-figure experiment harness.
+"""
+
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "WorkloadError",
+    "SimulationError",
+    "ExperimentError",
+]

@@ -1,0 +1,16 @@
+"""Post-run analysis: sweep diffs, markdown reports, drilldowns."""
+
+from repro.analysis.compare import RunDelta, compare_systems, diff_sweeps
+from repro.analysis.drilldown import Diagnosis, diagnose
+from repro.analysis.markdown import category_markdown, markdown_table, table3_markdown
+
+__all__ = [
+    "RunDelta",
+    "diff_sweeps",
+    "compare_systems",
+    "Diagnosis",
+    "diagnose",
+    "markdown_table",
+    "category_markdown",
+    "table3_markdown",
+]

@@ -1,0 +1,109 @@
+"""Sweep comparison: diff two sets of runs.
+
+Used to compare code versions (did a change regress a scheme?), scale
+levels (is smoke representative of small?), or two systems within one
+sweep (the per-workload view behind every aggregate in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.harness.runner import RunResult
+
+__all__ = ["RunDelta", "diff_sweeps", "compare_systems"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunDelta:
+    """Per-(workload, system) change between two runs."""
+
+    workload: str
+    category: str
+    system: str
+    ipc_before: float
+    ipc_after: float
+    mpki_before: float
+    mpki_after: float
+
+    @property
+    def ipc_change(self) -> float:
+        """Relative IPC change (positive = after is faster)."""
+        if self.ipc_before <= 0:
+            return 0.0
+        return self.ipc_after / self.ipc_before - 1.0
+
+    @property
+    def mpki_change(self) -> float:
+        """Absolute MPKI change (negative = after mispredicts less)."""
+        return self.mpki_after - self.mpki_before
+
+    def is_regression(self, ipc_tolerance: float = 0.01) -> bool:
+        """After is noticeably slower than before."""
+        return self.ipc_change < -ipc_tolerance
+
+
+def _key(result: RunResult) -> tuple[str, str]:
+    return (result.workload, result.system)
+
+
+def diff_sweeps(
+    before: Sequence[RunResult], after: Sequence[RunResult]
+) -> list[RunDelta]:
+    """Pair two sweeps on (workload, system) and compute deltas.
+
+    Rows present in only one sweep are ignored; an empty intersection
+    raises (it means the sweeps are not comparable at all).
+    """
+    before_map = {_key(r): r for r in before}
+    deltas: list[RunDelta] = []
+    for result in after:
+        base = before_map.get(_key(result))
+        if base is None:
+            continue
+        deltas.append(
+            RunDelta(
+                workload=result.workload,
+                category=result.category,
+                system=result.system,
+                ipc_before=base.ipc,
+                ipc_after=result.ipc,
+                mpki_before=base.mpki,
+                mpki_after=result.mpki,
+            )
+        )
+    if not deltas:
+        raise ExperimentError("sweeps share no (workload, system) pairs")
+    return deltas
+
+
+def compare_systems(
+    results: Sequence[RunResult], system_a: str, system_b: str
+) -> list[RunDelta]:
+    """Within one sweep, express system B relative to system A."""
+    a_rows = [r for r in results if r.system == system_a]
+    b_rows = [r for r in results if r.system == system_b]
+    if not a_rows or not b_rows:
+        raise ExperimentError(
+            f"sweep lacks rows for {system_a!r} and/or {system_b!r}"
+        )
+    a_map = {r.workload: r for r in a_rows}
+    deltas: list[RunDelta] = []
+    for b in b_rows:
+        a = a_map.get(b.workload)
+        if a is None:
+            continue
+        deltas.append(
+            RunDelta(
+                workload=b.workload,
+                category=b.category,
+                system=f"{system_b} vs {system_a}",
+                ipc_before=a.ipc,
+                ipc_after=b.ipc,
+                mpki_before=a.mpki,
+                mpki_after=b.mpki,
+            )
+        )
+    return deltas

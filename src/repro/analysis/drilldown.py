@@ -1,0 +1,89 @@
+"""Per-workload drilldown: why did this system score what it scored?
+
+Turns one RunResult's statistics payload into a readable diagnosis —
+override efficiency, repair traffic, checkpoint pressure — the numbers
+that explain a scheme's position before anyone re-runs anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.runner import RunResult
+
+__all__ = ["Diagnosis", "diagnose"]
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Derived indicators for one run."""
+
+    workload: str
+    system: str
+    ipc: float
+    mpki: float
+    #: Fraction of overrides that beat the baseline (saves / (saves+damages)).
+    override_precision: float
+    #: Saves per kilo-instruction — the raw win rate.
+    saves_per_kinst: float
+    #: Mean BHT writes per repair event (Figure 8's per-workload metric).
+    repairs_per_event: float
+    #: Fraction of speculative updates that could not be checkpointed.
+    checkpoint_overflow_rate: float
+    #: Cycles spent with the BHT (partially) unavailable, per kilo-cycle.
+    busy_per_kcycle: float
+    notes: tuple[str, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.workload} / {self.system}: IPC {self.ipc:.3f}, MPKI {self.mpki:.2f}",
+            f"  override precision {self.override_precision:.0%}, "
+            f"saves/kinst {self.saves_per_kinst:.2f}",
+            f"  repairs/event {self.repairs_per_event:.1f}, "
+            f"checkpoint overflow {self.checkpoint_overflow_rate:.1%}, "
+            f"busy {self.busy_per_kcycle:.1f}/kcycle",
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def diagnose(result: RunResult) -> Diagnosis:
+    """Compute the drilldown indicators for one run."""
+    unit = result.extra.get("unit", {})
+    repair = result.extra.get("repair", {})
+
+    saves = unit.get("saves", 0)
+    damages = unit.get("damages", 0)
+    decided = saves + damages
+    precision = saves / decided if decided else 0.0
+
+    kinst = result.instructions / 1000 if result.instructions else 1.0
+    events = repair.get("events", 0)
+    pushes = unit.get("lookups", 0)
+    overflows = repair.get("uncheckpointed", 0)
+    overflow_rate = overflows / pushes if pushes else 0.0
+    busy = repair.get("busy_cycles", 0)
+    kcycles = result.cycles / 1000 if result.cycles else 1.0
+
+    notes: list[str] = []
+    if decided and precision < 0.5:
+        notes.append("overrides are net-negative: expect the chooser to gate them")
+    if overflow_rate > 0.2:
+        notes.append("checkpoint structure is undersized for this workload")
+    if events and repair.get("skipped_events", 0) > events * 0.2:
+        notes.append("many repairs skipped (mispredicting branches uncheckpointed)")
+    if repair.get("restarts", 0) > events * 0.05 and events:
+        notes.append("frequent repair restarts: overlapping mispredictions")
+
+    return Diagnosis(
+        workload=result.workload,
+        system=result.system,
+        ipc=result.ipc,
+        mpki=result.mpki,
+        override_precision=precision,
+        saves_per_kinst=saves / kinst,
+        repairs_per_event=repair.get("mean_writes_per_event", 0.0),
+        checkpoint_overflow_rate=overflow_rate,
+        busy_per_kcycle=busy / kcycles,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,79 @@
+"""Markdown rendering of experiment aggregates.
+
+EXPERIMENTS.md-style tables, generated from live results so documents
+can be refreshed from a sweep instead of retyped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.harness.systems import PAPER_TABLE3
+from repro.metrics.aggregate import WorkloadResult, overall, summarize
+from repro.metrics.basic import normalized_gain
+from repro.workloads.categories import CATEGORIES
+
+__all__ = ["markdown_table", "category_markdown", "table3_markdown"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def category_markdown(paired: Sequence[WorkloadResult], title: str = "") -> str:
+    """Per-category MPKI/IPC table for one system."""
+    grouped = summarize(list(paired))
+    rows = []
+    for category in CATEGORIES:
+        summary = grouped.get(category)
+        if summary is None:
+            continue
+        rows.append(
+            (
+                category,
+                summary.count,
+                f"{summary.mean_mpki_reduction:+.1%}",
+                f"{summary.mean_ipc_gain:+.2%}",
+            )
+        )
+    total = overall(list(paired))
+    rows.append(
+        ("**overall**", total.count, f"**{total.mean_mpki_reduction:+.1%}**",
+         f"**{total.mean_ipc_gain:+.2%}**")
+    )
+    table = markdown_table(["category", "n", "MPKI redn", "IPC gain"], rows)
+    return f"### {title}\n\n{table}" if title else table
+
+
+def table3_markdown(paired: dict[str, list[WorkloadResult]]) -> str:
+    """The EXPERIMENTS.md headline table from a live Table 3 sweep."""
+    perfect = paired.get("perfect-repair", [])
+    perfect_gain = overall(list(perfect)).mean_ipc_gain if perfect else 0.0
+    rows = []
+    for name, paper in PAPER_TABLE3.items():
+        if name == "baseline-tage":
+            continue
+        results = paired.get(name)
+        if not results:
+            continue
+        summary = overall(list(results))
+        retained = normalized_gain(summary.mean_ipc_gain, perfect_gain)
+        rows.append(
+            (
+                name,
+                f"{paper[0]:.1f}% / {paper[1]:.2f}% / {paper[2]:.0f}%",
+                f"{summary.mean_mpki_reduction:+.1%} / "
+                f"{summary.mean_ipc_gain:+.2%} / {retained:.0%}",
+            )
+        )
+    return markdown_table(
+        ["technique", "paper (redn/gain/retained)", "measured (redn/gain/retained)"],
+        rows,
+    )

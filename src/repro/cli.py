@@ -1,0 +1,159 @@
+"""Command-line interface for single simulations and discovery.
+
+Complements the figure harness (``python -m repro.harness.figures``)
+with direct, single-run access:
+
+    repro list-workloads [--category hpc]
+    repro list-systems
+    repro run --workload hpc-fft --system forward-walk --branches 20000
+    repro compare --workload hpc-fft --branches 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_single
+from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
+from repro.workloads.categories import CATEGORIES
+from repro.workloads.suite import build_suite, get_workload
+
+__all__ = ["main"]
+
+
+def _system_by_name(name: str) -> SystemConfig:
+    for config in TABLE3_SYSTEMS:
+        if config.name == name:
+            return config
+    known = ", ".join(cfg.name for cfg in TABLE3_SYSTEMS)
+    raise SystemExit(f"unknown system {name!r}; choose from: {known}")
+
+
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        (spec.name, spec.category, spec.seed)
+        for spec in build_suite()
+        if args.category is None or spec.category == args.category
+    ]
+    print(format_table(["workload", "category", "seed"], rows))
+    print(f"\n{len(rows)} workloads")
+    return 0
+
+
+def _cmd_list_systems(_args: argparse.Namespace) -> int:
+    rows = [
+        (
+            cfg.name,
+            cfg.tage,
+            cfg.local_entries if cfg.local_entries is not None else "-",
+            cfg.scheme or "-",
+            cfg.ports if cfg.scheme in ("backward", "snapshot", "forward", "multistage") else "-",
+        )
+        for cfg in TABLE3_SYSTEMS
+    ]
+    print(format_table(["system", "tage", "BHT entries", "scheme", "M-N-P"], rows))
+    return 0
+
+
+def _print_run(label: str, result) -> None:
+    print(
+        f"{label:24s} IPC {result.ipc:7.3f}   MPKI {result.mpki:7.2f}   "
+        f"({result.instructions} instructions, {result.cycles} cycles)"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    system = _system_by_name(args.system)
+    result = run_single(spec, system, args.branches)
+    _print_run(system.name, result)
+    repair = result.extra.get("repair")
+    if repair:
+        print(
+            f"{'':24s} repair events {repair['events']}, "
+            f"avg writes/event {repair['mean_writes_per_event']:.1f}, "
+            f"busy cycles {repair['busy_cycles']}"
+        )
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.analysis import diagnose
+
+    spec = get_workload(args.workload)
+    system = _system_by_name(args.system)
+    result = run_single(spec, system, args.branches)
+    print(diagnose(result).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    print(f"workload {spec.name}, {args.branches} branches\n")
+    base = None
+    for system in TABLE3_SYSTEMS:
+        result = run_single(spec, system, args.branches)
+        if system.name == "baseline-tage":
+            base = result
+            _print_run(system.name, result)
+            continue
+        gain = result.ipc / base.ipc - 1 if base and base.ipc else 0.0
+        red = (base.mpki - result.mpki) / base.mpki if base and base.mpki else 0.0
+        print(
+            f"{system.name:24s} IPC {result.ipc:7.3f} ({gain:+6.2%})   "
+            f"MPKI {result.mpki:7.2f} ({red:+6.1%})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Local branch predictor repair simulations."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lw = sub.add_parser("list-workloads", help="list the 202-workload suite")
+    p_lw.add_argument("--category", choices=CATEGORIES, default=None)
+    p_lw.set_defaults(func=_cmd_list_workloads)
+
+    p_ls = sub.add_parser("list-systems", help="list Table 3 system configs")
+    p_ls.set_defaults(func=_cmd_list_systems)
+
+    p_run = sub.add_parser("run", help="simulate one (workload, system) pair")
+    p_run.add_argument("--workload", required=True)
+    p_run.add_argument("--system", default="forward-walk-coalesce")
+    p_run.add_argument("--branches", type=int, default=20_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all Table 3 systems on one workload")
+    p_cmp.add_argument("--workload", required=True)
+    p_cmp.add_argument("--branches", type=int, default=15_000)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_diag = sub.add_parser(
+        "diagnose", help="explain one (workload, system) run's behaviour"
+    )
+    p_diag.add_argument("--workload", required=True)
+    p_diag.add_argument("--system", default="forward-walk-coalesce")
+    p_diag.add_argument("--branches", type=int, default=20_000)
+    p_diag.set_defaults(func=_cmd_diagnose)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: repairable local branch predictors.
+
+Subpackages/modules:
+
+* :mod:`repro.core.bht` / :mod:`repro.core.pattern_table` — the two
+  levels of the local predictor;
+* :mod:`repro.core.loop_predictor` — CBPw-Loop, the paper's vehicle;
+* :mod:`repro.core.two_level_local` — a generic local predictor showing
+  the schemes generalise;
+* :mod:`repro.core.obq` / :mod:`repro.core.snapshot` — checkpointing
+  structures;
+* :mod:`repro.core.repair` — all repair schemes;
+* :mod:`repro.core.unit` — the pipeline-facing composition.
+"""
+
+from repro.core.bht import BhtConfig, BranchHistoryTable
+from repro.core.imli import ImliConfig, ImliUnit
+from repro.core.inflight import CarriedRepair, InflightBranch
+from repro.core.local_base import LocalPrediction, LocalPredictorCore, SpecUpdate
+from repro.core.loop_predictor import LoopPredictor, LoopPredictorConfig
+from repro.core.obq import ObqEntry, OutstandingBranchQueue
+from repro.core.pattern_table import LoopPatternTable, PatternTableConfig
+from repro.core.ports import RepairPortConfig, repair_duration
+from repro.core.snapshot import Snapshot, SnapshotQueue
+from repro.core.storage import StorageBreakdown, system_storage
+from repro.core.two_level_local import TwoLevelLocalConfig, TwoLevelLocalPredictor
+from repro.core.unit import LocalBranchUnit, StandardLocalUnit, UnitStats
+
+__all__ = [
+    "BhtConfig",
+    "BranchHistoryTable",
+    "ImliConfig",
+    "ImliUnit",
+    "PatternTableConfig",
+    "LoopPatternTable",
+    "LoopPredictor",
+    "LoopPredictorConfig",
+    "TwoLevelLocalConfig",
+    "TwoLevelLocalPredictor",
+    "LocalPredictorCore",
+    "LocalPrediction",
+    "SpecUpdate",
+    "InflightBranch",
+    "CarriedRepair",
+    "OutstandingBranchQueue",
+    "ObqEntry",
+    "SnapshotQueue",
+    "Snapshot",
+    "RepairPortConfig",
+    "repair_duration",
+    "StorageBreakdown",
+    "system_storage",
+    "LocalBranchUnit",
+    "StandardLocalUnit",
+    "UnitStats",
+]

@@ -1,0 +1,133 @@
+"""Common interface for repairable local predictors.
+
+The repair schemes (``repro.core.repair``) operate on *any* local
+predictor exposing this interface — the paper's claim that its
+techniques "can be directly extended to any local predictor design"
+(§1) is realised here: the schemes only save, restore and advance the
+opaque per-PC BHT state; what the state means (loop counter, direction
+pattern) stays inside the predictor.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.bht import BranchHistoryTable
+
+__all__ = ["LocalPrediction", "SpecUpdate", "LocalPredictorCore"]
+
+
+@dataclass(slots=True)
+class LocalPrediction:
+    """A confident local prediction able to override the baseline.
+
+    Attributes:
+        pc: Branch address.
+        taken: Predicted direction.
+        trip: Learned trip count from the PT (predictor-specific).
+        count: Current BHT iteration count used for the prediction.
+    """
+
+    pc: int
+    taken: bool
+    trip: int = 0
+    count: int = 0
+
+
+@dataclass(slots=True)
+class SpecUpdate:
+    """Result of one speculative BHT update at prediction time.
+
+    Everything a checkpointing structure (OBQ / snapshot queue) or a
+    carried-state scheme needs to undo the update later.
+
+    Attributes:
+        pc: Branch address.
+        slot: BHT slot written.
+        pre_state: State before the update, or None when the entry was
+            freshly allocated by this branch (undo = deallocate).
+        pre_valid: Valid bit before the update.
+        post_state: State after the update.
+    """
+
+    pc: int
+    slot: int
+    pre_state: int | None
+    pre_valid: bool
+    post_state: int
+
+
+class LocalPredictorCore(abc.ABC):
+    """A two-level local predictor with externally repairable BHT state."""
+
+    #: Short identifier used in reports.
+    name: str = "local"
+    #: The first-level table holding the repairable per-PC state.
+    bht: BranchHistoryTable
+
+    @abc.abstractmethod
+    def lookup(self, pc: int) -> LocalPrediction | None:
+        """Confident prediction for ``pc``, or None (miss / low confidence)."""
+
+    @abc.abstractmethod
+    def spec_update(self, pc: int, taken: bool) -> SpecUpdate:
+        """Advance ``pc``'s BHT state with a *predicted* outcome.
+
+        Allocates an entry when absent.  This is the speculative update
+        that repair schemes must be able to undo.
+        """
+
+    @abc.abstractmethod
+    def next_state(self, state: int, taken: bool) -> int:
+        """Pure state-transition function (used to replay repairs)."""
+
+    @abc.abstractmethod
+    def initial_state(self, taken: bool) -> int:
+        """State a freshly allocated entry gets after one outcome."""
+
+    @abc.abstractmethod
+    def train(
+        self,
+        pc: int,
+        pre_state: int | None,
+        taken: bool,
+        predicted: bool | None = None,
+    ) -> None:
+        """Second-level (PT) training with the resolved outcome.
+
+        ``pre_state`` is the pre-update BHT state the instruction carried
+        through the pipeline — possibly stale or corrupt, which is
+        faithful to how an unrepaired design would learn.  ``predicted``
+        is the direction this predictor itself issued for the instance
+        (None when it gave no prediction) so confidence can be punished
+        for its own mistakes.
+        """
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """BHT + PT storage in bits."""
+
+    def repair_write(self, pc: int, state: int, valid: bool = True) -> bool:
+        """One repair write: restore ``pc``'s BHT state.
+
+        Re-allocates the entry if it was evicted while in flight.
+        Returns False when the write could not be applied (set conflict
+        made re-allocation evict live state is still counted as applied;
+        False is reserved for predictors that refuse the PC entirely).
+        """
+        slot = self.bht.find(pc)
+        if slot < 0:
+            slot = self.bht.allocate(pc, state)
+            self.bht.set_valid(slot, valid)
+            return True
+        self.bht.set_state(slot, state)
+        self.bht.set_valid(slot, valid)
+        return True
+
+    def repair_remove(self, pc: int) -> bool:
+        """Undo a speculative allocation (the entry should not exist)."""
+        return self.bht.remove_pc(pc)
+
+    def storage_kb(self) -> float:
+        return self.storage_bits() / 8192.0

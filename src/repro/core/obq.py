@@ -1,0 +1,208 @@
+"""Outstanding Branch Queue (OBQ): the history file for BHT repair.
+
+The OBQ records, per in-flight branch, the BHT state *before* that
+branch's speculative update (paper §2.6, §5):
+
+* circular buffer, new entries at the tail;
+* entries evicted when the corresponding instruction retires;
+* on a flush, entries younger than the mispredicting branch are walked
+  by the repair scheme and then removed;
+* optional *coalescing* (§3.1): consecutive instances of the same PC
+  share entries — only the first and last instance of a run occupy
+  slots, intermediates are logically merged into the last one.
+
+Entry ids are monotonically increasing integers, never reused, so a
+branch's carried ``obq_id`` stays meaningful across head/tail movement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.local_base import SpecUpdate
+from repro.errors import ConfigError
+
+__all__ = ["ObqEntry", "OutstandingBranchQueue"]
+
+
+@dataclass(slots=True)
+class ObqEntry:
+    """One history-file record.
+
+    ``pre_state is None`` means the branch allocated its BHT entry fresh
+    — the undo is to deallocate, not to restore a state.
+    """
+
+    entry_id: int
+    pc: int
+    pre_state: int | None
+    pre_valid: bool
+    first_uid: int
+    last_uid: int
+    #: Number of logically merged instances beyond the first.
+    merged: int = 0
+    #: True while this entry is the live tail of a same-PC run and can
+    #: absorb further instances (coalescing mode only).
+    run_open: bool = False
+
+
+class OutstandingBranchQueue:
+    """Bounded history file with optional same-PC run coalescing."""
+
+    def __init__(self, capacity: int = 32, coalesce: bool = False) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"OBQ capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.coalesce = coalesce
+        self._entries: deque[ObqEntry] = deque()
+        self._next_id = 0
+        self.pushes = 0
+        self.merges = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # ------------------------------------------------------------- #
+    # insertion
+
+    def push(self, uid: int, spec: SpecUpdate) -> int | None:
+        """Checkpoint one speculative update; returns the entry id.
+
+        Returns None when the queue is full and the update could not be
+        absorbed into an open run — the branch goes un-checkpointed
+        (paper §3.1: "the PCs that enter the pipeline are not assigned
+        an OBQ entry id").
+        """
+        self.pushes += 1
+        entries = self._entries
+        if self.coalesce and entries:
+            tail = entries[-1]
+            if tail.pc == spec.pc:
+                if tail.run_open:
+                    # Absorb: the previous "last" instance becomes an
+                    # intermediate; the entry now shadows the new last
+                    # instance (its pre-state and uid move forward).
+                    tail.pre_state = spec.pre_state
+                    tail.pre_valid = spec.pre_valid
+                    tail.last_uid = uid
+                    tail.merged += 1
+                    self.merges += 1
+                    return tail.entry_id
+                if not self.full:
+                    # Second instance of a run: open a "last" entry.
+                    entry = self._new_entry(uid, spec, run_open=True)
+                    entries.append(entry)
+                    return entry.entry_id
+                self.overflows += 1
+                return None
+        if self.full:
+            self.overflows += 1
+            return None
+        entry = self._new_entry(uid, spec, run_open=False)
+        entries.append(entry)
+        return entry.entry_id
+
+    def _new_entry(self, uid: int, spec: SpecUpdate, run_open: bool) -> ObqEntry:
+        entry = ObqEntry(
+            entry_id=self._next_id,
+            pc=spec.pc,
+            pre_state=spec.pre_state,
+            pre_valid=spec.pre_valid,
+            first_uid=uid,
+            last_uid=uid,
+            run_open=run_open,
+        )
+        self._next_id += 1
+        return entry
+
+    # ------------------------------------------------------------- #
+    # retirement / flush
+
+    def retire(self, uid: int) -> int:
+        """Evict head entries fully covered by retirement up to ``uid``."""
+        evicted = 0
+        entries = self._entries
+        while entries and entries[0].last_uid <= uid:
+            entries.popleft()
+            evicted += 1
+        return evicted
+
+    def flush_younger(
+        self, boundary_uid: int, boundary_pre_state: int | None = None
+    ) -> list[ObqEntry]:
+        """Remove entries for squashed branches (uid > boundary).
+
+        A coalesced run can straddle the boundary only when the
+        mispredicting branch is itself part of the run; in that case the
+        surviving entry's pre-state rolls back to the mispredicting
+        branch's carried state (``boundary_pre_state``).
+
+        Returns the fully removed entries, oldest first.
+        """
+        removed: list[ObqEntry] = []
+        entries = self._entries
+        while entries and entries[-1].first_uid > boundary_uid:
+            removed.append(entries.pop())
+        removed.reverse()
+        if entries:
+            tail = entries[-1]
+            if tail.last_uid > boundary_uid:
+                # Partially flushed run: shrink to the boundary branch.
+                tail.last_uid = boundary_uid
+                if boundary_pre_state is not None:
+                    tail.pre_state = boundary_pre_state
+                    tail.pre_valid = True
+            # Any run that was open is closed by the flush: post-resteer
+            # instances are a new run.
+            tail.run_open = False
+        return removed
+
+    # ------------------------------------------------------------- #
+    # walks
+
+    def find(self, entry_id: int) -> ObqEntry | None:
+        for entry in self._entries:
+            if entry.entry_id == entry_id:
+                return entry
+        return None
+
+    def forward_from(self, entry_id: int) -> list[ObqEntry]:
+        """Entries from ``entry_id`` (inclusive) to the tail, oldest first.
+
+        The forward-walk repair order of §3.1.
+        """
+        result: list[ObqEntry] = []
+        seen = False
+        for entry in self._entries:
+            if entry.entry_id == entry_id:
+                seen = True
+            if seen:
+                result.append(entry)
+        return result
+
+    def backward_to(self, entry_id: int) -> list[ObqEntry]:
+        """Entries from the tail down to ``entry_id`` (inclusive).
+
+        The backward-walk repair order of §2.6.
+        """
+        return list(reversed(self.forward_from(entry_id)))
+
+    def entries(self) -> list[ObqEntry]:
+        """All live entries, oldest first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------- #
+    # storage
+
+    def storage_bits(self, pc_bits: int = 64, state_bits: int = 11) -> int:
+        """Per the paper's OBQ design: 64-bit PC + state + valid bit."""
+        return self.capacity * (pc_bits + state_bits + 1)

@@ -1,0 +1,61 @@
+"""Port models and repair-timing arithmetic.
+
+The paper's realistic evaluations are parameterised as ``M-N-P``
+configurations: M checkpoint-structure entries, N checkpoint read ports,
+P BHT write ports (Figures 10, 11).  Repair duration is bandwidth-bound
+on whichever side is narrower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["RepairPortConfig", "repair_duration"]
+
+
+@dataclass(frozen=True, slots=True)
+class RepairPortConfig:
+    """An M-N-P repair resource configuration."""
+
+    entries: int
+    read_ports: int
+    write_ports: int
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigError(f"checkpoint entries must be positive: {self.entries}")
+        if self.read_ports <= 0 or self.write_ports <= 0:
+            raise ConfigError("repair port counts must be positive")
+
+    @property
+    def label(self) -> str:
+        """The paper's ``M-N-P`` naming."""
+        return f"{self.entries}-{self.read_ports}-{self.write_ports}"
+
+    @classmethod
+    def parse(cls, label: str) -> "RepairPortConfig":
+        """Parse an ``M-N-P`` string (e.g. ``"32-4-2"``)."""
+        parts = label.split("-")
+        if len(parts) != 3:
+            raise ConfigError(f"bad port config label {label!r}, expected M-N-P")
+        try:
+            entries, reads, writes = (int(p) for p in parts)
+        except ValueError as exc:
+            raise ConfigError(f"bad port config label {label!r}") from exc
+        return cls(entries=entries, read_ports=reads, write_ports=writes)
+
+
+def repair_duration(reads: int, writes: int, read_ports: int, write_ports: int) -> int:
+    """Cycles to stream ``reads`` checkpoint reads and ``writes`` BHT writes.
+
+    Reads and writes pipeline against each other, so the duration is the
+    max of the two bandwidth terms, with a one-cycle floor for any
+    non-empty repair.
+    """
+    if reads <= 0 and writes <= 0:
+        return 0
+    read_cycles = -(-reads // read_ports) if reads > 0 else 0
+    write_cycles = -(-writes // write_ports) if writes > 0 else 0
+    return max(read_cycles, write_cycles, 1)

@@ -1,0 +1,34 @@
+"""BHT repair schemes: the paper's contribution surface.
+
+Prior techniques (§2.6): :class:`NoRepair`, :class:`RetireUpdate`,
+:class:`BackwardWalkRepair`, :class:`SnapshotRepair`.
+
+Proposed techniques (§3): :class:`ForwardWalkRepair` (with optional OBQ
+coalescing), :class:`MultiStageUnit` (split BHT), :class:`LimitedPcRepair`.
+
+Oracle: :class:`PerfectRepair`.
+"""
+
+from repro.core.repair.backward_walk import BackwardWalkRepair
+from repro.core.repair.base import RepairScheme, RepairStats
+from repro.core.repair.forward_walk import ForwardWalkRepair
+from repro.core.repair.limited_pc import LimitedPcRepair
+from repro.core.repair.multistage import MultiStageConfig, MultiStageUnit
+from repro.core.repair.no_repair import NoRepair
+from repro.core.repair.perfect import PerfectRepair
+from repro.core.repair.retire_update import RetireUpdate
+from repro.core.repair.snapshot_repair import SnapshotRepair
+
+__all__ = [
+    "RepairScheme",
+    "RepairStats",
+    "PerfectRepair",
+    "NoRepair",
+    "RetireUpdate",
+    "BackwardWalkRepair",
+    "SnapshotRepair",
+    "ForwardWalkRepair",
+    "LimitedPcRepair",
+    "MultiStageConfig",
+    "MultiStageUnit",
+]

@@ -1,0 +1,102 @@
+"""Backward-walk history-file repair (Skadron et al.; paper §2.6, §6.2).
+
+The OBQ records each branch's pre-update BHT state.  On a misprediction
+the queue is walked **from the youngest entry back to the mispredicting
+branch's entry**, restoring every recorded state along the way.  Two
+consequences the paper highlights:
+
+* the same PC is rewritten once per flushed instance — wasted BHT write
+  bandwidth that stretches the repair window;
+* no PC is guaranteed correct until the whole walk finishes, so the BHT
+  cannot serve *any* prediction until repair completes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.inflight import InflightBranch
+from repro.core.obq import OutstandingBranchQueue
+from repro.core.ports import RepairPortConfig, repair_duration
+from repro.core.repair.base import RepairScheme
+
+__all__ = ["BackwardWalkRepair"]
+
+
+class BackwardWalkRepair(RepairScheme):
+    """History-file repair walking young → old."""
+
+    def __init__(self, ports: RepairPortConfig | None = None) -> None:
+        super().__init__()
+        self.ports = ports if ports is not None else RepairPortConfig(32, 4, 4)
+        self.obq = OutstandingBranchQueue(capacity=self.ports.entries, coalesce=False)
+        self.name = f"backward-walk-{self.ports.label}"
+
+    # ------------------------------------------------------------- #
+    # checkpointing
+
+    def on_spec_update(self, branch: InflightBranch, cycle: int) -> None:
+        assert branch.spec is not None
+        entry_id = self.obq.push(branch.uid, branch.spec)
+        branch.obq_id = entry_id
+        branch.checkpointed = entry_id is not None
+        if entry_id is None:
+            self.stats.uncheckpointed += 1
+
+    # ------------------------------------------------------------- #
+    # repair
+
+    def on_mispredict(
+        self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int
+    ) -> int:
+        assert self.local is not None
+        local = self.local
+        if cycle < self._busy_until:
+            self.stats.restarts += 1
+
+        self.stats.unrepaired += self._count_unrepaired(flushed)
+        if branch.obq_id is None or self.obq.find(branch.obq_id) is None:
+            # The mispredicting branch was never checkpointed: the OBQ
+            # state is not recovered (paper §3.1).  Squashed entries are
+            # still released.
+            self.obq.flush_younger(branch.uid)
+            self.stats.skipped_events += 1
+            self.stats.record_event(writes=0, reads=0, busy=0)
+            return cycle
+
+        walk = self.obq.backward_to(branch.obq_id)
+        writes = 0
+        for entry in walk:
+            if entry.pre_state is None:
+                local.repair_remove(entry.pc)
+            else:
+                local.repair_write(entry.pc, entry.pre_state, entry.pre_valid)
+            writes += 1
+        # The oldest walked entry is the mispredicting branch's own; its
+        # state is then advanced with the resolved outcome.
+        self._apply_own_correction(branch, walk[-1].pre_state)
+        writes += 1
+
+        busy = repair_duration(
+            reads=len(walk),
+            writes=writes,
+            read_ports=self.ports.read_ports,
+            write_ports=self.ports.write_ports,
+        )
+        self._busy_until = cycle + busy
+        self.obq.flush_younger(branch.uid)
+        self.stats.record_event(writes=writes, reads=len(walk), busy=busy)
+        return self._busy_until
+
+    def on_retire(self, branch: InflightBranch, cycle: int) -> None:
+        self.obq.retire(branch.uid)
+
+    # ------------------------------------------------------------- #
+    # reporting
+
+    def storage_bits(self) -> int:
+        return self.obq.storage_bits()
+
+    @property
+    def repair_ports(self) -> tuple[int, int]:
+        return (self.ports.read_ports, self.ports.write_ports)

@@ -1,0 +1,34 @@
+"""No repair: speculative BHT updates are never undone (§2.7, §6.2).
+
+The degenerate baseline the paper uses to show why repair matters —
+wrong-path and squashed updates permanently corrupt the per-PC state,
+and the local predictor's gains collapse (going negative for workload
+classes with tight exit-sensitive loops).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.inflight import InflightBranch
+from repro.core.repair.base import RepairScheme
+
+__all__ = ["NoRepair"]
+
+
+class NoRepair(RepairScheme):
+    """Leave all speculative state in place after a flush."""
+
+    name = "no-repair"
+
+    def on_mispredict(
+        self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int
+    ) -> int:
+        unrepaired = sum(1 for fb in flushed if fb.spec is not None)
+        self.stats.unrepaired += unrepaired
+        self.stats.skipped_events += 1
+        self.stats.record_event(writes=0, reads=0, busy=0)
+        return cycle
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,51 @@
+"""Perfect instantaneous repair — the paper's oracle (§6.1).
+
+Unbounded checkpointing and zero-cycle restore: on a misprediction,
+every flushed speculative update is undone exactly (each flushed branch
+conceptually carries its own pre-update state, and there is no limit on
+how many can be walked) and the mispredicting branch's entry is updated
+with the resolved outcome.  The BHT is never unavailable.
+
+This scheme also provides the Figure 8 instrumentation: the number of
+distinct PCs that *had* to be repaired per misprediction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.inflight import InflightBranch
+from repro.core.repair.base import RepairScheme
+
+__all__ = ["PerfectRepair"]
+
+
+class PerfectRepair(RepairScheme):
+    """Oracle: exact, instantaneous BHT restore on every misprediction."""
+
+    name = "perfect"
+
+    def on_mispredict(
+        self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int
+    ) -> int:
+        assert self.local is not None
+        local = self.local
+        restored: set[int] = set()
+        # Oldest-first: the first flushed instance of a PC carries the
+        # state the BHT held before any flushed update touched it.
+        for fb in flushed:
+            spec = fb.spec
+            if spec is None or spec.pc in restored:
+                continue
+            restored.add(spec.pc)
+            if spec.pre_state is None:
+                local.repair_remove(spec.pc)
+            else:
+                local.repair_write(spec.pc, spec.pre_state, spec.pre_valid)
+        self._apply_own_correction(branch, branch.carried_pre_state)
+        writes = len(restored) + 1
+        self.stats.record_event(writes=writes, reads=len(flushed), busy=0)
+        return cycle
+
+    def storage_bits(self) -> int:
+        return 0

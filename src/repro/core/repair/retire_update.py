@@ -1,0 +1,39 @@
+"""Update-at-retire: sidestep repair by never speculating (§6.2).
+
+The BHT is updated only when branches retire, with their architectural
+outcome.  There is no speculative state, hence nothing to repair — but
+the state every prediction reads lags the front end by the full pipeline
+depth, so tight loops with several iterations in flight read stale
+counts.  The paper measures this at ~41% of the perfect-repair gains and
+notes it will only get worse as pipelines deepen.
+
+The scheme sets :attr:`speculative_updates` to False; the local unit
+applies the BHT update (and PT training) in ``retire`` instead of at
+prediction time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.inflight import InflightBranch
+from repro.core.repair.base import RepairScheme
+
+__all__ = ["RetireUpdate"]
+
+
+class RetireUpdate(RepairScheme):
+    """Non-speculative BHT: architectural updates at retirement only."""
+
+    name = "retire-update"
+    speculative_updates = False
+
+    def on_mispredict(
+        self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int
+    ) -> int:
+        # Nothing speculative exists; the event is recorded for parity.
+        self.stats.record_event(writes=0, reads=0, busy=0)
+        return cycle
+
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,101 @@
+"""Snapshot-queue repair (RAT-checkpoint style; paper §2.6, §6.2).
+
+Before every speculative BHT update the entire table is checkpointed
+into a bounded snapshot queue.  Repair restores the mispredicting
+branch's snapshot wholesale.  Conceptually simple, but:
+
+* storage scales with (snapshots × BHT size) — Table 3 charges 18.2 KB;
+* every dirty BHT slot is one repair write, so realistic write-port
+  counts stretch the repair window;
+* when the queue is full, branches go un-checkpointed and their
+  mispredictions cannot be repaired at all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.inflight import InflightBranch
+from repro.core.ports import RepairPortConfig, repair_duration
+from repro.core.repair.base import RepairScheme
+from repro.core.snapshot import SnapshotQueue
+
+__all__ = ["SnapshotRepair"]
+
+
+class SnapshotRepair(RepairScheme):
+    """Whole-BHT checkpoint per prediction, wholesale restore on repair."""
+
+    def __init__(self, ports: RepairPortConfig | None = None) -> None:
+        super().__init__()
+        self.ports = ports if ports is not None else RepairPortConfig(32, 8, 8)
+        self.queue = SnapshotQueue(capacity=self.ports.entries)
+        self.name = f"snapshot-{self.ports.label}"
+
+    # ------------------------------------------------------------- #
+    # checkpointing (before the update: the snapshot must hold pre-state)
+
+    def before_update(self, branch: InflightBranch, cycle: int) -> None:
+        assert self.local is not None
+        snap_id = self.queue.take_bht(branch.uid, self.local.bht)
+        branch.snapshot_id = snap_id
+        branch.checkpointed = snap_id is not None
+        if snap_id is None:
+            self.stats.uncheckpointed += 1
+
+    # ------------------------------------------------------------- #
+    # repair
+
+    def on_mispredict(
+        self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int
+    ) -> int:
+        assert self.local is not None
+        if cycle < self._busy_until:
+            self.stats.restarts += 1
+        self.stats.unrepaired += self._count_unrepaired(flushed)
+
+        snap = (
+            self.queue.find(branch.snapshot_id)
+            if branch.snapshot_id is not None
+            else None
+        )
+        if snap is None:
+            self.queue.flush_younger(branch.uid)
+            self.stats.skipped_events += 1
+            self.stats.record_event(writes=0, reads=0, busy=0)
+            return cycle
+
+        dirty = self.local.bht.restore_snapshot(snap.payload)
+        self._apply_own_correction(branch, branch.carried_pre_state)
+        # A hardware snapshot restore rewrites the whole table — the
+        # restore path has no way to know which slots differ — so the
+        # repair window is sized by the full BHT, not the dirty subset.
+        # This is the "more time to repair" cost Table 3 charges.
+        writes = self.local.bht.config.entries
+        busy = repair_duration(
+            reads=writes,
+            writes=writes,
+            read_ports=self.ports.read_ports,
+            write_ports=self.ports.write_ports,
+        )
+        self._busy_until = cycle + busy
+        self.queue.flush_younger(branch.uid)
+        self.stats.record_event(writes=writes, reads=dirty, busy=busy)
+        return self._busy_until
+
+    def on_retire(self, branch: InflightBranch, cycle: int) -> None:
+        self.queue.retire(branch.uid)
+
+    # ------------------------------------------------------------- #
+    # reporting
+
+    def storage_bits(self) -> int:
+        if self.local is None:
+            return 0
+        cfg = self.local.bht.config
+        per_snapshot = cfg.entries * (cfg.tag_bits + cfg.state_bits + 1)
+        return self.queue.storage_bits(per_snapshot)
+
+    @property
+    def repair_ports(self) -> tuple[int, int]:
+        return (self.ports.read_ports, self.ports.write_ports)

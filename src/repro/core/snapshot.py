@@ -1,0 +1,101 @@
+"""Snapshot queue (SQ): whole-BHT checkpointing for repair.
+
+The RAT-checkpoint-style alternative to the history file (paper §2.6):
+every prediction snapshots the full BHT into a bounded queue.  Repair is
+then a single restore — simple, but storage-hungry (Table 3 charges it
+18.2 KB) and slow at realistic port counts because every dirty entry is
+one BHT write.
+
+The same structure, bounded to a handful of PCs per snapshot, implements
+the SQ variant of limited-PC repair (§6.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.bht import BranchHistoryTable
+from repro.errors import ConfigError
+
+__all__ = ["Snapshot", "SnapshotQueue"]
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """One queued checkpoint.
+
+    ``payload`` is either a full BHT snapshot tuple or, for the
+    limited-PC variant, a list of ``(pc, state, valid)`` triples.
+    """
+
+    snap_id: int
+    uid: int
+    payload: Any
+
+
+class SnapshotQueue:
+    """Bounded queue of checkpoints, evicted at retire, flushed on squash."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"snapshot queue capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._snaps: deque[Snapshot] = deque()
+        self._next_id = 0
+        self.takes = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._snaps)
+
+    @property
+    def full(self) -> bool:
+        return len(self._snaps) >= self.capacity
+
+    def take(self, uid: int, payload: Any) -> int | None:
+        """Queue a checkpoint for branch ``uid``; None when full."""
+        self.takes += 1
+        if self.full:
+            self.overflows += 1
+            return None
+        snap = Snapshot(snap_id=self._next_id, uid=uid, payload=payload)
+        self._next_id += 1
+        self._snaps.append(snap)
+        return snap.snap_id
+
+    def take_bht(self, uid: int, bht: BranchHistoryTable) -> int | None:
+        """Snapshot the entire BHT (the §2.6 scheme)."""
+        if self.full:
+            self.takes += 1
+            self.overflows += 1
+            return None
+        return self.take(uid, bht.snapshot())
+
+    def find(self, snap_id: int) -> Snapshot | None:
+        for snap in self._snaps:
+            if snap.snap_id == snap_id:
+                return snap
+        return None
+
+    def retire(self, uid: int) -> int:
+        """Drop checkpoints of retired branches (uid <= retired uid)."""
+        evicted = 0
+        snaps = self._snaps
+        while snaps and snaps[0].uid <= uid:
+            snaps.popleft()
+            evicted += 1
+        return evicted
+
+    def flush_younger(self, boundary_uid: int) -> int:
+        """Drop checkpoints of squashed branches (uid > boundary)."""
+        removed = 0
+        snaps = self._snaps
+        while snaps and snaps[-1].uid > boundary_uid:
+            snaps.pop()
+            removed += 1
+        return removed
+
+    def storage_bits(self, bits_per_snapshot: int) -> int:
+        return self.capacity * bits_per_snapshot

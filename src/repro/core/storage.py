@@ -1,0 +1,77 @@
+"""Storage accounting for Table 3's "Storage (KB)" column.
+
+The paper reports total storage as TAGE + local predictor + repair
+structures.  Components expose ``storage_bits``; this module aggregates
+them into a breakdown used by reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.unit import LocalBranchUnit, StandardLocalUnit
+from repro.predictors.base import GlobalPredictor
+
+__all__ = ["StorageBreakdown", "system_storage"]
+
+_BITS_PER_KB = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class StorageBreakdown:
+    """Bit budget of a full predictor system."""
+
+    baseline_bits: int
+    local_bits: int
+    repair_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.baseline_bits + self.local_bits + self.repair_bits
+
+    @property
+    def baseline_kb(self) -> float:
+        return self.baseline_bits / _BITS_PER_KB
+
+    @property
+    def local_kb(self) -> float:
+        return self.local_bits / _BITS_PER_KB
+
+    @property
+    def repair_kb(self) -> float:
+        return self.repair_bits / _BITS_PER_KB
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bits / _BITS_PER_KB
+
+    def describe(self) -> str:
+        return (
+            f"{self.total_kb:.2f} KB "
+            f"(baseline {self.baseline_kb:.2f} + local {self.local_kb:.2f} "
+            f"+ repair {self.repair_kb:.2f})"
+        )
+
+
+def system_storage(
+    baseline: GlobalPredictor, unit: LocalBranchUnit | None
+) -> StorageBreakdown:
+    """Breakdown for a baseline predictor plus optional local unit."""
+    if unit is None:
+        return StorageBreakdown(
+            baseline_bits=baseline.storage_bits(), local_bits=0, repair_bits=0
+        )
+    if isinstance(unit, StandardLocalUnit):
+        local_bits = unit.local.storage_bits()
+        repair_bits = unit.scheme.storage_bits()
+    else:
+        # Multi-stage and future units report a combined figure; split
+        # out the repair scheme when one is exposed.
+        scheme = getattr(unit, "scheme", None)
+        repair_bits = scheme.storage_bits() if scheme is not None else 0
+        local_bits = unit.storage_bits() - repair_bits
+    return StorageBreakdown(
+        baseline_bits=baseline.storage_bits(),
+        local_bits=local_bits,
+        repair_bits=repair_bits,
+    )

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace stream is malformed."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification cannot be resolved or generated."""
+
+
+class SimulationError(ReproError):
+    """The pipeline model reached an inconsistent state.
+
+    This always indicates a bug in the simulator (or a hand-built
+    configuration violating a documented invariant), never a property of
+    the simulated workload.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown id or bad scale."""

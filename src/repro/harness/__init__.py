@@ -1,0 +1,25 @@
+"""Experiment harness: systems, runner, scaling, figure reproduction."""
+
+from repro.harness.runner import RunResult, run_matrix, run_single, select_workloads
+from repro.harness.scale import SCALES, Scale, current_scale, resolve_scale
+from repro.harness.systems import (
+    PAPER_TABLE3,
+    TABLE3_SYSTEMS,
+    SystemConfig,
+    build_system,
+)
+
+__all__ = [
+    "SystemConfig",
+    "build_system",
+    "TABLE3_SYSTEMS",
+    "PAPER_TABLE3",
+    "RunResult",
+    "run_single",
+    "run_matrix",
+    "select_workloads",
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "resolve_scale",
+]

@@ -1,0 +1,56 @@
+"""Per-figure/table reproduction entry points.
+
+Each module exposes ``run(scale) -> Figure``.  The registry maps
+experiment ids (as used in DESIGN.md and the benchmark files) to their
+runners.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.harness.figures import (
+    fig04,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    tab01,
+    tab02,
+    tab03,
+)
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, tuple[Callable[[Scale | None], Figure], str]] = {
+    "fig4": (fig04.run, "MPKI opportunity vs. no repair, per category"),
+    "fig7": (fig07.run, "Perfect-repair potential: MPKI, IPC, S-curve"),
+    "fig8": (fig08.run, "Repairs required per misprediction"),
+    "fig9": (fig09.run, "Update-at-retire and no-repair IPC"),
+    "fig10": (fig10.run, "Backward-walk and snapshot repair vs. resources"),
+    "fig11": (fig11.run, "Forward-walk repair vs. resources + coalescing"),
+    "fig12": (fig12.run, "Multi-stage prediction with split BHT"),
+    "fig13": (fig13.run, "Limited-PC repair scaling"),
+    "fig14": (fig14.run, "Sensitivity: iso-storage and 57KB TAGE"),
+    "tab1": (tab01.run, "Workload suite composition"),
+    "tab2": (tab02.run, "Simulator parameters"),
+    "tab3": (tab03.run, "Summary of all repair techniques"),
+}
+
+
+def run_experiment(experiment_id: str, scale: Scale | None = None) -> Figure:
+    """Run one experiment by id."""
+    try:
+        runner, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)

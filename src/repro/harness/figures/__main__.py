@@ -1,0 +1,54 @@
+"""CLI: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.harness.figures fig11 --scale small
+    python -m repro.harness.figures all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import EXPERIMENTS, run_experiment
+from repro.harness.scale import SCALES, resolve_scale
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig11, tab3) or 'all' / 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALES),
+        help="run size (default: REPRO_SCALE env var or 'small')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id, (_, description) in EXPERIMENTS.items():
+            print(f"{experiment_id:8s} {description}")
+        return 0
+
+    scale = resolve_scale(args.scale) if args.scale else None
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.time()
+        figure = run_experiment(experiment_id, scale)
+        print(figure.render())
+        print(f"\n[{experiment_id} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Shared machinery for the per-figure reproduction modules."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.harness.runner import RunResult, pair_results, run_matrix, select_workloads
+from repro.harness.scale import Scale, current_scale
+from repro.harness.systems import SystemConfig
+from repro.metrics.aggregate import CategorySummary, WorkloadResult, overall, summarize
+from repro.metrics.basic import normalized_gain
+from repro.pipeline.config import PipelineConfig
+from repro.workloads.categories import CATEGORIES
+
+__all__ = [
+    "BASELINE_SYSTEM",
+    "PERFECT_SYSTEM",
+    "sweep",
+    "category_rows",
+    "overall_row",
+    "retained_fraction",
+    "ensure_scale",
+]
+
+BASELINE_SYSTEM = SystemConfig(name="baseline-tage", local_entries=None, scheme=None)
+PERFECT_SYSTEM = SystemConfig(name="perfect-repair", scheme="perfect")
+
+
+def ensure_scale(scale: Scale | None) -> Scale:
+    """Default to the environment-selected scale."""
+    return scale if scale is not None else current_scale()
+
+
+def sweep(
+    systems: Sequence[SystemConfig],
+    scale: Scale,
+    include_baseline: bool = True,
+    pipeline: PipelineConfig | None = None,
+) -> tuple[list[RunResult], dict[str, list[WorkloadResult]]]:
+    """Run systems (plus the baseline) over the scale's workloads.
+
+    Returns the raw results and the baseline-paired per-system results.
+    """
+    all_systems = list(systems)
+    if include_baseline and all(
+        s.name != BASELINE_SYSTEM.name for s in all_systems
+    ):
+        all_systems.insert(0, BASELINE_SYSTEM)
+    workloads = select_workloads(scale)
+    results = run_matrix(workloads, all_systems, scale, pipeline=pipeline)
+    return results, pair_results(results, BASELINE_SYSTEM.name)
+
+
+def category_rows(
+    paired: Sequence[WorkloadResult], metric: str = "mpki"
+) -> list[tuple[str, float]]:
+    """Per-category aggregate of one system, in paper category order.
+
+    ``metric`` is ``"mpki"`` (mean MPKI reduction) or ``"ipc"``
+    (geomean IPC gain).  An ``overall`` row is appended.
+    """
+    grouped = summarize(list(paired))
+    rows: list[tuple[str, float]] = []
+    for category in CATEGORIES:
+        summary = grouped.get(category)
+        if summary is None:
+            continue
+        rows.append((category, _metric(summary, metric)))
+    rows.append(("overall", _metric(overall(list(paired)), metric)))
+    return rows
+
+
+def _metric(summary: CategorySummary, metric: str) -> float:
+    if metric == "mpki":
+        return summary.mean_mpki_reduction
+    if metric == "ipc":
+        return summary.mean_ipc_gain
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def overall_row(paired: Sequence[WorkloadResult], metric: str = "ipc") -> float:
+    """The overall aggregate of one system."""
+    return _metric(overall(list(paired)), metric)
+
+
+def retained_fraction(
+    paired: dict[str, list[WorkloadResult]], system: str, perfect: str = "perfect-repair"
+) -> float:
+    """Fraction of the perfect-repair IPC gain a system retains."""
+    if system not in paired or perfect not in paired:
+        return 0.0
+    return normalized_gain(
+        overall_row(paired[system], "ipc"), overall_row(paired[perfect], "ipc")
+    )

@@ -1,0 +1,78 @@
+"""Figure 7: perfect-repair potential of CBPw-Loop{64,128,256}.
+
+(a) MPKI reduction per category, (b) IPC gain per category, (c) the
+per-workload IPC-gain S-curve for the default CBPw-Loop128.
+
+Paper result: 28.3% / 30.5% / 31.2% MPKI reduction and 3.6% / 3.8% /
+3.95% IPC gain for 64 / 128 / 256 entries; the S-curve spans from a
+slight loss (eembc-dither, table thrash) to > 15% (cloud-compression,
+tabletmark-email).
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import category_rows, ensure_scale, overall_row, sweep
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+from repro.harness.systems import SystemConfig
+from repro.metrics.scurve import scurve
+
+__all__ = ["run"]
+
+_SIZES = (64, 128, 256)
+
+
+def _system(entries: int) -> SystemConfig:
+    return SystemConfig(name=f"loop{entries}-perfect", local_entries=entries, scheme="perfect")
+
+
+def run(scale: Scale | None = None) -> Figure:
+    scale = ensure_scale(scale)
+    systems = [_system(entries) for entries in _SIZES]
+    _, paired = sweep(systems, scale)
+
+    figure = Figure("fig7", "Perfect-repair CBPw-Loop potential (MPKI, IPC, S-curve)")
+
+    per_size = {
+        entries: paired.get(f"loop{entries}-perfect", []) for entries in _SIZES
+    }
+
+    mpki_rows = {e: dict(category_rows(r, "mpki")) for e, r in per_size.items()}
+    categories = list(mpki_rows[_SIZES[0]].keys())
+    figure.add_table(
+        ["category", *[f"loop{e} MPKI redn" for e in _SIZES]],
+        [
+            (cat, *[f"{mpki_rows[e].get(cat, 0.0) * 100:+.1f}%" for e in _SIZES])
+            for cat in categories
+        ],
+        title="(a) MPKI reduction over TAGE",
+    )
+
+    ipc_rows = {e: dict(category_rows(r, "ipc")) for e, r in per_size.items()}
+    figure.add_table(
+        ["category", *[f"loop{e} IPC gain" for e in _SIZES]],
+        [
+            (cat, *[f"{ipc_rows[e].get(cat, 0.0) * 100:+.2f}%" for e in _SIZES])
+            for cat in categories
+        ],
+        title="(b) IPC gain over TAGE",
+    )
+
+    curve = scurve(per_size[128])
+    figure.add_table(
+        ["rank", "workload", "category", "ipc gain"],
+        [
+            (p.rank, p.workload, p.category, f"{p.ipc_gain * 100:+.2f}%")
+            for p in curve
+        ],
+        title="(c) IPC S-curve, CBPw-Loop128 with perfect repair",
+    )
+
+    figure.data = {
+        "mpki": mpki_rows,
+        "ipc": ipc_rows,
+        "scurve": [(p.workload, p.ipc_gain) for p in curve],
+        "overall_ipc": {e: overall_row(per_size[e], "ipc") for e in _SIZES},
+        "overall_mpki": {e: overall_row(per_size[e], "mpki") for e in _SIZES},
+    }
+    return figure

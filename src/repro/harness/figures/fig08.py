@@ -1,0 +1,50 @@
+"""Figure 8: BHT repairs required per misprediction.
+
+Measured with oracle repair, which restores exactly the state a real
+scheme would have to: the per-event distinct-PC write count is the
+repair demand.  Paper result: average ~5 (up to ~16 for some
+workloads), worst case as high as 61 writes — why repair bandwidth is
+a first-order design constraint.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import PERFECT_SYSTEM, ensure_scale, sweep
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+
+__all__ = ["run"]
+
+
+def run(scale: Scale | None = None) -> Figure:
+    scale = ensure_scale(scale)
+    results, _ = sweep([PERFECT_SYSTEM], scale, include_baseline=False)
+
+    rows = []
+    for result in results:
+        repair = result.extra.get("repair", {})
+        rows.append(
+            (
+                result.workload,
+                result.category,
+                f"{repair.get('mean_writes_per_event', 0.0):.1f}",
+                repair.get("max_writes_per_event", 0),
+            )
+        )
+    rows.sort(key=lambda r: float(r[2]), reverse=True)
+
+    figure = Figure("fig8", "BHT repairs required per misprediction (perfect repair)")
+    figure.add_table(["workload", "category", "avg repairs", "max repairs"], rows)
+    means = [float(r[2]) for r in rows]
+    maxes = [int(r[3]) for r in rows]
+    if means:
+        figure.add_section(
+            f"suite: avg-of-avgs {sum(means) / len(means):.1f}, "
+            f"highest workload avg {max(means):.1f}, worst case {max(maxes)} writes"
+        )
+    figure.data = {
+        "per_workload": {r[0]: (float(r[2]), int(r[3])) for r in rows},
+        "suite_mean": sum(means) / len(means) if means else 0.0,
+        "suite_max": max(maxes) if maxes else 0,
+    }
+    return figure

@@ -1,0 +1,64 @@
+"""Figure 9: IPC impact of update-at-retire and no-repair.
+
+Paper result: updating the BHT only at retirement keeps ~41% of the
+perfect-repair gains (staleness costs the rest, and worsens with
+pipeline depth); doing no repair at all keeps none.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import (
+    PERFECT_SYSTEM,
+    category_rows,
+    ensure_scale,
+    retained_fraction,
+    sweep,
+)
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+from repro.harness.systems import SystemConfig
+
+__all__ = ["run"]
+
+_SYSTEMS = [
+    SystemConfig(name="retire-update", scheme="retire"),
+    SystemConfig(name="no-repair", scheme="none"),
+    PERFECT_SYSTEM,
+]
+
+
+def run(scale: Scale | None = None) -> Figure:
+    scale = ensure_scale(scale)
+    _, paired = sweep(_SYSTEMS, scale)
+
+    figure = Figure("fig9", "IPC impact of update-at-retire and no repair")
+    retire_rows = category_rows(paired.get("retire-update", []), "ipc")
+    none_rows = dict(category_rows(paired.get("no-repair", []), "ipc"))
+    perfect_rows = dict(category_rows(paired.get("perfect-repair", []), "ipc"))
+
+    figure.add_table(
+        ["category", "retire-update IPC", "no-repair IPC", "perfect IPC"],
+        [
+            (
+                cat,
+                f"{gain * 100:+.2f}%",
+                f"{none_rows.get(cat, 0.0) * 100:+.2f}%",
+                f"{perfect_rows.get(cat, 0.0) * 100:+.2f}%",
+            )
+            for cat, gain in retire_rows
+        ],
+    )
+    retire_retained = retained_fraction(paired, "retire-update")
+    none_retained = retained_fraction(paired, "no-repair")
+    figure.add_section(
+        f"retained fraction of perfect gains: retire-update "
+        f"{retire_retained * 100:.0f}% (paper 41%), no-repair "
+        f"{none_retained * 100:.0f}% (paper ~0%)"
+    )
+    figure.data = {
+        "retire": dict(retire_rows),
+        "no_repair": none_rows,
+        "perfect": perfect_rows,
+        "retained": {"retire-update": retire_retained, "no-repair": none_retained},
+    }
+    return figure

@@ -1,0 +1,57 @@
+"""Figure 12: multi-stage prediction with a split BHT.
+
+Paper result: the split-BHT design (shared or split PT) lands below
+forward walk — the alloc-stage resteer penalty and the half-size tables
+cost some gains — but needs no extra BHT ports for repair.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import (
+    PERFECT_SYSTEM,
+    ensure_scale,
+    retained_fraction,
+    sweep,
+)
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+from repro.harness.systems import SystemConfig
+
+__all__ = ["run"]
+
+_SYSTEMS = [
+    SystemConfig(name="forward-walk", scheme="forward", ports="32-4-2"),
+    SystemConfig(name="split-bht-shared-pt", scheme="multistage", ports="32-4-4"),
+    SystemConfig(
+        name="split-bht-split-pt", scheme="multistage", ports="32-4-4", split_pt=True
+    ),
+    PERFECT_SYSTEM,
+]
+
+
+def run(scale: Scale | None = None) -> Figure:
+    scale = ensure_scale(scale)
+    _, paired = sweep(_SYSTEMS, scale)
+
+    figure = Figure("fig12", "Multi-stage prediction with split BHT")
+    labels = ["forward-walk", "split-bht-shared-pt", "split-bht-split-pt"]
+    retained = {label: retained_fraction(paired, label) for label in labels}
+    figure.add_table(
+        ["design", "retained", "note"],
+        [
+            ("forward-walk", f"{retained['forward-walk'] * 100:.0f}%", "reference (needs repair ports)"),
+            (
+                "split-bht-shared-pt",
+                f"{retained['split-bht-shared-pt'] * 100:.0f}%",
+                "no extra BHT ports",
+            ),
+            (
+                "split-bht-split-pt",
+                f"{retained['split-bht-split-pt'] * 100:.0f}%",
+                "PT split per stage",
+            ),
+        ],
+    )
+    figure.add_bars(list(retained), list(retained.values()))
+    figure.data = {"retained": retained}
+    return figure

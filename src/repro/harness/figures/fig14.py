@@ -1,0 +1,68 @@
+"""Figure 14: sensitivity studies.
+
+(A) Iso-storage: growing TAGE to ~9KB buys ~1% IPC, far less than
+spending the same budget on CBPw-Loop plus forward-walk repair on top
+of the 7.1KB TAGE (paper: ~3x more gain).
+
+(B) A much larger 57KB TAGE baseline: the local predictor still adds
+IPC (paper: +2.7% with perfect repair), and every repair technique
+keeps working.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures.common import BASELINE_SYSTEM, ensure_scale, overall_row, sweep
+from repro.harness.report import Figure
+from repro.harness.runner import pair_results, run_matrix, select_workloads
+from repro.harness.scale import Scale
+from repro.harness.systems import SystemConfig
+
+__all__ = ["run"]
+
+_PART_A = [
+    SystemConfig(name="tage-9kb", tage="kb9", local_entries=None, scheme=None),
+    SystemConfig(name="tage8+forward-walk", scheme="forward", ports="32-4-2", coalesce=True),
+    SystemConfig(name="tage8+perfect", scheme="perfect"),
+]
+
+_PART_B_BASE = SystemConfig(name="tage-57kb", tage="kb64", local_entries=None, scheme=None)
+_PART_B = [
+    SystemConfig(name="tage57+perfect", tage="kb64", scheme="perfect"),
+    SystemConfig(name="tage57+forward-walk", tage="kb64", scheme="forward", ports="32-4-2", coalesce=True),
+    SystemConfig(name="tage57+limited-4pc", tage="kb64", scheme="limited", repair_count=4, limited_write_ports=4),
+    SystemConfig(name="tage57+split-bht", tage="kb64", scheme="multistage", ports="32-4-4"),
+]
+
+
+def run(scale: Scale | None = None) -> Figure:
+    scale = ensure_scale(scale)
+    figure = Figure("fig14", "Sensitivity: iso-storage TAGE and a 57KB baseline")
+
+    # ---- part A: against the 7.1KB TAGE baseline -------------------
+    _, paired_a = sweep(_PART_A, scale)
+    gains_a = {name: overall_row(paired_a.get(name, []), "ipc") for name in (
+        "tage-9kb", "tage8+forward-walk", "tage8+perfect")}
+    figure.add_table(
+        ["system", "IPC gain over TAGE-7.1KB"],
+        [(name, f"{gain * 100:+.2f}%") for name, gain in gains_a.items()],
+        title="(A) Iso-storage comparison",
+    )
+    if gains_a["tage-9kb"] > 0:
+        ratio = gains_a["tage8+forward-walk"] / gains_a["tage-9kb"]
+        figure.add_section(
+            f"local predictor + forward walk gains {ratio:.1f}x the iso-storage "
+            "TAGE scaling (paper: ~3x)"
+        )
+
+    # ---- part B: against the 57KB TAGE baseline --------------------
+    workloads = select_workloads(scale)
+    results_b = run_matrix(workloads, [_PART_B_BASE, *_PART_B], scale)
+    paired_b = pair_results(results_b, _PART_B_BASE.name)
+    gains_b = {cfg.name: overall_row(paired_b.get(cfg.name, []), "ipc") for cfg in _PART_B}
+    figure.add_table(
+        ["system", "IPC gain over TAGE-57KB"],
+        [(name, f"{gain * 100:+.2f}%") for name, gain in gains_b.items()],
+        title="(B) Large-baseline sensitivity",
+    )
+    figure.data = {"iso_storage": gains_a, "large_baseline": gains_b}
+    return figure

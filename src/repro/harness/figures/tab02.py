@@ -1,0 +1,90 @@
+"""Table 2: simulator parameters.
+
+Prints the core, predictor, and memory configuration actually used by
+every experiment, next to the paper's Table 2 values — a one-look check
+that the modelled machine is the paper's machine.
+"""
+
+from __future__ import annotations
+
+from repro.core.loop_predictor import LoopPredictorConfig
+from repro.harness.figures.common import ensure_scale
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+from repro.memory.hierarchy import HierarchyConfig
+from repro.pipeline.config import PipelineConfig
+from repro.predictors.tage import TageConfig
+
+__all__ = ["run"]
+
+
+def run(scale: Scale | None = None) -> Figure:
+    ensure_scale(scale)
+    figure = Figure("tab2", "Simulator parameters (Table 2)")
+
+    core = PipelineConfig.skylake()
+    figure.add_table(
+        ["parameter", "model", "paper"],
+        [
+            ("core width", f"{core.fetch_width}-wide OOO", "4-wide OOO"),
+            ("ROB", f"{core.rob_entries} entries", "224 entries"),
+            ("allocation queue", f"{core.alloc_queue_entries} entries", "64 entries"),
+            ("load buffer", f"{core.load_buffer_entries} entries", "72 entries"),
+            ("store buffer", f"{core.store_buffer_entries} entries", "56 entries"),
+            ("BTB", f"{core.btb_entries} entries", "2K entries"),
+            (
+                "mispredict penalty",
+                f"~{core.mispredict_penalty_estimate()} cycles",
+                "(not stated)",
+            ),
+        ],
+        title="Core",
+    )
+
+    tage = TageConfig.kb8()
+    rows = [
+        ("baseline TAGE", f"{tage.storage_kb():.1f} KB", "7.1 KB"),
+        ("TAGE (iso-storage)", f"{TageConfig.kb9().storage_kb():.1f} KB", "~9 KB"),
+        ("TAGE (64KB category)", f"{TageConfig.kb64().storage_kb():.1f} KB", "~57 KB"),
+    ]
+    for entries, paper_pt in ((256, "1.5 KB"), (128, "0.75 KB"), (64, "0.38 KB")):
+        config = LoopPredictorConfig.entries(entries)
+        rows.append(
+            (
+                f"CBPw-Loop{entries}",
+                f"{entries}e 8-way BHT, PT {config.pt.storage_bits() / 8192:.2f} KB",
+                f"{entries} entries, 8-way BHT, PT {paper_pt}",
+            )
+        )
+    figure.add_table(["predictor", "model", "paper"], rows, title="Predictors")
+
+    mem = HierarchyConfig.skylake()
+    figure.add_table(
+        ["level", "model", "paper"],
+        [
+            (
+                "L1",
+                f"{mem.l1.size_bytes // 1024}KB {mem.l1.ways}-way, {mem.l1.latency} cyc",
+                "32KB 8-way, 5 cycles",
+            ),
+            (
+                "L2",
+                f"{mem.l2.size_bytes // 1024}KB {mem.l2.ways}-way, {mem.l2.latency} cyc",
+                "256KB 8-way, 15 cycles",
+            ),
+            (
+                "LLC",
+                f"{mem.llc.size_bytes // (1024 * 1024)}MB {mem.llc.ways}-way, "
+                f"{mem.llc.latency} cyc",
+                "8MB 16-way, 40 cycles",
+            ),
+            ("DRAM", f"{mem.dram_latency} cycles", "dual-channel DDR4-2133"),
+        ],
+        title="Memory",
+    )
+    figure.data = {
+        "rob_entries": core.rob_entries,
+        "tage_kb": tage.storage_kb(),
+        "l1_latency": mem.l1.latency,
+    }
+    return figure

@@ -1,0 +1,82 @@
+"""Table 3: summary of every repair technique.
+
+For each of the paper's eleven rows: MPKI reduction, IPC gain, fraction
+of the perfect-repair gains retained, total storage (TAGE + local
+predictor + repair structures), and the repair port budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import system_storage
+from repro.harness.figures.common import ensure_scale, overall_row, retained_fraction, sweep
+from repro.harness.report import Figure
+from repro.harness.scale import Scale
+from repro.harness.systems import PAPER_TABLE3, TABLE3_SYSTEMS, build_system
+
+__all__ = ["run"]
+
+
+def _storage_and_ports(config) -> tuple[float, str]:
+    baseline, unit = build_system(config)
+    breakdown = system_storage(baseline, unit)
+    if unit is None:
+        return breakdown.total_kb, "-"
+    scheme = getattr(unit, "scheme", None)
+    if scheme is None:
+        return breakdown.total_kb, "-"
+    reads, writes = scheme.repair_ports
+    return breakdown.total_kb, f"{reads}R/{writes}W"
+
+
+def run(scale: Scale | None = None) -> Figure:
+    scale = ensure_scale(scale)
+    systems = [cfg for cfg in TABLE3_SYSTEMS if not cfg.is_baseline]
+    _, paired = sweep(systems, scale)
+
+    figure = Figure("tab3", "Summary of repair techniques")
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for config in TABLE3_SYSTEMS:
+        storage_kb, ports = _storage_and_ports(config)
+        paper = PAPER_TABLE3.get(config.name, (0.0, 0.0, 0.0))
+        if config.is_baseline:
+            rows.append(
+                (config.name, "-", "-", "-", f"{storage_kb:.1f}", ports,
+                 f"{paper[0]:.1f}/{paper[1]:.2f}/{paper[2]:.0f}")
+            )
+            continue
+        results = paired.get(config.name, [])
+        mpki_red = overall_row(results, "mpki")
+        ipc_gain = overall_row(results, "ipc")
+        retained = retained_fraction(paired, config.name)
+        data[config.name] = {
+            "mpki_reduction": mpki_red,
+            "ipc_gain": ipc_gain,
+            "retained": retained,
+            "storage_kb": storage_kb,
+        }
+        rows.append(
+            (
+                config.name,
+                f"{mpki_red * 100:+.1f}%",
+                f"{ipc_gain * 100:+.2f}%",
+                f"{retained * 100:.0f}%",
+                f"{storage_kb:.1f}",
+                ports,
+                f"{paper[0]:.1f}/{paper[1]:.2f}/{paper[2]:.0f}",
+            )
+        )
+    figure.add_table(
+        [
+            "technique",
+            "MPKI redn",
+            "IPC gain",
+            "retained",
+            "storage KB",
+            "repair ports",
+            "paper (redn/gain/ret)",
+        ],
+        rows,
+    )
+    figure.data = {"rows": data}
+    return figure

@@ -1,0 +1,91 @@
+"""Plain-text report rendering for experiment outputs.
+
+The harness reproduces the paper's tables and figures as aligned text
+tables plus simple horizontal bar charts, so every experiment's output
+is readable straight from a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_bars", "pct", "Figure"]
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Render a fraction as a signed percentage string."""
+    return f"{value * 100:+.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "%",
+    scale: float = 100.0,
+) -> str:
+    """Render a horizontal bar chart of (possibly negative) values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        bar_len = int(round(abs(value) / peak * width))
+        bar = ("#" if value >= 0 else "-") * bar_len
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value * scale:+.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+class Figure:
+    """One reproduced artifact: structured data plus rendered text."""
+
+    def __init__(self, figure_id: str, title: str) -> None:
+        self.figure_id = figure_id
+        self.title = title
+        self.sections: list[str] = []
+        self.data: dict[str, object] = {}
+
+    def add_section(self, text: str) -> None:
+        self.sections.append(text)
+
+    def add_table(
+        self, headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+    ) -> None:
+        self.add_section(format_table(headers, rows, title))
+
+    def add_bars(self, labels: Sequence[str], values: Sequence[float], title: str | None = None) -> None:
+        self.add_section(format_bars(labels, values, title))
+
+    def render(self) -> str:
+        header = f"=== {self.figure_id}: {self.title} ==="
+        return "\n\n".join([header, *self.sections])

@@ -1,0 +1,181 @@
+"""Experiment runner: (workload x system) sweeps with caching.
+
+The runner generates each workload's trace once (disk-cached under
+``.repro-cache/``), simulates every requested system against it, and
+returns per-run measurements.  Sweeps fan out across processes when
+more than a handful of runs are requested.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.harness.scale import Scale
+from repro.harness.systems import SystemConfig, build_system
+from repro.memory.hierarchy import CacheHierarchy
+from repro.metrics.aggregate import WorkloadResult
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelineModel
+from repro.trace.io import read_trace, write_trace
+from repro.trace.records import BranchRecord
+from repro.workloads.generators.engine import generate_trace
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import suite_by_category
+
+__all__ = ["RunResult", "run_single", "run_matrix", "select_workloads", "pair_results"]
+
+_CACHE_ENV = "REPRO_TRACE_CACHE"
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (workload, system) measurement."""
+
+    workload: str
+    category: str
+    system: str
+    ipc: float
+    mpki: float
+    instructions: int
+    cycles: int
+    mispredictions: int
+    extra: dict[str, Any]
+
+
+def _cache_dir() -> Path | None:
+    """Trace cache directory, or None when caching is disabled."""
+    value = os.environ.get(_CACHE_ENV, ".repro-cache")
+    if value in ("", "off", "none"):
+        return None
+    return Path(value)
+
+
+def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
+    """Generate (or load from cache) the trace for ``spec``."""
+    cache = _cache_dir()
+    if cache is None:
+        return generate_trace(spec, n_branches)
+    path = cache / f"{spec.name}-{spec.seed}-{n_branches}.trace"
+    if path.exists():
+        return read_trace(path)
+    records = generate_trace(spec, n_branches)
+    cache.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    write_trace(tmp, records)
+    tmp.replace(path)
+    return records
+
+
+def run_single(
+    spec: WorkloadSpec,
+    system: SystemConfig,
+    n_branches: int,
+    pipeline: PipelineConfig | None = None,
+) -> RunResult:
+    """Simulate one system on one workload."""
+    records = load_trace(spec, n_branches)
+    baseline, unit = build_system(system)
+    model = PipelineModel(
+        baseline,
+        unit=unit,
+        config=pipeline if pipeline is not None else PipelineConfig(),
+        hierarchy=CacheHierarchy(),
+    )
+    stats = model.run(records)
+    return RunResult(
+        workload=spec.name,
+        category=spec.category,
+        system=system.name,
+        ipc=stats.ipc,
+        mpki=stats.mpki,
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        mispredictions=stats.mispredictions,
+        extra=stats.extra,
+    )
+
+
+def _run_job(
+    job: tuple[WorkloadSpec, SystemConfig, int, PipelineConfig | None],
+) -> RunResult:
+    return run_single(*job)
+
+
+def _worker_count(n_jobs: int) -> int:
+    env = os.environ.get(_WORKERS_ENV)
+    if env is not None:
+        return max(1, int(env))
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus, n_jobs, 16))
+
+
+def select_workloads(scale: Scale) -> list[WorkloadSpec]:
+    """The workloads a scale simulates: first N of every category."""
+    selected: list[WorkloadSpec] = []
+    for specs in suite_by_category().values():
+        selected.extend(specs[: scale.workload_count(len(specs))])
+    return selected
+
+
+def run_matrix(
+    workloads: Sequence[WorkloadSpec],
+    systems: Sequence[SystemConfig],
+    scale: Scale,
+    pipeline: PipelineConfig | None = None,
+    parallel: bool | None = None,
+) -> list[RunResult]:
+    """Run every system against every workload.
+
+    Results come back grouped by workload then system, in input order.
+    ``parallel=None`` auto-enables process fan-out for larger sweeps.
+    """
+    jobs = [
+        (spec, system, scale.branches_per_workload, pipeline)
+        for spec in workloads
+        for system in systems
+    ]
+    if parallel is None:
+        parallel = len(jobs) >= 8
+    if not parallel or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    # Pre-populate the trace cache serially so workers don't race on
+    # generation (they would all produce identical files, but the work
+    # would be duplicated).
+    for spec in workloads:
+        load_trace(spec, scale.branches_per_workload)
+    with ProcessPoolExecutor(max_workers=_worker_count(len(jobs))) as pool:
+        return list(pool.map(_run_job, jobs, chunksize=1))
+
+
+def pair_results(
+    results: Sequence[RunResult], baseline_system: str
+) -> dict[str, list[WorkloadResult]]:
+    """Pair each system's runs with the baseline runs per workload.
+
+    Returns {system name: [WorkloadResult...]} for every non-baseline
+    system present in ``results``.
+    """
+    baselines = {r.workload: r for r in results if r.system == baseline_system}
+    paired: dict[str, list[WorkloadResult]] = {}
+    for result in results:
+        if result.system == baseline_system:
+            continue
+        base = baselines.get(result.workload)
+        if base is None:
+            continue
+        paired.setdefault(result.system, []).append(
+            WorkloadResult(
+                workload=result.workload,
+                category=result.category,
+                baseline_mpki=base.mpki,
+                system_mpki=result.mpki,
+                baseline_ipc=base.ipc,
+                system_ipc=result.ipc,
+            )
+        )
+    return paired

@@ -1,0 +1,61 @@
+"""Experiment scaling: smoke / small / full.
+
+The paper simulates 200+ proprietary traces on a compute cluster; a
+pure-Python reproduction needs an explicit knob for how much of that to
+run.  The scale controls trace length and how many workloads per
+category are simulated; it is read from the ``REPRO_SCALE`` environment
+variable (default ``small``).
+
+* ``smoke`` — seconds; CI-sized sanity runs.
+* ``small`` — minutes; enough statistics for every figure's shape.
+* ``full``  — hours; the whole 202-workload suite at long traces.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["Scale", "SCALES", "current_scale", "resolve_scale"]
+
+_ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """One experiment sizing preset."""
+
+    name: str
+    branches_per_workload: int
+    #: Workloads simulated per category; None = the full category.
+    workloads_per_category: int | None
+
+    def workload_count(self, category_size: int) -> int:
+        if self.workloads_per_category is None:
+            return category_size
+        return min(self.workloads_per_category, category_size)
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(name="smoke", branches_per_workload=4_000, workloads_per_category=1),
+    "small": Scale(name="small", branches_per_workload=15_000, workloads_per_category=2),
+    "medium": Scale(name="medium", branches_per_workload=25_000, workloads_per_category=5),
+    "full": Scale(name="full", branches_per_workload=100_000, workloads_per_category=None),
+}
+
+
+def resolve_scale(name: str) -> Scale:
+    """Look up a scale by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def current_scale(default: str = "small") -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (or ``default``)."""
+    return resolve_scale(os.environ.get(_ENV_VAR, default))

@@ -1,0 +1,181 @@
+"""Named predictor-system configurations.
+
+A *system* is everything above the pipeline: the TAGE baseline, the
+local predictor sizing, and the repair scheme with its port budget.
+Table 3's eleven rows, Figure 10/11's port sweeps, and Figure 14's
+sensitivity variants are all expressed as :class:`SystemConfig` values
+and materialised by :func:`build_system`.
+
+Configs are declarative and picklable so the parallel runner can ship
+them to worker processes; construction happens inside the worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.loop_predictor import LoopPredictor, LoopPredictorConfig
+from repro.core.ports import RepairPortConfig
+from repro.core.repair import (
+    BackwardWalkRepair,
+    ForwardWalkRepair,
+    LimitedPcRepair,
+    MultiStageConfig,
+    MultiStageUnit,
+    NoRepair,
+    PerfectRepair,
+    RetireUpdate,
+    SnapshotRepair,
+)
+from repro.core.two_level_local import TwoLevelLocalConfig, TwoLevelLocalPredictor
+from repro.core.unit import LocalBranchUnit, StandardLocalUnit
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor
+from repro.predictors.tage import TageConfig, TagePredictor
+
+__all__ = ["SystemConfig", "build_system", "TABLE3_SYSTEMS", "table3_rows"]
+
+_TAGE_PRESETS = {
+    "kb8": TageConfig.kb8,
+    "kb9": TageConfig.kb9,
+    "kb64": TageConfig.kb64,
+}
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Declarative description of one predictor system."""
+
+    name: str
+    tage: str = "kb8"
+    #: BHT/PT entry count of the local predictor; None = baseline only.
+    local_entries: int | None = 128
+    #: Use the generic two-level local predictor instead of CBPw-Loop.
+    generic_local: bool = False
+    #: Repair scheme id; None = baseline only.
+    scheme: str | None = None
+    #: M-N-P checkpoint/port budget for walk/snapshot schemes.
+    ports: str = "32-4-2"
+    #: OBQ coalescing (forward walk only).
+    coalesce: bool = False
+    #: Disable forward-walk repair bits (ablation: duplicate writes).
+    use_repair_bits: bool = True
+    #: M for limited-PC repair.
+    repair_count: int = 2
+    #: BHT write ports for limited-PC repair.
+    limited_write_ports: int = 2
+    #: SQ entries for the limited-PC SQ variant; None = carried state.
+    limited_sq_entries: int | None = None
+    #: Invalidate non-repaired PCs (limited-PC ablation).
+    invalidate_others: bool = False
+    #: Candidate selection policy (limited-PC ablation).
+    policy: str = "utility"
+    #: Split the PT between stages (multi-stage variant).
+    split_pt: bool = False
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.local_entries is None or self.scheme is None
+
+
+def _build_scheme(config: SystemConfig):
+    ports = RepairPortConfig.parse(config.ports)
+    scheme_id = config.scheme
+    if scheme_id == "perfect":
+        return PerfectRepair()
+    if scheme_id == "none":
+        return NoRepair()
+    if scheme_id == "retire":
+        return RetireUpdate()
+    if scheme_id == "backward":
+        return BackwardWalkRepair(ports)
+    if scheme_id == "snapshot":
+        return SnapshotRepair(ports)
+    if scheme_id == "forward":
+        return ForwardWalkRepair(
+            ports, coalesce=config.coalesce, use_repair_bits=config.use_repair_bits
+        )
+    if scheme_id == "limited":
+        return LimitedPcRepair(
+            repair_count=config.repair_count,
+            write_ports=config.limited_write_ports,
+            invalidate_others=config.invalidate_others,
+            policy=config.policy,  # type: ignore[arg-type]
+            sq_entries=config.limited_sq_entries,
+        )
+    raise ConfigError(f"unknown repair scheme {scheme_id!r}")
+
+
+def build_system(config: SystemConfig) -> tuple[GlobalPredictor, LocalBranchUnit | None]:
+    """Materialise (baseline predictor, local unit) from a config."""
+    try:
+        tage_config = _TAGE_PRESETS[config.tage]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown TAGE preset {config.tage!r}; choose from {sorted(_TAGE_PRESETS)}"
+        ) from None
+    baseline = TagePredictor(tage_config)
+    if config.is_baseline:
+        return baseline, None
+
+    if config.scheme == "imli":
+        from repro.core.imli import ImliUnit
+
+        return baseline, ImliUnit()
+
+    if config.scheme == "multistage":
+        assert config.local_entries is not None
+        unit: LocalBranchUnit = MultiStageUnit(
+            MultiStageConfig(
+                entries_per_stage=config.local_entries // 2,
+                split_pt=config.split_pt,
+                pt_entries=config.local_entries,
+                obq_ports=RepairPortConfig.parse(config.ports),
+            )
+        )
+        return baseline, unit
+
+    if config.generic_local:
+        local = TwoLevelLocalPredictor(
+            TwoLevelLocalConfig(bht_entries=config.local_entries or 128)
+        )
+    else:
+        local = LoopPredictor(LoopPredictorConfig.entries(config.local_entries or 128))
+    return baseline, StandardLocalUnit(local, _build_scheme(config))
+
+
+#: Table 3, in the paper's row order (increasing IPC gain).
+TABLE3_SYSTEMS: tuple[SystemConfig, ...] = (
+    SystemConfig(name="baseline-tage", local_entries=None, scheme=None),
+    SystemConfig(name="no-repair", scheme="none"),
+    SystemConfig(name="snapshot", scheme="snapshot", ports="32-8-8"),
+    SystemConfig(name="retire-update", scheme="retire"),
+    SystemConfig(name="backward-walk", scheme="backward", ports="32-4-4"),
+    SystemConfig(name="limited-2pc", scheme="limited", repair_count=2, limited_write_ports=2),
+    SystemConfig(name="split-bht", scheme="multistage", ports="32-4-4"),
+    SystemConfig(name="limited-4pc", scheme="limited", repair_count=4, limited_write_ports=4),
+    SystemConfig(name="forward-walk", scheme="forward", ports="32-4-2"),
+    SystemConfig(name="forward-walk-coalesce", scheme="forward", ports="32-4-2", coalesce=True),
+    SystemConfig(name="perfect-repair", scheme="perfect"),
+)
+
+#: Paper Table 3 reference values: (MPKI reduction %, IPC gain %,
+#: % of perfect-repair gains retained).
+PAPER_TABLE3: dict[str, tuple[float, float, float]] = {
+    "baseline-tage": (0.0, 0.0, 0.0),
+    "no-repair": (0.0, 0.0, 0.0),
+    "snapshot": (9.1, 1.14, 30.0),
+    "retire-update": (9.6, 1.56, 41.0),
+    "backward-walk": (16.5, 1.98, 52.0),
+    "limited-2pc": (21.0, 2.13, 56.0),
+    "split-bht": (21.5, 2.17, 57.0),
+    "limited-4pc": (22.0, 2.32, 61.0),
+    "forward-walk": (26.0, 2.92, 77.0),
+    "forward-walk-coalesce": (27.0, 3.0, 79.0),
+    "perfect-repair": (31.0, 3.8, 100.0),
+}
+
+
+def table3_rows() -> list[SystemConfig]:
+    """The non-baseline Table 3 systems (baseline runs implicitly)."""
+    return [cfg for cfg in TABLE3_SYSTEMS if not cfg.is_baseline]

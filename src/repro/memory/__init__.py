@@ -1,0 +1,14 @@
+"""Cache hierarchy substrate (L1/L2/LLC + prefetchers + DRAM latency)."""
+
+from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.memory.prefetch import NextLinePrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "NextLinePrefetcher",
+]

@@ -1,0 +1,123 @@
+"""Set-associative cache model with true-LRU replacement.
+
+The memory hierarchy exists to give the pipeline a realistic baseline
+CPI: load-dependent branches resolve only when their load returns, and
+memory stalls dilute the relative cost of branch mispredictions exactly
+as they do on real machines.  The model is a timing filter — it tracks
+hits/misses and returns latencies, it does not move data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["CacheConfig", "Cache", "AccessResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    ways: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ConfigError(f"{self.name}: sizes and ways must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ConfigError(
+                f"{self.name}: size {self.size_bytes} not divisible into "
+                f"{self.ways}-way sets of {self.line_bytes}B lines"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.latency <= 0:
+            raise ConfigError(f"{self.name}: latency must be positive")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of a single cache probe."""
+
+    hit: bool
+    evicted_line: int | None = None
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    Sets are dicts mapping line address → LRU timestamp; true LRU on a
+    handful of ways is cheap and deterministic.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        sets = config.sets
+        if sets & (sets - 1):
+            raise ConfigError(f"{config.name}: set count {sets} must be a power of two")
+        self._set_mask = sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._sets: list[dict[int, int]] = [dict() for _ in range(sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> tuple[int, dict[int, int]]:
+        line = addr >> self._line_shift
+        return line, self._sets[line & self._set_mask]
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU or counters."""
+        line, ways = self._locate(addr)
+        return line in ways
+
+    def access(self, addr: int) -> AccessResult:
+        """Look up ``addr``; on a miss, fill the line (evicting LRU)."""
+        self._tick += 1
+        line, ways = self._locate(addr)
+        if line in ways:
+            ways[line] = self._tick
+            self.hits += 1
+            return AccessResult(hit=True)
+        self.misses += 1
+        evicted: int | None = None
+        if len(ways) >= self.config.ways:
+            victim = min(ways, key=ways.get)  # type: ignore[arg-type]
+            del ways[victim]
+            evicted = victim
+        ways[line] = self._tick
+        return AccessResult(hit=False, evicted_line=evicted)
+
+    def fill(self, addr: int) -> None:
+        """Insert a line without counting an access (prefetch fills)."""
+        self._tick += 1
+        line, ways = self._locate(addr)
+        if line in ways:
+            return
+        if len(ways) >= self.config.ways:
+            victim = min(ways, key=ways.get)  # type: ignore[arg-type]
+            del ways[victim]
+        ways[line] = self._tick
+
+    def invalidate_line(self, line: int) -> None:
+        """Back-invalidate a line (inclusive-LLC eviction)."""
+        ways = self._sets[line & self._set_mask]
+        ways.pop(line, None)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,84 @@
+"""Three-level cache hierarchy with inclusive LLC and DRAM backstop.
+
+Mirrors Table 2 of the paper: private 32KB L1 (5 cycles), private 256KB
+L2 (15 cycles), shared inclusive 8MB LLC (40 cycles), dual-channel
+DDR4-2133 main memory (modelled as a flat latency at 3.2 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.prefetch import NextLinePrefetcher
+
+__all__ = ["HierarchyConfig", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Latency/geometry bundle for the full hierarchy."""
+
+    l1: CacheConfig = CacheConfig("L1D", 32 * 1024, 64, 8, 5)
+    l2: CacheConfig = CacheConfig("L2", 256 * 1024, 64, 8, 15)
+    llc: CacheConfig = CacheConfig("LLC", 8 * 1024 * 1024, 64, 16, 40)
+    #: Effective DRAM access latency in core cycles (DDR4-2133 at 3.2GHz,
+    #: ~60ns loaded round trip).
+    dram_latency: int = 190
+    prefetch_degree: int = 4
+
+    @classmethod
+    def skylake(cls) -> "HierarchyConfig":
+        """The paper's Table 2 memory system."""
+        return cls()
+
+
+class CacheHierarchy:
+    """Sequential-lookup L1→L2→LLC→DRAM timing model.
+
+    ``load_latency(addr)`` returns the cycles until the load's value is
+    available, filling all levels on the way back (inclusive LLC with
+    back-invalidation on LLC eviction).
+    """
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config = config if config is not None else HierarchyConfig()
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+        self.llc = Cache(config.llc)
+        self._l1_prefetcher = NextLinePrefetcher(self.l1, config.prefetch_degree)
+        self._l2_prefetcher = NextLinePrefetcher(self.l2, config.prefetch_degree)
+        self.dram_accesses = 0
+
+    def load_latency(self, addr: int) -> int:
+        """Cycles for a demand load at ``addr`` to return data."""
+        cfg = self.config
+        if self.l1.access(addr).hit:
+            return cfg.l1.latency
+        self._l1_prefetcher.on_miss(addr)
+        if self.l2.access(addr).hit:
+            return cfg.l1.latency + cfg.l2.latency
+        self._l2_prefetcher.on_miss(addr)
+        result = self.llc.access(addr)  # fills the line on a miss
+        if result.hit:
+            self.l2.fill(addr)
+            return cfg.l1.latency + cfg.l2.latency + cfg.llc.latency
+        if result.evicted_line is not None:
+            # Inclusive LLC: evicting a line removes it everywhere.
+            self.l1.invalidate_line(result.evicted_line)
+            self.l2.invalidate_line(result.evicted_line)
+        self.l2.fill(addr)
+        self.dram_accesses += 1
+        return cfg.l1.latency + cfg.l2.latency + cfg.llc.latency + cfg.dram_latency
+
+    def stats(self) -> dict[str, float]:
+        """Per-level hit/miss summary for reports and tests."""
+        return {
+            "l1_accesses": self.l1.accesses,
+            "l1_miss_rate": self.l1.miss_rate,
+            "l2_accesses": self.l2.accesses,
+            "l2_miss_rate": self.l2.miss_rate,
+            "llc_accesses": self.llc.accesses,
+            "llc_miss_rate": self.llc.miss_rate,
+            "dram_accesses": self.dram_accesses,
+        }

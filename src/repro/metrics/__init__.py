@@ -1,0 +1,30 @@
+"""Metrics: MPKI / IPC arithmetic, aggregation, S-curves."""
+
+from repro.metrics.aggregate import (
+    CategorySummary,
+    WorkloadResult,
+    overall,
+    summarize,
+)
+from repro.metrics.basic import (
+    geomean,
+    geomean_gain,
+    ipc_gain,
+    mpki_reduction,
+    normalized_gain,
+)
+from repro.metrics.scurve import ScurvePoint, scurve
+
+__all__ = [
+    "mpki_reduction",
+    "ipc_gain",
+    "normalized_gain",
+    "geomean",
+    "geomean_gain",
+    "WorkloadResult",
+    "CategorySummary",
+    "summarize",
+    "overall",
+    "ScurvePoint",
+    "scurve",
+]

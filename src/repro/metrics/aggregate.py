@@ -1,0 +1,86 @@
+"""Aggregation of per-workload results into category and suite summaries."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.metrics.basic import geomean_gain, ipc_gain, mpki_reduction
+
+__all__ = ["WorkloadResult", "CategorySummary", "summarize", "overall"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadResult:
+    """One (workload, system) measurement paired with its baseline."""
+
+    workload: str
+    category: str
+    baseline_mpki: float
+    system_mpki: float
+    baseline_ipc: float
+    system_ipc: float
+
+    @property
+    def mpki_reduction(self) -> float:
+        return mpki_reduction(self.baseline_mpki, self.system_mpki)
+
+    @property
+    def ipc_gain(self) -> float:
+        return ipc_gain(self.baseline_ipc, self.system_ipc)
+
+
+@dataclass(slots=True)
+class CategorySummary:
+    """Aggregated metrics for one workload category."""
+
+    category: str
+    results: list[WorkloadResult] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.results)
+
+    @property
+    def mean_mpki_reduction(self) -> float:
+        """Arithmetic mean of per-workload MPKI reductions."""
+        if not self.results:
+            return 0.0
+        return sum(r.mpki_reduction for r in self.results) / len(self.results)
+
+    @property
+    def mean_ipc_gain(self) -> float:
+        """Geometric-mean IPC gain (speedup-style aggregation)."""
+        if not self.results:
+            return 0.0
+        return geomean_gain(r.ipc_gain for r in self.results)
+
+    @property
+    def mean_baseline_mpki(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.baseline_mpki for r in self.results) / len(self.results)
+
+    @property
+    def mean_system_mpki(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.system_mpki for r in self.results) / len(self.results)
+
+
+def summarize(results: list[WorkloadResult]) -> dict[str, CategorySummary]:
+    """Group results by category, preserving encounter order."""
+    grouped: dict[str, CategorySummary] = {}
+    for result in results:
+        summary = grouped.get(result.category)
+        if summary is None:
+            summary = grouped[result.category] = CategorySummary(result.category)
+        summary.results.append(result)
+    return grouped
+
+
+def overall(results: list[WorkloadResult]) -> CategorySummary:
+    """One summary across every workload (the paper's "Overall" bar)."""
+    summary = CategorySummary(category="overall")
+    summary.results.extend(results)
+    return summary

@@ -1,0 +1,68 @@
+"""Core metric arithmetic: MPKI reductions, IPC gains, normalisation."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "mpki_reduction",
+    "ipc_gain",
+    "normalized_gain",
+    "geomean",
+    "geomean_gain",
+]
+
+
+def mpki_reduction(baseline_mpki: float, system_mpki: float) -> float:
+    """Fractional MPKI reduction relative to the baseline.
+
+    Positive is better; negative means the system *added*
+    mispredictions.  A zero-MPKI baseline yields 0.0 by convention.
+    """
+    if baseline_mpki <= 0.0:
+        return 0.0
+    return (baseline_mpki - system_mpki) / baseline_mpki
+
+
+def ipc_gain(baseline_ipc: float, system_ipc: float) -> float:
+    """Fractional IPC speedup over the baseline."""
+    if baseline_ipc <= 0.0:
+        return 0.0
+    return system_ipc / baseline_ipc - 1.0
+
+
+def normalized_gain(scheme_gain: float, perfect_gain: float) -> float:
+    """Fraction of the perfect-repair gain a scheme retains.
+
+    This is Table 3's "Percentage of perfect repair gains retained"
+    column.  Degenerate perfect gains (<= 0) yield 0.0.
+    """
+    if perfect_gain <= 0.0:
+        return 0.0
+    return scheme_gain / perfect_gain
+
+
+def geomean(values: Sequence[float] | Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_gain(gains: Sequence[float] | Iterable[float]) -> float:
+    """Geometric mean of fractional gains (each expressed vs. 1.0).
+
+    ``geomean_gain([0.05, 0.02])`` is the aggregate speedup of two
+    workloads gaining 5% and 2% — the paper-standard way to summarise
+    per-workload IPC gains.
+    """
+    speedups = [1.0 + g for g in gains]
+    if not speedups:
+        return 0.0
+    if any(s <= 0.0 for s in speedups):
+        raise ValueError("gains must stay above -100%")
+    return geomean(speedups) - 1.0

@@ -1,0 +1,38 @@
+"""S-curve construction (Figure 7c): per-workload gains, sorted."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.aggregate import WorkloadResult
+
+__all__ = ["ScurvePoint", "scurve"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScurvePoint:
+    """One workload's position on the S-curve."""
+
+    rank: int
+    workload: str
+    category: str
+    ipc_gain: float
+
+
+def scurve(results: list[WorkloadResult]) -> list[ScurvePoint]:
+    """Workloads ordered by IPC gain, ascending (the paper's S-curve).
+
+    The interesting features are the tails: workloads on the right are
+    the local-predictor success stories (> 15% in the paper), while any
+    point below zero is a workload the predictor configuration hurts.
+    """
+    ordered = sorted(results, key=lambda r: r.ipc_gain)
+    return [
+        ScurvePoint(
+            rank=rank,
+            workload=result.workload,
+            category=result.category,
+            ipc_gain=result.ipc_gain,
+        )
+        for rank, result in enumerate(ordered)
+    ]

@@ -1,0 +1,8 @@
+"""Out-of-order pipeline substrate (Skylake-like core model, Table 2)."""
+
+from repro.pipeline.btb import BranchTargetBuffer
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelineModel
+from repro.pipeline.stats import SimStats
+
+__all__ = ["PipelineConfig", "PipelineModel", "SimStats", "BranchTargetBuffer"]

@@ -1,0 +1,76 @@
+"""Branch Target Buffer: taken-branch target cache (Table 2: 2K entries).
+
+A BTB miss on a taken branch means the front end discovers the target
+late and inserts a fetch bubble.  Only hit/miss timing matters here —
+targets are stored to make hits meaningful but never drive fetch
+addresses (the trace supplies the committed path).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["BranchTargetBuffer"]
+
+_NO_PC = -1
+
+
+class BranchTargetBuffer:
+    """Set-associative PC → target cache with LRU replacement."""
+
+    def __init__(self, entries: int = 2048, ways: int = 4) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ConfigError(f"bad BTB geometry {entries} entries / {ways} ways")
+        sets = entries // ways
+        if sets & (sets - 1):
+            raise ConfigError(f"BTB set count {sets} must be a power of two")
+        self.entries = entries
+        self.ways = ways
+        self._set_mask = sets - 1
+        self._set_bits = max(sets - 1, 1).bit_length()
+        self._pcs = [_NO_PC] * entries
+        self._targets = [0] * entries
+        self._lru = [0] * entries
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _base(self, pc: int) -> int:
+        bits = pc >> 2
+        return ((bits ^ (bits >> self._set_bits)) & self._set_mask) * self.ways
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for ``pc``, or None on a miss."""
+        base = self._base(pc)
+        for way in range(self.ways):
+            slot = base + way
+            if self._pcs[slot] == pc:
+                self._tick += 1
+                self._lru[slot] = self._tick
+                self.hits += 1
+                return self._targets[slot]
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Insert or update the target for ``pc``."""
+        base = self._base(pc)
+        victim = base
+        victim_tick = self._lru[base]
+        for way in range(self.ways):
+            slot = base + way
+            if self._pcs[slot] == pc or self._pcs[slot] == _NO_PC:
+                victim = slot
+                break
+            if self._lru[slot] < victim_tick:
+                victim = slot
+                victim_tick = self._lru[slot]
+        self._pcs[victim] = pc
+        self._targets[victim] = target
+        self._tick += 1
+        self._lru[victim] = self._tick
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,364 @@
+"""Cycle-level out-of-order pipeline model.
+
+A trace-driven timing model of the paper's Skylake-like core, built for
+one purpose: faithfully reproduce the *pipeline dynamics around branch
+mispredictions* that make local-predictor repair hard —
+
+* predictions (and speculative BHT updates) happen at fetch, deep in
+  front of execution;
+* branches resolve out of order, many cycles later, with tens of
+  instructions (and their speculative updates) in flight behind them;
+* on a misprediction the front end has already run down the wrong path,
+  polluting predictor state that must now be repaired while the machine
+  restarts;
+* the ROB bound and retirement pace determine how long OBQ/snapshot
+  entries stay live.
+
+The model processes the committed branch stream sequentially.  Timing
+per record: fetch bandwidth (taken-branch BTB misses insert bubbles) →
+allocation after ``frontend_depth`` cycles, gated by ROB occupancy →
+resolution after scheduling plus execution (plus load latency for
+load-dependent branches) → in-order retirement.  On a misprediction the
+front end replays the recent committed window as wrong-path fetch until
+resolution, then flushes, repairs, and resteers.
+
+Wrong-path fetch replays recent committed records because real wrong
+paths after loop-exit mispredictions re-execute the loop body — the
+first-order effect being extra speculative bumps of the very counters
+the repair schemes must restore.  Wrong-path instructions are not
+charged against the ROB (they would be flushed before mattering) but do
+consume fetch bandwidth, predictor state, and checkpoint entries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.core.inflight import InflightBranch
+from repro.core.unit import LocalBranchUnit
+from repro.errors import SimulationError
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.btb import BranchTargetBuffer
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.stats import SimStats
+from repro.predictors.base import GlobalPredictor
+from repro.trace.records import BranchKind, BranchRecord
+from repro.trace.stream import TraceStream
+
+__all__ = ["PipelineModel"]
+
+
+class PipelineModel:
+    """One simulated core: baseline predictor + optional local unit.
+
+    Args:
+        baseline: The global predictor (TAGE in all paper experiments).
+        unit: Local predictor + repair scheme, or None for the baseline
+            system.
+        config: Core timing parameters.
+        hierarchy: Cache model for load latencies; None disables memory
+            modelling (loads cost L1 latency).
+    """
+
+    def __init__(
+        self,
+        baseline: GlobalPredictor,
+        unit: LocalBranchUnit | None = None,
+        config: PipelineConfig | None = None,
+        hierarchy: CacheHierarchy | None = None,
+    ) -> None:
+        self.config = config if config is not None else PipelineConfig()
+        self.baseline = baseline
+        self.unit = unit
+        self.hierarchy = hierarchy
+        self.btb = BranchTargetBuffer(self.config.btb_entries, self.config.btb_ways)
+        self.stats = SimStats()
+
+        self._fe_cycle = 0
+        self._last_alloc = 0
+        self._last_retire = 0
+        self._rob_occupancy = 0
+        #: (retire_cycle, group_size, branch or None) in program order.
+        self._rob: deque[tuple[int, int, InflightBranch | None]] = deque()
+        self._next_uid = 0
+
+    # ------------------------------------------------------------- #
+    # public API
+
+    def run(self, records: Sequence[BranchRecord]) -> SimStats:
+        """Simulate the committed branch stream; returns the statistics."""
+        cfg = self.config
+        stream = TraceStream(records, window=cfg.wrong_path_window)
+        while not stream.exhausted:
+            record = stream.next_record()
+            self._retire_up_to(self._fe_cycle)
+            branch = self._issue(record, wrong_path=False)
+            if branch is None:
+                continue
+            if branch.mispredicted:
+                self._mispredict_episode(branch, stream)
+            else:
+                self._resolve_correct(branch)
+        self._drain()
+        return self.stats
+
+    # ------------------------------------------------------------- #
+    # per-record issue: fetch, predict, allocate, schedule
+
+    def _issue(self, record: BranchRecord, wrong_path: bool) -> InflightBranch | None:
+        """Advance fetch over one instruction group; predict the branch.
+
+        Returns the InflightBranch for conditional branches, None for
+        other control flow (which only consumes bandwidth and BTB slots).
+        """
+        cfg = self.config
+        stats = self.stats
+        group = record.group_size
+        fetch_cycles = -(-group // cfg.fetch_width)
+        fetch_cycle = self._fe_cycle + fetch_cycles - 1
+
+        # Taken control flow needs a BTB target; a miss stalls fetch.
+        btb_bubble = 0
+        if record.taken and not wrong_path:
+            if self.btb.lookup(record.pc) is None:
+                self.btb.install(record.pc, record.target)
+                btb_bubble = cfg.btb_miss_penalty
+                stats.btb_misses += 1
+
+        if wrong_path:
+            alloc_cycle = fetch_cycle + cfg.frontend_depth
+        else:
+            alloc_cycle = self._allocate(fetch_cycle, group)
+
+        load_latency = 0
+        if record.load_addr:
+            if self.hierarchy is not None:
+                load_latency = self.hierarchy.load_latency(record.load_addr)
+            else:
+                load_latency = 5
+
+        uid = self._next_uid
+        self._next_uid += 1
+        jitter = ((uid * 2654435761) >> 13) % cfg.exec_jitter if cfg.exec_jitter else 0
+        resolve_cycle = (
+            alloc_cycle
+            + cfg.sched_to_exec
+            + cfg.branch_exec_latency
+            + jitter
+            + (load_latency if record.depends_on_load else 0)
+        )
+        completion = alloc_cycle + cfg.sched_to_exec + max(
+            load_latency, cfg.nonbranch_base_latency
+        )
+
+        branch: InflightBranch | None = None
+        if record.kind is BranchKind.COND:
+            branch = InflightBranch(
+                uid=uid,
+                record=record,
+                wrong_path=wrong_path,
+                fetch_cycle=fetch_cycle,
+                alloc_cycle=alloc_cycle,
+                resolve_cycle=resolve_cycle,
+            )
+            self._predict(branch, fetch_cycle, alloc_cycle)
+            if not wrong_path:
+                stats.cond_branches += 1
+                if record.taken:
+                    stats.taken_branches += 1
+                if branch.tage_pred is not None and (
+                    branch.tage_pred.taken != record.taken
+                ):
+                    stats.base_wrong += 1
+            else:
+                stats.wrong_path_branches += 1
+
+        self._fe_cycle += fetch_cycles + btb_bubble
+        if not wrong_path:
+            stats.branches += 1
+            stats.instructions += group
+            retire_cycle = max(
+                completion,
+                resolve_cycle,
+                self._last_retire + -(-group // cfg.retire_width),
+            )
+            self._last_retire = retire_cycle
+            if branch is not None:
+                branch.retire_cycle = retire_cycle
+            self._rob_occupancy += group
+            self._rob.append((retire_cycle, group, branch))
+        else:
+            branch_retire = max(completion, resolve_cycle)
+            if branch is not None:
+                branch.retire_cycle = branch_retire
+        return branch
+
+    def _predict(self, branch: InflightBranch, fetch_cycle: int, alloc_cycle: int) -> None:
+        """Fetch-stage prediction plus alloc-stage (deferred) hook."""
+        pc = branch.pc
+        base_pred = self.baseline.lookup(pc)
+        branch.tage_pred = base_pred
+        branch.hist_ckpt = self.baseline.checkpoint()
+
+        final = base_pred.taken
+        if self.unit is not None:
+            final = self.unit.predict(branch, base_pred.taken, fetch_cycle)
+        branch.predicted_taken = final
+        self.baseline.spec_push(pc, final)
+
+        if self.unit is not None:
+            final = self.unit.at_alloc(branch, alloc_cycle)
+            if branch.early_resteer and not branch.wrong_path:
+                # Deferred override: squash the younger front-end
+                # contents and restart fetch behind this branch.
+                self.stats.early_resteers += 1
+                restart = alloc_cycle + self.config.early_resteer_penalty
+                if restart > self._fe_cycle:
+                    self._fe_cycle = restart
+            branch.predicted_taken = final
+
+    def _allocate(self, fetch_cycle: int, group: int) -> int:
+        """Allocation time for a group, honouring the ROB bound."""
+        cfg = self.config
+        alloc_cycle = max(fetch_cycle + cfg.frontend_depth, self._last_alloc)
+        while self._rob_occupancy + group > cfg.rob_entries:
+            if not self._rob:
+                raise SimulationError(
+                    f"instruction group of {group} exceeds ROB capacity"
+                )
+            retire_cycle, size, retired = self._rob.popleft()
+            self._rob_occupancy -= size
+            if retired is not None and self.unit is not None:
+                self.unit.retire(retired, retire_cycle)
+            if retire_cycle > alloc_cycle:
+                self.stats.rob_stall_cycles += retire_cycle - alloc_cycle
+                alloc_cycle = retire_cycle
+        self._last_alloc = alloc_cycle
+        return alloc_cycle
+
+    # ------------------------------------------------------------- #
+    # resolution
+
+    def _resolve_correct(self, branch: InflightBranch) -> None:
+        """Correctly predicted branch: train everything, no flush."""
+        self.baseline.train(branch.tage_pred, branch.actual_taken)
+        if self.unit is not None:
+            self.unit.resolve(branch, (), branch.resolve_cycle)
+
+    def _mispredict_episode(self, branch: InflightBranch, stream: TraceStream) -> None:
+        """Wrong-path fetch, nested wrong-path repairs, flush, resteer."""
+        cfg = self.config
+        resolve = branch.resolve_cycle
+        episode: list[InflightBranch] = []
+        pending: list[InflightBranch] = []
+
+        if cfg.wrong_path:
+            replay = stream.recent(cfg.wrong_path_window)
+            index = 0
+            produced = 0
+            while replay and produced < cfg.wrong_path_max_branches:
+                # The back end keeps retiring older correct-path work
+                # while the front end runs down the wrong path.
+                self._retire_up_to(self._fe_cycle)
+                record = replay[index % len(replay)]
+                index += 1
+                group_cycles = -(-record.group_size // cfg.fetch_width)
+                if self._fe_cycle + group_cycles - 1 >= resolve:
+                    break
+                wp_branch = self._issue(record, wrong_path=True)
+                if wp_branch is not None:
+                    episode.append(wp_branch)
+                    produced += 1
+                    if wp_branch.mispredicted and wp_branch.resolve_cycle < resolve:
+                        pending.append(wp_branch)
+
+        # Wrong-path branches can resolve mispredicted before the real
+        # (older) branch does — each triggers its own flush and repair,
+        # later superseded when the older branch resolves (§2.5c).
+        for wp_branch in sorted(pending, key=lambda b: b.resolve_cycle):
+            if wp_branch.squashed:
+                continue
+            flushed = [
+                b for b in episode if b.uid > wp_branch.uid and not b.squashed
+            ]
+            self.stats.wrong_path_mispredicts += 1
+            if wp_branch.hist_ckpt is not None:
+                self.baseline.recover(
+                    wp_branch.hist_ckpt, wp_branch.pc, wp_branch.actual_taken
+                )
+            if self.unit is not None:
+                self.unit.resolve(wp_branch, flushed, wp_branch.resolve_cycle)
+            for squashed in flushed:
+                squashed.squashed = True
+
+        # The real resolution: flush everything younger, restore the
+        # global history, train, repair, resteer.
+        flushed = [b for b in episode if not b.squashed]
+        self.stats.mispredictions += 1
+        self.baseline.recover(branch.hist_ckpt, branch.pc, branch.actual_taken)
+        self.baseline.train(branch.tage_pred, branch.actual_taken)
+        if self.unit is not None:
+            self.unit.resolve(branch, flushed, resolve)
+        for squashed in flushed:
+            squashed.squashed = True
+        self._fe_cycle = resolve + cfg.resteer_penalty
+
+    # ------------------------------------------------------------- #
+    # retirement
+
+    def _retire_up_to(self, cycle: int) -> None:
+        """Release ROB groups whose retirement time has passed."""
+        rob = self._rob
+        while rob and rob[0][0] <= cycle:
+            retire_cycle, size, branch = rob.popleft()
+            self._rob_occupancy -= size
+            if branch is not None and self.unit is not None:
+                self.unit.retire(branch, retire_cycle)
+
+    def _drain(self) -> None:
+        """Retire everything left in flight and close the run."""
+        final_cycle = self._fe_cycle
+        while self._rob:
+            retire_cycle, size, branch = self._rob.popleft()
+            self._rob_occupancy -= size
+            if branch is not None and self.unit is not None:
+                self.unit.retire(branch, retire_cycle)
+            if retire_cycle > final_cycle:
+                final_cycle = retire_cycle
+        self.stats.cycles = max(final_cycle, self._last_retire, 1)
+        self._attach_extra()
+
+    def _attach_extra(self) -> None:
+        """Pull component statistics into the run's extra payload."""
+        extra = self.stats.extra
+        extra["btb_miss_rate"] = self.btb.miss_rate
+        if self.hierarchy is not None:
+            extra["memory"] = self.hierarchy.stats()
+        if self.unit is not None:
+            unit_stats = self.unit.stats
+            extra["unit"] = {
+                "lookups": unit_stats.lookups,
+                "local_predictions": unit_stats.local_predictions,
+                "overrides": unit_stats.overrides,
+                "saves": unit_stats.saves,
+                "damages": unit_stats.damages,
+                "denied_busy": unit_stats.denied_busy,
+                "blocked_updates": unit_stats.blocked_updates,
+                "early_resteers": unit_stats.early_resteers,
+            }
+            scheme = getattr(self.unit, "scheme", None)
+            if scheme is not None:
+                repair = scheme.stats
+                extra["repair"] = {
+                    "events": repair.events,
+                    "restarts": repair.restarts,
+                    "entries_walked": repair.entries_walked,
+                    "bht_writes": repair.bht_writes,
+                    "busy_cycles": repair.busy_cycles,
+                    "uncheckpointed": repair.uncheckpointed,
+                    "unrepaired": repair.unrepaired,
+                    "skipped_events": repair.skipped_events,
+                    "mean_writes_per_event": repair.mean_writes_per_event,
+                    "max_writes_per_event": repair.writes_per_event_max,
+                }

@@ -1,0 +1,68 @@
+"""Simulation statistics: the numbers every figure is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SimStats"]
+
+
+@dataclass(slots=True)
+class SimStats:
+    """Counters produced by one pipeline run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    cond_branches: int = 0
+    taken_branches: int = 0
+    mispredictions: int = 0
+    #: Baseline-only mispredictions (what TAGE alone would have done on
+    #: the same stream) — used for override bookkeeping, not MPKI.
+    base_wrong: int = 0
+    btb_misses: int = 0
+    early_resteers: int = 0
+    wrong_path_branches: int = 0
+    wrong_path_mispredicts: int = 0
+    rob_stall_cycles: int = 0
+    #: Extra metadata attached by the harness (unit stats, repair stats,
+    #: memory stats, storage breakdown ...).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per kilo-instruction (conditional, correct path)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.mispredictions * 1000.0 / self.instructions
+
+    @property
+    def branch_accuracy(self) -> float:
+        if self.cond_branches == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.cond_branches
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dictionary for reports and persistence."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "branches": self.branches,
+            "cond_branches": self.cond_branches,
+            "taken_branches": self.taken_branches,
+            "mispredictions": self.mispredictions,
+            "btb_misses": self.btb_misses,
+            "early_resteers": self.early_resteers,
+            "wrong_path_branches": self.wrong_path_branches,
+            "wrong_path_mispredicts": self.wrong_path_mispredicts,
+            "ipc": self.ipc,
+            "mpki": self.mpki,
+            "branch_accuracy": self.branch_accuracy,
+            **self.extra,
+        }

@@ -1,0 +1,29 @@
+"""Baseline (global-history) branch predictors and history machinery."""
+
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.counters import SaturatingCounter
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.history import FoldedHistory, GlobalHistory, HistoryCheckpoint
+from repro.predictors.hybrid import HybridPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.statistical_corrector import ScConfig, ScTagePredictor
+from repro.predictors.tage import TageConfig, TagePredictor, TageTableConfig
+
+__all__ = [
+    "GlobalPredictor",
+    "Prediction",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "HybridPredictor",
+    "PerceptronPredictor",
+    "ScTagePredictor",
+    "ScConfig",
+    "TagePredictor",
+    "TageConfig",
+    "TageTableConfig",
+    "GlobalHistory",
+    "FoldedHistory",
+    "HistoryCheckpoint",
+    "SaturatingCounter",
+]

@@ -1,0 +1,81 @@
+"""Abstract interface for baseline (global) direction predictors.
+
+The pipeline drives a predictor through four calls per conditional
+branch, mirroring the pipeline events of §2.4 of the paper:
+
+1. ``lookup(pc)`` at fetch → a :class:`Prediction` carrying everything
+   the predictor needs later (indices, provider table, ...).
+2. ``checkpoint()`` + ``spec_push(pc, predicted)`` — speculative history
+   update at prediction time; the checkpoint travels with the branch.
+3. On a misprediction, ``recover(ckpt, pc, actual)`` rewinds the history
+   and inserts the resolved outcome.
+4. ``train(prediction, actual)`` at resolution updates the tables.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.predictors.history import GlobalHistory, HistoryCheckpoint
+
+__all__ = ["Prediction", "GlobalPredictor"]
+
+
+@dataclass(slots=True)
+class Prediction:
+    """A direction prediction plus predictor-private bookkeeping.
+
+    Attributes:
+        pc: Branch address the prediction is for.
+        taken: Predicted direction.
+        meta: Predictor-private payload threaded back into ``train``.
+    """
+
+    pc: int
+    taken: bool
+    meta: Any = None
+
+
+class GlobalPredictor(abc.ABC):
+    """Base class for global-history direction predictors."""
+
+    #: Short identifier used in reports (e.g. ``"tage-8kb"``).
+    name: str = "predictor"
+
+    def __init__(self, history: GlobalHistory | None = None) -> None:
+        self.history = history if history is not None else GlobalHistory()
+
+    @abc.abstractmethod
+    def lookup(self, pc: int) -> Prediction:
+        """Predict the direction of the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        """Update tables given the resolved outcome of ``prediction``."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total table storage in bits (excludes history registers)."""
+
+    def checkpoint(self) -> HistoryCheckpoint:
+        """Snapshot of the speculative history before this branch."""
+        return self.history.checkpoint()
+
+    def spec_push(self, pc: int, taken: bool) -> None:
+        """Speculatively insert a predicted outcome into the history."""
+        self.history.push(pc, taken)
+
+    def recover(self, ckpt: HistoryCheckpoint, pc: int, taken: bool) -> None:
+        """Misprediction repair: rewind history, insert the truth.
+
+        For global predictors this is the whole repair story — constant
+        cost per event — which is precisely the asymmetry with local
+        predictors the paper builds on.
+        """
+        self.history.restore_and_push(ckpt, pc, taken)
+
+    def storage_kb(self) -> float:
+        """Table storage in kilobytes (1 KB = 8192 bits)."""
+        return self.storage_bits() / 8192.0

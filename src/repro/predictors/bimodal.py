@@ -1,0 +1,50 @@
+"""Bimodal predictor (Smith counters), the tagless TAGE base component."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.counters import counter_taken, counter_update
+
+__all__ = ["BimodalPredictor"]
+
+
+class BimodalPredictor(GlobalPredictor):
+    """PC-indexed table of n-bit saturating counters.
+
+    Args:
+        log_entries: log2 of the number of counters.
+        counter_bits: Width of each counter (2 in the classic design).
+    """
+
+    name = "bimodal"
+
+    def __init__(self, log_entries: int = 12, counter_bits: int = 2) -> None:
+        super().__init__()
+        if not 1 <= log_entries <= 24:
+            raise ConfigError(f"log_entries out of range: {log_entries}")
+        if counter_bits < 1:
+            raise ConfigError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.log_entries = log_entries
+        self.counter_bits = counter_bits
+        self._mask = (1 << log_entries) - 1
+        self._max = (1 << counter_bits) - 1
+        weak_taken = 1 << (counter_bits - 1)
+        self._table = [weak_taken] * (1 << log_entries)
+
+    def _index(self, pc: int) -> int:
+        # Drop the two low bits: x86 branch PCs are rarely 1-byte aligned
+        # in a way that makes those bits useful for distribution.
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> Prediction:
+        index = self._index(pc)
+        value = self._table[index]
+        return Prediction(pc=pc, taken=counter_taken(value, self.counter_bits), meta=index)
+
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        index = prediction.meta
+        self._table[index] = counter_update(self._table[index], taken, self._max)
+
+    def storage_bits(self) -> int:
+        return len(self._table) * self.counter_bits

@@ -1,0 +1,91 @@
+"""Saturating-counter primitives shared by all predictors.
+
+Hot paths use the module-level functions on plain ints (attribute access
+on wrapper objects is measurably slower in CPython); the
+:class:`SaturatingCounter` class exists for non-hot bookkeeping and for
+making tests and examples readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "saturating_inc",
+    "saturating_dec",
+    "counter_update",
+    "counter_taken",
+    "center_init",
+    "SaturatingCounter",
+]
+
+
+def saturating_inc(value: int, max_value: int) -> int:
+    """Increment ``value`` saturating at ``max_value``."""
+    return value + 1 if value < max_value else max_value
+
+
+def saturating_dec(value: int, min_value: int = 0) -> int:
+    """Decrement ``value`` saturating at ``min_value``."""
+    return value - 1 if value > min_value else min_value
+
+
+def counter_update(value: int, taken: bool, max_value: int, min_value: int = 0) -> int:
+    """Move an up/down counter toward ``taken`` (up) or not-taken (down)."""
+    if taken:
+        return value + 1 if value < max_value else max_value
+    return value - 1 if value > min_value else min_value
+
+
+def counter_taken(value: int, bits: int) -> bool:
+    """Interpret an unsigned ``bits``-wide counter's MSB as taken."""
+    return value >= (1 << (bits - 1))
+
+
+def center_init(bits: int, taken: bool) -> int:
+    """Weakly biased initial value for an unsigned counter of ``bits``."""
+    mid = 1 << (bits - 1)
+    return mid if taken else mid - 1
+
+
+@dataclass(slots=True)
+class SaturatingCounter:
+    """An n-bit unsigned saturating up/down counter.
+
+    >>> c = SaturatingCounter(bits=2)
+    >>> c.update(True); c.update(True); c.taken
+    True
+    """
+
+    bits: int = 2
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"counter width must be >= 1, got {self.bits}")
+        if not 0 <= self.value <= self.max_value:
+            raise ValueError(
+                f"initial value {self.value} out of range for {self.bits} bits"
+            )
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def taken(self) -> bool:
+        """MSB interpretation: upper half of the range predicts taken."""
+        return counter_taken(self.value, self.bits)
+
+    @property
+    def is_weak(self) -> bool:
+        """True when the counter sits adjacent to the decision boundary."""
+        mid = 1 << (self.bits - 1)
+        return self.value in (mid - 1, mid)
+
+    def update(self, taken: bool) -> None:
+        self.value = counter_update(self.value, taken, self.max_value)
+
+    def reset(self, taken: bool) -> None:
+        """Re-initialise weakly in the given direction."""
+        self.value = center_init(self.bits, taken)

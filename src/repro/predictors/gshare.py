@@ -1,0 +1,51 @@
+"""GShare predictor: global history XOR-hashed into a counter table.
+
+Not used by the paper's evaluation, but a useful secondary baseline for
+examples and for testing the pipeline/predictor interface with a second
+independent implementation of :class:`~repro.predictors.base.GlobalPredictor`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.counters import counter_taken, counter_update
+from repro.predictors.history import GlobalHistory
+
+__all__ = ["GSharePredictor"]
+
+
+class GSharePredictor(GlobalPredictor):
+    """McFarling's gshare: index = pc ^ GHIST, 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, log_entries: int = 14, history_length: int | None = None) -> None:
+        if not 1 <= log_entries <= 24:
+            raise ConfigError(f"log_entries out of range: {log_entries}")
+        history_length = history_length if history_length is not None else log_entries
+        if history_length > log_entries:
+            raise ConfigError(
+                "history_length cannot exceed log_entries "
+                f"({history_length} > {log_entries})"
+            )
+        super().__init__(GlobalHistory(max_length=max(history_length, 1)))
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self._mask = (1 << log_entries) - 1
+        self._hist_mask = (1 << history_length) - 1
+        self._table = [2] * (1 << log_entries)
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ (self.history.ghist & self._hist_mask)) & self._mask
+
+    def lookup(self, pc: int) -> Prediction:
+        index = self._index(pc)
+        return Prediction(pc=pc, taken=counter_taken(self._table[index], 2), meta=index)
+
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        index = prediction.meta
+        self._table[index] = counter_update(self._table[index], taken, 3)
+
+    def storage_bits(self) -> int:
+        return len(self._table) * 2

@@ -1,0 +1,141 @@
+"""Global branch history registers and folded-history machinery.
+
+Global predictors (gshare, TAGE) consult two speculative registers:
+
+``GHIST``
+    direction history, one bit per branch, newest bit at position 0.
+
+``PHIST``
+    path history, a few PC bits per branch.
+
+Both are updated *speculatively at prediction time* and must be restored
+when a branch turns out mispredicted.  Each in-flight branch therefore
+carries a :class:`HistoryCheckpoint` taken before its own update — this
+is the cheap, constant-cost repair the paper contrasts with the BHT
+repair problem of local predictors (§2.3.1).
+
+:class:`FoldedHistory` implements Seznec's incremental folding, which
+compresses an ``original_length``-bit history into ``compressed_length``
+bits in O(1) per branch instead of O(length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FoldedHistory", "GlobalHistory", "HistoryCheckpoint"]
+
+
+class FoldedHistory:
+    """Incrementally folded view of the most recent history bits.
+
+    The fold is the XOR of consecutive ``compressed_length``-bit chunks of
+    the youngest ``original_length`` bits of GHIST, maintained in O(1) per
+    inserted bit.
+    """
+
+    __slots__ = ("comp", "compressed_length", "original_length", "_outpoint", "_mask")
+
+    def __init__(self, original_length: int, compressed_length: int) -> None:
+        if original_length <= 0 or compressed_length <= 0:
+            raise ValueError("history lengths must be positive")
+        self.comp = 0
+        self.compressed_length = compressed_length
+        self.original_length = original_length
+        self._outpoint = original_length % compressed_length
+        self._mask = (1 << compressed_length) - 1
+
+    def update(self, ghist_after_insert: int, new_bit: int) -> None:
+        """Fold in ``new_bit`` and fold out the bit leaving the window.
+
+        Args:
+            ghist_after_insert: GHIST *after* the new bit was shifted in
+                at position 0 (so the evicted bit sits at
+                ``original_length``).
+            new_bit: The bit just inserted (0 or 1).
+        """
+        comp = (self.comp << 1) | new_bit
+        comp ^= ((ghist_after_insert >> self.original_length) & 1) << self._outpoint
+        comp ^= comp >> self.compressed_length
+        self.comp = comp & self._mask
+
+    def rebuild(self, ghist: int) -> None:
+        """Recompute the fold from scratch (used after restore)."""
+        comp = 0
+        for chunk_start in range(0, self.original_length, self.compressed_length):
+            width = min(self.compressed_length, self.original_length - chunk_start)
+            chunk = (ghist >> chunk_start) & ((1 << width) - 1)
+            comp ^= chunk
+        self.comp = comp & self._mask
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryCheckpoint:
+    """Pre-update snapshot carried by each in-flight branch."""
+
+    ghist: int
+    phist: int
+    folds: tuple[int, ...]
+
+
+class GlobalHistory:
+    """Speculative GHIST/PHIST with per-branch checkpoint/restore.
+
+    Folded histories are registered by predictors (one or more per TAGE
+    table) and kept in sync on every push/restore.
+    """
+
+    __slots__ = ("ghist", "phist", "max_length", "path_bits", "_folds", "_ghist_mask", "_phist_mask")
+
+    def __init__(self, max_length: int = 256, path_bits: int = 16) -> None:
+        if max_length <= 0:
+            raise ValueError(f"max_length must be positive, got {max_length}")
+        self.ghist = 0
+        self.phist = 0
+        self.max_length = max_length
+        self.path_bits = path_bits
+        self._folds: list[FoldedHistory] = []
+        # Keep one spare bit above max_length so folds can observe the
+        # evicted bit before truncation.
+        self._ghist_mask = (1 << (max_length + 1)) - 1
+        self._phist_mask = (1 << path_bits) - 1
+
+    def register_fold(self, fold: FoldedHistory) -> FoldedHistory:
+        """Attach a folded history; it will track future pushes."""
+        if fold.original_length > self.max_length:
+            raise ValueError(
+                f"fold window {fold.original_length} exceeds max history "
+                f"{self.max_length}"
+            )
+        self._folds.append(fold)
+        fold.rebuild(self.ghist)
+        return fold
+
+    def checkpoint(self) -> HistoryCheckpoint:
+        """Snapshot taken before this branch's speculative update."""
+        return HistoryCheckpoint(
+            ghist=self.ghist,
+            phist=self.phist,
+            folds=tuple(f.comp for f in self._folds),
+        )
+
+    def push(self, pc: int, taken: bool) -> None:
+        """Speculatively insert one branch outcome."""
+        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) & self._ghist_mask
+        self.phist = ((self.phist << 1) | (pc & 1)) & self._phist_mask
+        ghist = self.ghist
+        bit = ghist & 1
+        for fold in self._folds:
+            fold.update(ghist, bit)
+
+    def restore(self, ckpt: HistoryCheckpoint) -> None:
+        """Rewind to a carried checkpoint (misprediction recovery)."""
+        self.ghist = ckpt.ghist
+        self.phist = ckpt.phist
+        for fold, comp in zip(self._folds, ckpt.folds):
+            fold.comp = comp
+
+    def restore_and_push(self, ckpt: HistoryCheckpoint, pc: int, taken: bool) -> None:
+        """Standard misprediction repair: rewind then insert the truth."""
+        self.restore(ckpt)
+        self.push(pc, taken)

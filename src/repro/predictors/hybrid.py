@@ -1,0 +1,72 @@
+"""McFarling-style hybrid (tournament) predictor.
+
+Combines a bimodal and a gshare component with a chooser table trained
+on which component was right — the classic pre-TAGE combining scheme
+([26] in the paper's references).  A second independent baseline for
+examples, tests, and sanity comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.counters import counter_taken, counter_update
+from repro.predictors.gshare import GSharePredictor
+
+__all__ = ["HybridPredictor"]
+
+
+class HybridPredictor(GlobalPredictor):
+    """Tournament of bimodal and gshare with a 2-bit chooser table."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        chooser_log_entries: int = 12,
+        bimodal_log_entries: int = 12,
+        gshare_log_entries: int = 12,
+        gshare_history: int | None = None,
+    ) -> None:
+        if not 1 <= chooser_log_entries <= 20:
+            raise ConfigError(f"chooser_log_entries out of range: {chooser_log_entries}")
+        self.bimodal = BimodalPredictor(log_entries=bimodal_log_entries)
+        self.gshare = GSharePredictor(
+            log_entries=gshare_log_entries, history_length=gshare_history
+        )
+        # The hybrid's speculative history is the gshare's.
+        super().__init__(self.gshare.history)
+        self._chooser_mask = (1 << chooser_log_entries) - 1
+        # 2-bit chooser: >= 2 prefers gshare.
+        self._chooser = [2] * (1 << chooser_log_entries)
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & self._chooser_mask
+
+    def lookup(self, pc: int) -> Prediction:
+        bim = self.bimodal.lookup(pc)
+        gsh = self.gshare.lookup(pc)
+        index = self._chooser_index(pc)
+        use_gshare = counter_taken(self._chooser[index], 2)
+        taken = gsh.taken if use_gshare else bim.taken
+        return Prediction(pc=pc, taken=taken, meta=(bim, gsh, index))
+
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        bim, gsh, index = prediction.meta
+        self.bimodal.train(bim, taken)
+        self.gshare.train(gsh, taken)
+        bim_right = bim.taken == taken
+        gsh_right = gsh.taken == taken
+        if bim_right != gsh_right:
+            # Move the chooser toward whichever component was right.
+            self._chooser[index] = counter_update(
+                self._chooser[index], gsh_right, 3
+            )
+
+    def storage_bits(self) -> int:
+        return (
+            self.bimodal.storage_bits()
+            + self.gshare.storage_bits()
+            + len(self._chooser) * 2
+        )

@@ -1,0 +1,95 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+One of the global-history baselines the paper's related work cites
+([24]); included so the repository can compare the local-repair story
+against a structurally different global predictor family.
+
+Each branch hashes to a weight vector; the prediction is the sign of
+the dot product of the weights with the (bipolar) global history.
+Training is threshold-gated and clips weights to signed 8-bit range.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.history import GlobalHistory
+
+__all__ = ["PerceptronPredictor"]
+
+
+class PerceptronPredictor(GlobalPredictor):
+    """Table of perceptrons over the global direction history."""
+
+    name = "perceptron"
+
+    def __init__(
+        self,
+        log_entries: int = 9,
+        history_length: int = 24,
+        weight_bits: int = 8,
+        threshold: int | None = None,
+    ) -> None:
+        if not 1 <= log_entries <= 16:
+            raise ConfigError(f"log_entries out of range: {log_entries}")
+        if not 1 <= history_length <= 64:
+            raise ConfigError(f"history_length out of range: {history_length}")
+        if weight_bits < 2:
+            raise ConfigError(f"weight_bits must be >= 2, got {weight_bits}")
+        super().__init__(GlobalHistory(max_length=history_length))
+        self.log_entries = log_entries
+        self.history_length = history_length
+        self.weight_bits = weight_bits
+        # Jiménez's empirically optimal threshold: 1.93h + 14.
+        self.threshold = (
+            threshold if threshold is not None else int(1.93 * history_length + 14)
+        )
+        self._mask = (1 << log_entries) - 1
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        # weights[i][0] is the bias weight; [1..h] pair with history bits.
+        self._weights: list[list[int]] = [
+            [0] * (history_length + 1) for _ in range(1 << log_entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ (pc >> (2 + self.log_entries))) & self._mask
+
+    def _dot(self, weights: list[int]) -> int:
+        total = weights[0]
+        ghist = self.history.ghist
+        for i in range(1, self.history_length + 1):
+            bit = (ghist >> (i - 1)) & 1
+            total += weights[i] if bit else -weights[i]
+        return total
+
+    def lookup(self, pc: int) -> Prediction:
+        index = self._index(pc)
+        output = self._dot(self._weights[index])
+        # Capture the history bits used, so training pairs each weight
+        # with the inputs it actually saw.
+        snapshot = self.history.ghist
+        return Prediction(pc=pc, taken=output >= 0, meta=(index, output, snapshot))
+
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        index, output, ghist = prediction.meta
+        mispredicted = (output >= 0) != taken
+        if not mispredicted and abs(output) > self.threshold:
+            return
+        weights = self._weights[index]
+        target = 1 if taken else -1
+        weights[0] = self._clip(weights[0] + target)
+        for i in range(1, self.history_length + 1):
+            bit = (ghist >> (i - 1)) & 1
+            signal = 1 if bit else -1
+            weights[i] = self._clip(weights[i] + target * signal)
+
+    def _clip(self, value: int) -> int:
+        if value > self._weight_max:
+            return self._weight_max
+        if value < self._weight_min:
+            return self._weight_min
+        return value
+
+    def storage_bits(self) -> int:
+        return (1 << self.log_entries) * (self.history_length + 1) * self.weight_bits

@@ -1,0 +1,168 @@
+"""Statistical corrector (SC): the "SC" of CBPw's TAGE-SC-L.
+
+The CBP-2016 winner wraps TAGE with a statistical corrector — a
+GEHL-style adder tree that sums signed counters from several
+differently-indexed tables (bias, global-history components) and
+*inverts* TAGE's prediction when the statistical evidence disagrees
+strongly.  The paper's §2.3 notes the SC also hosts a generic local
+component; here the SC is global-only (the repairable local predictors
+live in :mod:`repro.core`), which keeps its state recovery as trivial
+as TAGE's.
+
+This implementation follows Seznec's scheme at the level that matters
+for this repository: percepton-style summation, a dynamically adapted
+use-threshold, and counters trained only when the decision was wrong or
+weak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.history import FoldedHistory
+from repro.predictors.tage import TageConfig, TagePredictor
+
+__all__ = ["ScConfig", "ScTagePredictor"]
+
+
+@dataclass(frozen=True)
+class ScConfig:
+    """Sizing of the statistical corrector."""
+
+    #: log2 entries of each component table.
+    log_entries: int = 10
+    counter_bits: int = 6
+    #: Global-history lengths of the GEHL components.
+    history_lengths: tuple[int, ...] = (4, 10, 16, 27)
+    #: Initial use-threshold; adapts at runtime.
+    initial_threshold: int = 6
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.log_entries <= 16:
+            raise ConfigError(f"log_entries out of range: {self.log_entries}")
+        if self.counter_bits < 3:
+            raise ConfigError("counter_bits must be >= 3")
+        if not self.history_lengths:
+            raise ConfigError("need at least one GEHL component")
+        if list(self.history_lengths) != sorted(set(self.history_lengths)):
+            raise ConfigError("history_lengths must strictly increase")
+
+    def storage_bits(self) -> int:
+        # Bias table (x2: per TAGE direction) + GEHL tables + threshold.
+        tables = 2 + len(self.history_lengths)
+        return tables * (1 << self.log_entries) * self.counter_bits + 8
+
+
+class ScTagePredictor(GlobalPredictor):
+    """TAGE wrapped by a statistical corrector (TAGE-SC, no local part).
+
+    Presents the combined design through the standard
+    :class:`~repro.predictors.base.GlobalPredictor` interface, so it
+    drops into the pipeline as a baseline — e.g. to check that the
+    local predictor's gains survive a stronger global baseline.
+    """
+
+    name = "tage-sc"
+
+    def __init__(
+        self,
+        tage_config: TageConfig | None = None,
+        sc_config: ScConfig | None = None,
+    ) -> None:
+        self.tage = TagePredictor(tage_config)
+        self.sc_config = sc_config = sc_config if sc_config is not None else ScConfig()
+        if sc_config.history_lengths[-1] > self.tage.config.max_history:
+            raise ConfigError(
+                "SC history exceeds the TAGE history window "
+                f"({sc_config.history_lengths[-1]} > {self.tage.config.max_history})"
+            )
+        super().__init__(self.tage.history)
+        self.name = f"{self.tage.name}+sc"
+
+        self._mask = (1 << sc_config.log_entries) - 1
+        self._ctr_max = (1 << (sc_config.counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (sc_config.counter_bits - 1))
+        entries = 1 << sc_config.log_entries
+        # Two bias tables (one per TAGE direction) plus GEHL components.
+        self._bias = [[0] * entries, [0] * entries]
+        self._gehl = [[0] * entries for _ in sc_config.history_lengths]
+        self._folds = [
+            self.history.register_fold(FoldedHistory(length, sc_config.log_entries))
+            for length in sc_config.history_lengths
+        ]
+        self._threshold = sc_config.initial_threshold
+        self._threshold_ctr = 0
+        self.inversions = 0
+
+    # ------------------------------------------------------------- #
+
+    def _indices(self, pc: int, tage_taken: bool) -> tuple[int, list[int]]:
+        bits = pc >> 2
+        bias_index = ((bits << 1) | (1 if tage_taken else 0)) & self._mask
+        gehl_indices = [
+            (bits ^ fold.comp ^ (bits >> 6)) & self._mask for fold in self._folds
+        ]
+        return bias_index, gehl_indices
+
+    def _sum(self, pc: int, tage_taken: bool) -> tuple[int, int, list[int]]:
+        bias_index, gehl_indices = self._indices(pc, tage_taken)
+        centered = 1 if tage_taken else -1
+        total = 2 * self._bias[1 if tage_taken else 0][bias_index] + centered
+        for table, index in zip(self._gehl, gehl_indices):
+            total += 2 * table[index] + centered
+        return total, bias_index, gehl_indices
+
+    def lookup(self, pc: int) -> Prediction:
+        tage_pred = self.tage.lookup(pc)
+        total, bias_index, gehl_indices = self._sum(pc, tage_pred.taken)
+        sc_taken = total >= 0
+        taken = tage_pred.taken
+        inverted = False
+        if sc_taken != tage_pred.taken and abs(total) >= self._threshold:
+            taken = sc_taken
+            inverted = True
+            self.inversions += 1
+        meta = (tage_pred, total, bias_index, gehl_indices, inverted)
+        return Prediction(pc=pc, taken=taken, meta=meta)
+
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        tage_pred, total, bias_index, gehl_indices, inverted = prediction.meta
+        self.tage.train(tage_pred, taken)
+
+        # Adapt the inversion threshold: inversions that were wrong
+        # raise it, inversions that were right lower it (Seznec's
+        # dynamic threshold fitting).
+        if inverted:
+            if prediction.taken == taken:
+                self._threshold_ctr -= 1
+                if self._threshold_ctr <= -8:
+                    self._threshold_ctr = 0
+                    if self._threshold > 4:
+                        self._threshold -= 2
+            else:
+                self._threshold_ctr += 1
+                if self._threshold_ctr >= 8:
+                    self._threshold_ctr = 0
+                    if self._threshold < 60:
+                        self._threshold += 2
+
+        # Train components on wrong or weak decisions only.
+        final_sc = total >= 0
+        if final_sc != taken or abs(total) < self._threshold * 2:
+            delta = 1 if taken else -1
+            bias_table = self._bias[1 if tage_pred.taken else 0]
+            bias_table[bias_index] = self._clip(bias_table[bias_index] + delta)
+            for table, index in zip(self._gehl, gehl_indices):
+                table[index] = self._clip(table[index] + delta)
+
+    def _clip(self, value: int) -> int:
+        if value > self._ctr_max:
+            return self._ctr_max
+        if value < self._ctr_min:
+            return self._ctr_min
+        return value
+
+    def storage_bits(self) -> int:
+        return self.tage.storage_bits() + self.sc_config.storage_bits()

@@ -1,0 +1,19 @@
+"""Branch trace substrate: record types, streams, serialization, stats."""
+
+from repro.trace.io import dumps_trace, loads_trace, read_trace, write_trace
+from repro.trace.records import BranchKind, BranchRecord
+from repro.trace.stats import PcProfile, TraceStats, collect_stats
+from repro.trace.stream import TraceStream
+
+__all__ = [
+    "BranchKind",
+    "BranchRecord",
+    "TraceStream",
+    "TraceStats",
+    "PcProfile",
+    "collect_stats",
+    "dumps_trace",
+    "loads_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,93 @@
+"""Binary trace serialization.
+
+Traces round-trip through a compact little-endian binary format so
+generated workloads can be cached on disk and shared between experiment
+runs.  The format is deliberately simple:
+
+``header``
+    magic ``b"RPTR"`` | version u16 | record count u64
+
+``record`` (repeated)
+    pc u64 | target u64 | flags u8 | kind u8 | inst_gap u16 | load_addr u64
+
+``flags`` bit 0 = taken, bit 1 = depends_on_load.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = ["write_trace", "read_trace", "dumps_trace", "loads_trace"]
+
+_MAGIC = b"RPTR"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHQ")
+_RECORD = struct.Struct("<QQBBHQ")
+
+
+def dumps_trace(records: Sequence[BranchRecord] | Iterable[BranchRecord]) -> bytes:
+    """Serialize a branch trace to bytes."""
+    records = tuple(records)
+    buf = io.BytesIO()
+    buf.write(_HEADER.pack(_MAGIC, _VERSION, len(records)))
+    pack = _RECORD.pack
+    for rec in records:
+        flags = (1 if rec.taken else 0) | (2 if rec.depends_on_load else 0)
+        buf.write(
+            pack(rec.pc, rec.target, flags, int(rec.kind), rec.inst_gap, rec.load_addr)
+        )
+    return buf.getvalue()
+
+
+def loads_trace(data: bytes) -> list[BranchRecord]:
+    """Deserialize a branch trace produced by :func:`dumps_trace`."""
+    if len(data) < _HEADER.size:
+        raise TraceError("trace data truncated: missing header")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise TraceError(f"bad trace magic {magic!r}")
+    if version != _VERSION:
+        raise TraceError(f"unsupported trace version {version}")
+    expected = _HEADER.size + count * _RECORD.size
+    if len(data) < expected:
+        raise TraceError(
+            f"trace data truncated: expected {expected} bytes, got {len(data)}"
+        )
+    records: list[BranchRecord] = []
+    offset = _HEADER.size
+    unpack = _RECORD.unpack_from
+    for _ in range(count):
+        pc, target, flags, kind, inst_gap, load_addr = unpack(data, offset)
+        offset += _RECORD.size
+        try:
+            branch_kind = BranchKind(kind)
+        except ValueError as exc:
+            raise TraceError(f"unknown branch kind {kind}") from exc
+        records.append(
+            BranchRecord(
+                pc=pc,
+                target=target,
+                taken=bool(flags & 1),
+                kind=branch_kind,
+                inst_gap=inst_gap,
+                load_addr=load_addr,
+                depends_on_load=bool(flags & 2),
+            )
+        )
+    return records
+
+
+def write_trace(path: str | Path, records: Sequence[BranchRecord]) -> None:
+    """Write a branch trace to ``path``."""
+    Path(path).write_bytes(dumps_trace(records))
+
+
+def read_trace(path: str | Path) -> list[BranchRecord]:
+    """Read a branch trace previously written by :func:`write_trace`."""
+    return loads_trace(Path(path).read_bytes())

@@ -1,0 +1,103 @@
+"""Branch trace record types.
+
+The simulator is *trace driven*: a workload is a sequence of
+:class:`BranchRecord` objects describing the committed (correct-path)
+conditional-branch stream of a program, in program order.  Non-branch
+instructions are not recorded individually; each branch record carries the
+number of non-branch instructions that precede it (``inst_gap``) together
+with a compact summary of the memory behaviour of that gap (``load_addr``
+and ``depends_on_load``).  This is the same compression used by the
+Championship Branch Prediction trace format and keeps traces small enough
+for a pure-Python pipeline model while preserving everything the branch
+and memory subsystems need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["BranchKind", "BranchRecord"]
+
+
+class BranchKind(enum.IntEnum):
+    """Classification of control-flow instructions.
+
+    Only conditional branches (:attr:`COND`) are predicted by the
+    direction predictors studied here; the other kinds still occupy
+    pipeline slots, consult the BTB, and can end fetch groups.
+    """
+
+    COND = 0
+    UNCOND = 1
+    CALL = 2
+    RET = 3
+    INDIRECT = 4
+
+    @property
+    def is_conditional(self) -> bool:
+        """True for direction-predicted branches."""
+        return self is BranchKind.COND
+
+
+@dataclass(frozen=True, slots=True)
+class BranchRecord:
+    """One committed branch and the instruction gap preceding it.
+
+    Attributes:
+        pc: Byte address of the branch instruction.
+        target: Byte address of the taken target.
+        taken: Committed direction (always True for unconditional kinds).
+        kind: Control-flow classification.
+        inst_gap: Number of non-branch instructions committed since the
+            previous branch record (>= 0).
+        load_addr: Address of a representative load issued in this gap, or
+            0 when the gap contains no load worth modelling.
+        depends_on_load: Whether the branch's condition depends on the
+            load, i.e. the branch cannot resolve before the load returns.
+            Meaningless when ``load_addr`` is 0.
+    """
+
+    pc: int
+    target: int
+    taken: bool
+    kind: BranchKind = BranchKind.COND
+    inst_gap: int = 4
+    load_addr: int = 0
+    depends_on_load: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"branch pc must be non-negative, got {self.pc}")
+        if self.inst_gap < 0:
+            raise ValueError(
+                f"inst_gap must be non-negative, got {self.inst_gap}"
+            )
+        if self.kind is not BranchKind.COND and not self.taken:
+            raise ValueError(f"{self.kind.name} branches are always taken")
+
+    @property
+    def group_size(self) -> int:
+        """Instructions this record contributes to the pipeline window."""
+        return self.inst_gap + 1
+
+    def with_direction(self, taken: bool) -> "BranchRecord":
+        """Copy of this record with a different committed direction.
+
+        Used by wrong-path synthesis, where replayed branches re-resolve
+        with possibly different outcomes.
+        """
+        return BranchRecord(
+            pc=self.pc,
+            target=self.target,
+            taken=taken,
+            kind=self.kind,
+            inst_gap=self.inst_gap,
+            load_addr=self.load_addr,
+            depends_on_load=self.depends_on_load,
+        )
+
+
+# A tiny sentinel used by pipeline code paths that must hand a record to
+# bookkeeping before the first real branch arrives.
+SENTINEL_RECORD = BranchRecord(pc=0, target=0, taken=True, kind=BranchKind.UNCOND, inst_gap=0)

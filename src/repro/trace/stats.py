@@ -1,0 +1,124 @@
+"""Descriptive statistics over branch traces.
+
+Used by workload calibration, tests, and the Table 1 reproduction to
+characterise generated traces: how many static branch sites, how biased
+they are, how much *local* structure exists (the property the paper's
+predictor exploits).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = ["PcProfile", "TraceStats", "collect_stats"]
+
+
+@dataclass(slots=True)
+class PcProfile:
+    """Per static-branch-site statistics."""
+
+    pc: int
+    occurrences: int = 0
+    taken: int = 0
+    #: Number of direction changes across consecutive occurrences.
+    transitions: int = 0
+    _last: bool | None = field(default=None, repr=False)
+
+    def observe(self, taken: bool) -> None:
+        """Record one dynamic occurrence of this site."""
+        self.occurrences += 1
+        if taken:
+            self.taken += 1
+        if self._last is not None and self._last != taken:
+            self.transitions += 1
+        self._last = taken
+
+    @property
+    def bias(self) -> float:
+        """Fraction of occurrences that were taken."""
+        if self.occurrences == 0:
+            return 0.0
+        return self.taken / self.occurrences
+
+    @property
+    def run_length(self) -> float:
+        """Mean run length of a single direction.
+
+        Loop branches with trip count T have run length ~T; this is the
+        simplest observable signature of loop-predictor-friendly sites.
+        """
+        if self.transitions == 0:
+            return float(self.occurrences)
+        return self.occurrences / (self.transitions + 1)
+
+
+@dataclass(slots=True)
+class TraceStats:
+    """Aggregate statistics of one branch trace."""
+
+    total_branches: int = 0
+    total_instructions: int = 0
+    conditional_branches: int = 0
+    taken_branches: int = 0
+    kind_counts: Counter = field(default_factory=Counter)
+    profiles: dict[int, PcProfile] = field(default_factory=dict)
+
+    @property
+    def static_sites(self) -> int:
+        """Number of distinct conditional-branch PCs."""
+        return len(self.profiles)
+
+    @property
+    def branch_density(self) -> float:
+        """Branches per instruction."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.total_branches / self.total_instructions
+
+    @property
+    def taken_rate(self) -> float:
+        """Fraction of conditional branches that were taken."""
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.taken_branches / self.conditional_branches
+
+    def mean_run_length(self) -> float:
+        """Occurrence-weighted mean direction run length across sites."""
+        if not self.profiles:
+            return 0.0
+        weight = sum(p.occurrences for p in self.profiles.values())
+        if weight == 0:
+            return 0.0
+        return (
+            sum(p.run_length * p.occurrences for p in self.profiles.values()) / weight
+        )
+
+    def top_sites(self, count: int = 10) -> list[PcProfile]:
+        """The ``count`` most frequently executed conditional sites."""
+        ranked = sorted(
+            self.profiles.values(), key=lambda p: p.occurrences, reverse=True
+        )
+        return ranked[:count]
+
+
+def collect_stats(records: Iterable[BranchRecord]) -> TraceStats:
+    """Single-pass statistics collection over a trace."""
+    stats = TraceStats()
+    profiles = stats.profiles
+    for rec in records:
+        stats.total_branches += 1
+        stats.total_instructions += rec.group_size
+        stats.kind_counts[rec.kind] += 1
+        if rec.kind is BranchKind.COND:
+            stats.conditional_branches += 1
+            if rec.taken:
+                stats.taken_branches += 1
+            profile = profiles.get(rec.pc)
+            if profile is None:
+                profile = profiles[rec.pc] = PcProfile(pc=rec.pc)
+            profile.observe(rec.taken)
+    return stats

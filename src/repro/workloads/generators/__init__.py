@@ -1,0 +1,19 @@
+"""Trace generation: branch-site behaviours and the region engine."""
+
+from repro.workloads.generators.engine import generate_trace
+from repro.workloads.generators.sites import (
+    BiasedSite,
+    GlobalCorrelatedSite,
+    LoopSite,
+    PatternSite,
+    Site,
+)
+
+__all__ = [
+    "generate_trace",
+    "Site",
+    "LoopSite",
+    "PatternSite",
+    "BiasedSite",
+    "GlobalCorrelatedSite",
+]

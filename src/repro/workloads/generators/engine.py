@@ -1,0 +1,284 @@
+"""Synthetic trace engine: turns a WorkloadSpec into a branch trace.
+
+The engine emulates a program as a stochastic walk over *regions*:
+
+* **loop regions** — execute one loop nest: per iteration the body
+  sites fire, then the loop branch goes its dominant direction; the
+  final instance exits.  Tight loops (empty bodies, small gaps) produce
+  the back-to-back same-PC runs OBQ coalescing targets.
+* **straight-line regions** — a burst of pattern / biased /
+  globally-correlated branches.
+
+Every emitted conditional outcome feeds a real global-history register
+so :class:`~repro.workloads.generators.sites.GlobalCorrelatedSite`
+outcomes are genuinely globally predictable.  Loads come from a blend
+of streaming and random-in-working-set address streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.trace.records import BranchKind, BranchRecord
+from repro.workloads.generators.sites import (
+    BiasedSite,
+    GlobalCorrelatedSite,
+    LoopSite,
+    PatternSite,
+    Site,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["generate_trace"]
+
+_PC_STRIDE = 16
+_CODE_BASE = 0x400000
+_HEAP_BASE = 0x10000000
+_STREAM_BASE = 0x20000000
+
+
+@dataclass
+class _LoopNest:
+    """One loop site plus its body (sites and optional inner nest)."""
+
+    site: LoopSite
+    body: list["Site | _LoopNest"]
+    tight: bool
+
+
+class _Engine:
+    """Stateful single-use trace builder."""
+
+    def __init__(self, spec: WorkloadSpec, n_branches: int) -> None:
+        self.spec = spec
+        self.params = spec.params
+        self.n_branches = n_branches
+        self.rng = random.Random(spec.seed)
+        self.records: list[BranchRecord] = []
+        self.ghist = 0
+        self._next_pc = _CODE_BASE
+        self._stream_ptr = _STREAM_BASE
+        self._ws_lines = max(1, (self.params.working_set_kb * 1024) // 64)
+        self._build_sites()
+
+    # ----------------------------------------------------------- #
+    # site construction
+
+    def _alloc_pc(self) -> int:
+        # Irregular spacing, like real code: sites sit at varied offsets
+        # so structured strides don't alias in set-indexed tables.
+        pc = self._next_pc
+        self._next_pc += 4 * self.rng.randint(1, 16)
+        return pc
+
+    def _make_trip_distribution(self, base: int) -> tuple[tuple[int, ...], tuple[float, ...]]:
+        entropy = self.params.trip_entropy
+        if entropy <= 0.0 or base <= 1:
+            return (base,), (1.0,)
+        low = max(1, base - 1)
+        return (low, base, base + 1), (entropy / 2, 1.0 - entropy, entropy / 2)
+
+    def _make_loop(self, tight: bool, backward: bool) -> _LoopNest:
+        params = self.params
+        rng = self.rng
+        base_trip = rng.randint(params.trip_min, params.trip_max)
+        if tight:
+            base_trip = max(1, round(base_trip * params.tight_trip_scale))
+        trips, weights = self._make_trip_distribution(base_trip)
+        site = LoopSite(
+            pc=self._alloc_pc(),
+            trips=trips,
+            trip_weights=weights,
+            backward=backward,
+        )
+        body: list[Site | _LoopNest] = []
+        if not tight:
+            for _ in range(rng.randint(1, params.body_sites_max)):
+                body.append(self._make_leaf_site())
+            if rng.random() < params.nest_prob:
+                inner_trip = rng.randint(
+                    params.trip_min, max(params.trip_min, params.trip_max // 4)
+                )
+                inner_trips, inner_weights = self._make_trip_distribution(inner_trip)
+                inner = _LoopNest(
+                    site=LoopSite(
+                        pc=self._alloc_pc(),
+                        trips=inner_trips,
+                        trip_weights=inner_weights,
+                        backward=True,
+                    ),
+                    body=[self._make_leaf_site()],
+                    tight=False,
+                )
+                body.append(inner)
+        return _LoopNest(site=site, body=body, tight=tight)
+
+    def _make_leaf_site(self) -> Site:
+        """A loop-body site: mostly high-bias noise, some patterns.
+
+        Body sites use the high ``body_bias`` range — their job is to
+        perturb the global history every iteration, not to add
+        irreducible mispredictions.
+        """
+        params = self.params
+        rng = self.rng
+        if rng.random() < 0.3:
+            return self._make_pattern_site()
+        return BiasedSite(
+            pc=self._alloc_pc(),
+            p_taken=rng.uniform(params.body_bias_min, params.body_bias_max),
+        )
+
+    def _make_pattern_site(self) -> PatternSite:
+        params = self.params
+        rng = self.rng
+        length = rng.randint(params.pattern_min, params.pattern_max)
+        if rng.random() < params.pattern_single_flip:
+            # Fixed-trip if-then-else: one flip per period.
+            if rng.random() < 0.5:
+                pattern = tuple(i < length - 1 for i in range(max(length, 2)))
+            else:
+                pattern = tuple(i >= length - 1 for i in range(max(length, 2)))
+        else:
+            taken_count = rng.randint(1, length)
+            pattern = tuple(i < taken_count for i in range(length))
+        return PatternSite(
+            pc=self._alloc_pc(), pattern=pattern, noise=params.pattern_noise
+        )
+
+    def _build_sites(self) -> None:
+        params = self.params
+        self.loops: list[_LoopNest] = []
+        for _ in range(params.n_loops):
+            self.loops.append(self._make_loop(tight=False, backward=True))
+        for _ in range(params.n_tight_loops):
+            self.loops.append(self._make_loop(tight=True, backward=True))
+        for _ in range(params.n_forward_loops):
+            self.loops.append(self._make_loop(tight=False, backward=False))
+        self.straight_sites: list[Site] = []
+        for _ in range(params.n_patterns):
+            self.straight_sites.append(self._make_pattern_site())
+        for _ in range(params.n_biased):
+            self.straight_sites.append(
+                BiasedSite(
+                    pc=self._alloc_pc(),
+                    p_taken=self.rng.uniform(params.bias_min, params.bias_max),
+                )
+            )
+        for _ in range(params.n_global):
+            self.straight_sites.append(
+                GlobalCorrelatedSite(
+                    pc=self._alloc_pc(),
+                    history_bits=params.global_bits,
+                    invert=self.rng.random() < 0.5,
+                    noise=params.global_noise,
+                )
+            )
+
+    # ----------------------------------------------------------- #
+    # emission
+
+    def _next_load(self) -> int:
+        if self.rng.random() < self.params.stream_prob:
+            self._stream_ptr += 64
+            return self._stream_ptr
+        line = self.rng.randrange(self._ws_lines)
+        return _HEAP_BASE + line * 64
+
+    def _emit(
+        self, pc: int, taken: bool, tight: bool = False, backward: bool = False
+    ) -> None:
+        params = self.params
+        rng = self.rng
+        if rng.random() < params.uncond_prob:
+            # Sprinkle unconditional control flow for BTB pressure.
+            upc = _CODE_BASE + 0x100000 + (rng.randrange(64) * _PC_STRIDE)
+            self.records.append(
+                BranchRecord(
+                    pc=upc,
+                    target=upc + 128,
+                    taken=True,
+                    kind=BranchKind.UNCOND,
+                    inst_gap=rng.randint(params.gap_min, params.gap_max),
+                )
+            )
+        gap_max = params.tight_gap_max if tight else params.gap_max
+        gap = rng.randint(min(params.gap_min, gap_max), gap_max)
+        load_addr = 0
+        depends = False
+        if rng.random() < params.load_prob:
+            load_addr = self._next_load()
+            depends = rng.random() < params.load_dep_prob
+        # The taken-target direction is a property of the branch site:
+        # loop back-edges jump backward, everything else forward.
+        target = pc - 64 if backward and pc > 64 else pc + 64
+        self.records.append(
+            BranchRecord(
+                pc=pc,
+                target=target,
+                taken=taken,
+                kind=BranchKind.COND,
+                inst_gap=gap,
+                load_addr=load_addr,
+                depends_on_load=depends and load_addr != 0,
+            )
+        )
+        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) & 0xFFFFFFFF
+
+    def _emit_site(self, site: Site) -> None:
+        taken = site.next_outcome(self.rng, self.ghist)
+        self._emit(site.pc, taken)
+
+    def _run_body(self, body: list[Site | _LoopNest], depth: int) -> None:
+        for element in body:
+            if len(self.records) >= self.n_branches:
+                return
+            if isinstance(element, _LoopNest):
+                if depth < 2:
+                    self._run_loop(element, depth + 1)
+            else:
+                self._emit_site(element)
+
+    def _run_loop(self, nest: _LoopNest, depth: int = 0) -> None:
+        trip = nest.site.draw_trip(self.rng)
+        dominant = nest.site.backward
+        backward = nest.site.backward
+        for _ in range(trip):
+            if len(self.records) >= self.n_branches:
+                return
+            self._run_body(nest.body, depth)
+            self._emit(nest.site.pc, dominant, tight=nest.tight, backward=backward)
+        self._emit(nest.site.pc, not dominant, tight=nest.tight, backward=backward)
+
+    def _run_straight(self) -> None:
+        count = self.spec.params.straight_region_len
+        for _ in range(count):
+            if len(self.records) >= self.n_branches:
+                return
+            self._emit_site(self.rng.choice(self.straight_sites))
+
+    # ----------------------------------------------------------- #
+
+    def run(self) -> list[BranchRecord]:
+        params = self.params
+        rng = self.rng
+        have_straight = bool(self.straight_sites)
+        while len(self.records) < self.n_branches:
+            if not have_straight or rng.random() < params.loop_region_weight:
+                self._run_loop(rng.choice(self.loops))
+            else:
+                self._run_straight()
+        return self.records[: self.n_branches]
+
+
+def generate_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
+    """Generate the deterministic branch trace for ``spec``.
+
+    The same (spec, n_branches) pair always produces the identical
+    trace; longer traces are prefix-extensions in distribution but not
+    bitwise prefixes (the stop condition truncates mid-region).
+    """
+    if n_branches <= 0:
+        return []
+    return _Engine(spec, n_branches).run()

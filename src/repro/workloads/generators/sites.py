@@ -1,0 +1,144 @@
+"""Branch-site behaviour models for synthetic workloads.
+
+A *site* is one static conditional branch with a parameterised dynamic
+behaviour.  The four families cover the behaviours the paper's workload
+discussion distinguishes (§2.2, §4):
+
+* :class:`LoopSite` — backward loop branches (``TTT...N``) or forward
+  if-then-else branches (``NNN...T``) with a low-entropy trip-count
+  distribution: the CBPw-Loop target.
+* :class:`PatternSite` — short periodic direction patterns, the generic
+  local-history target.
+* :class:`BiasedSite` — biased random noise (data-entropy branches no
+  predictor captures fully).
+* :class:`GlobalCorrelatedSite` — outcome a function of recent *global*
+  history: TAGE-friendly, local-predictor-neutral.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "Site",
+    "LoopSite",
+    "PatternSite",
+    "BiasedSite",
+    "GlobalCorrelatedSite",
+]
+
+
+@dataclass
+class Site:
+    """Base class: one static conditional branch site."""
+
+    pc: int
+
+    def next_outcome(self, rng: random.Random, ghist: int) -> bool:
+        """Direction of the next dynamic instance."""
+        raise NotImplementedError
+
+
+@dataclass
+class LoopSite(Site):
+    """Loop-exit behaviour: runs of the dominant direction, then a flip.
+
+    Args:
+        trips: Candidate trip counts.
+        trip_weights: Relative probabilities (uniform when omitted); a
+            single dominant trip with small weight on ±1 gives the
+            "low entropy exit count" behaviour the paper targets.
+        backward: True for loop back-edges (dominant taken); False for
+            forward if-then-else (dominant not-taken).
+    """
+
+    trips: tuple[int, ...] = (8,)
+    trip_weights: tuple[float, ...] | None = None
+    backward: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.trips or any(t < 1 for t in self.trips):
+            raise WorkloadError(f"loop site {self.pc:#x}: trips must be >= 1")
+        if self.trip_weights is not None and len(self.trip_weights) != len(self.trips):
+            raise WorkloadError(
+                f"loop site {self.pc:#x}: {len(self.trip_weights)} weights for "
+                f"{len(self.trips)} trips"
+            )
+
+    def draw_trip(self, rng: random.Random) -> int:
+        """Sample the trip count for one loop execution."""
+        if self.trip_weights is None:
+            return rng.choice(self.trips)
+        return rng.choices(self.trips, weights=self.trip_weights, k=1)[0]
+
+    def next_outcome(self, rng: random.Random, ghist: int) -> bool:
+        raise WorkloadError(
+            "LoopSite outcomes are driven by the engine's loop regions, "
+            "not sampled per instance"
+        )
+
+
+@dataclass
+class PatternSite(Site):
+    """Cyclic direction pattern (e.g. ``TTN`` repeating), with noise."""
+
+    pattern: tuple[bool, ...] = (True, True, False)
+    noise: float = 0.0
+    _pos: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise WorkloadError(f"pattern site {self.pc:#x}: empty pattern")
+        if not 0.0 <= self.noise < 1.0:
+            raise WorkloadError(f"pattern site {self.pc:#x}: bad noise {self.noise}")
+
+    def next_outcome(self, rng: random.Random, ghist: int) -> bool:
+        outcome = self.pattern[self._pos]
+        self._pos = (self._pos + 1) % len(self.pattern)
+        if self.noise and rng.random() < self.noise:
+            return not outcome
+        return outcome
+
+
+@dataclass
+class BiasedSite(Site):
+    """Independent biased coin — irreducible entropy."""
+
+    p_taken: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_taken <= 1.0:
+            raise WorkloadError(f"biased site {self.pc:#x}: bad bias {self.p_taken}")
+
+    def next_outcome(self, rng: random.Random, ghist: int) -> bool:
+        return rng.random() < self.p_taken
+
+
+@dataclass
+class GlobalCorrelatedSite(Site):
+    """Outcome = parity of selected recent global-history bits.
+
+    Perfectly predictable from global history (TAGE learns it), while a
+    per-PC local history sees noise — the control case ensuring the
+    local predictor only wins where it should.
+    """
+
+    history_bits: int = 6
+    invert: bool = False
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.history_bits <= 32:
+            raise WorkloadError(
+                f"global site {self.pc:#x}: bad history_bits {self.history_bits}"
+            )
+
+    def next_outcome(self, rng: random.Random, ghist: int) -> bool:
+        mask = (1 << self.history_bits) - 1
+        outcome = bool(bin(ghist & mask).count("1") & 1) ^ self.invert
+        if self.noise and rng.random() < self.noise:
+            return not outcome
+        return outcome

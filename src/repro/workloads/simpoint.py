@@ -1,0 +1,125 @@
+"""Simpoint-like representative-phase selection.
+
+The paper characterises its workloads "using a Simpoint-like
+methodology" (§4): long executions are split into fixed-size intervals,
+each summarised by a basic-block vector (here: a branch-PC execution
+histogram), the vectors are clustered, and the interval closest to each
+cluster centroid represents that phase.
+
+This module provides the same machinery over branch traces.  The
+synthetic suite doesn't strictly need it (the generators are stationary
+by construction), but it completes the methodology and lets users apply
+the harness to their own long traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.trace.records import BranchRecord
+
+__all__ = ["Phase", "select_phases", "interval_vectors"]
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One representative interval of a long trace."""
+
+    #: Index of the representative interval.
+    interval: int
+    #: First record index of the interval.
+    start: int
+    #: One-past-last record index.
+    end: int
+    #: Fraction of all intervals this phase represents.
+    weight: float
+
+
+def interval_vectors(
+    records: list[BranchRecord], interval_size: int
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Branch-PC frequency vectors per interval.
+
+    Returns (matrix of shape [n_intervals, n_pcs], interval bounds).
+    Vectors are L1-normalised so intervals of unequal tail length
+    compare fairly.
+    """
+    if interval_size <= 0:
+        raise WorkloadError(f"interval_size must be positive: {interval_size}")
+    if not records:
+        raise WorkloadError("cannot build interval vectors from an empty trace")
+    pcs = sorted({rec.pc for rec in records})
+    pc_index = {pc: i for i, pc in enumerate(pcs)}
+    bounds: list[tuple[int, int]] = []
+    rows: list[np.ndarray] = []
+    for start in range(0, len(records), interval_size):
+        end = min(start + interval_size, len(records))
+        row = np.zeros(len(pcs), dtype=np.float64)
+        for rec in records[start:end]:
+            row[pc_index[rec.pc]] += 1.0
+        total = row.sum()
+        if total > 0:
+            row /= total
+        rows.append(row)
+        bounds.append((start, end))
+    return np.vstack(rows), bounds
+
+
+def _kmeans(matrix: np.ndarray, k: int, seed: int, iterations: int = 25) -> np.ndarray:
+    """Plain Lloyd's k-means returning the assignment vector."""
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[0]
+    centroids = matrix[rng.choice(n, size=k, replace=False)].copy()
+    assignment = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = ((matrix[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for cluster in range(k):
+            members = matrix[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return assignment
+
+
+def select_phases(
+    records: list[BranchRecord],
+    interval_size: int = 10_000,
+    max_phases: int = 4,
+    seed: int = 42,
+) -> list[Phase]:
+    """Pick representative intervals covering the trace's phases.
+
+    Returns at most ``max_phases`` phases, each weighted by the number
+    of intervals its cluster contains, sorted by weight descending.
+    """
+    matrix, bounds = interval_vectors(records, interval_size)
+    n_intervals = matrix.shape[0]
+    k = min(max_phases, n_intervals)
+    if k <= 1:
+        return [Phase(interval=0, start=bounds[0][0], end=bounds[0][1], weight=1.0)]
+    assignment = _kmeans(matrix, k, seed)
+    phases: list[Phase] = []
+    for cluster in range(k):
+        member_idx = np.flatnonzero(assignment == cluster)
+        if len(member_idx) == 0:
+            continue
+        centroid = matrix[member_idx].mean(axis=0)
+        distances = ((matrix[member_idx] - centroid) ** 2).sum(axis=1)
+        representative = int(member_idx[distances.argmin()])
+        start, end = bounds[representative]
+        phases.append(
+            Phase(
+                interval=representative,
+                start=start,
+                end=end,
+                weight=len(member_idx) / n_intervals,
+            )
+        )
+    phases.sort(key=lambda p: p.weight, reverse=True)
+    return phases

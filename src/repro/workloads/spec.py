@@ -1,0 +1,132 @@
+"""Workload specifications: named, seeded, category-tuned parameter sets.
+
+A :class:`WorkloadSpec` is a complete, deterministic recipe for a
+synthetic branch trace — the stand-in for the paper's proprietary
+Simpoint traces (see DESIGN.md, substitution table).  The parameters
+expose exactly the behaviours that differentiate repair schemes: loop
+trip distributions and entropy, tight loops (OBQ coalescing pressure),
+static footprint (BHT/PT thrashing), global-correlated control (TAGE's
+home turf), and memory behaviour (baseline CPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadParams", "WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the synthetic trace engine."""
+
+    # -- site population ---------------------------------------------
+    n_loops: int = 10
+    n_tight_loops: int = 4
+    n_forward_loops: int = 5
+    n_patterns: int = 12
+    n_biased: int = 16
+    n_global: int = 8
+
+    # -- loop behaviour ----------------------------------------------
+    trip_min: int = 4
+    trip_max: int = 40
+    #: Probability mass moved to trip±1 (exit-count entropy).
+    trip_entropy: float = 0.08
+    #: Probability a loop body contains a nested inner loop.
+    nest_prob: float = 0.25
+    body_sites_max: int = 3
+
+    # -- pattern behaviour -------------------------------------------
+    pattern_min: int = 2
+    pattern_max: int = 8
+    pattern_noise: float = 0.01
+    #: Fraction of pattern sites that are single-flip (``TT...TN`` /
+    #: ``NN...NT``) — fixed-trip if-then-else structure, the forward
+    #: branches CBPw-Loop explicitly targets (§1).  The rest are
+    #: multi-flip patterns only a generic local predictor captures.
+    pattern_single_flip: float = 0.7
+
+    # -- biased branches ---------------------------------------------
+    bias_min: float = 0.55
+    bias_max: float = 0.95
+    #: Loop-body noise branches are highly biased: they decorrelate the
+    #: global history across iterations (defeating TAGE's exit capture)
+    #: while adding little irreducible MPKI of their own.
+    body_bias_min: float = 0.92
+    body_bias_max: float = 0.985
+    #: Tight loops run longer trips — real tight kernels iterate beyond
+    #: the global-history window, which is where loop predictors shine.
+    tight_trip_scale: float = 2.0
+
+    # -- global-correlated branches -----------------------------------
+    global_bits: int = 6
+    global_noise: float = 0.02
+
+    # -- region mix ----------------------------------------------------
+    loop_region_weight: float = 0.6
+    straight_region_len: int = 8
+
+    # -- instruction stream --------------------------------------------
+    gap_min: int = 3
+    gap_max: int = 10
+    tight_gap_max: int = 3
+    uncond_prob: float = 0.05
+
+    # -- memory behaviour ----------------------------------------------
+    load_prob: float = 0.3
+    load_dep_prob: float = 0.15
+    working_set_kb: int = 512
+    stream_prob: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_loops + self.n_tight_loops + self.n_forward_loops < 1:
+            raise WorkloadError("need at least one loop site")
+        if self.trip_min < 1 or self.trip_max < self.trip_min:
+            raise WorkloadError(
+                f"bad trip range [{self.trip_min}, {self.trip_max}]"
+            )
+        if not 0.0 <= self.trip_entropy <= 0.5:
+            raise WorkloadError(f"trip_entropy out of range: {self.trip_entropy}")
+        if self.pattern_min < 1 or self.pattern_max < self.pattern_min:
+            raise WorkloadError("bad pattern length range")
+        if not 0.0 <= self.loop_region_weight <= 1.0:
+            raise WorkloadError("loop_region_weight must be a probability")
+        if self.gap_min < 0 or self.gap_max < self.gap_min:
+            raise WorkloadError("bad gap range")
+        if self.working_set_kb < 1:
+            raise WorkloadError("working_set_kb must be >= 1")
+
+    def scaled_footprint(self, factor: float) -> "WorkloadParams":
+        """Copy with the static-site population scaled by ``factor``."""
+        if factor <= 0:
+            raise WorkloadError(f"footprint factor must be positive: {factor}")
+
+        def scale(n: int) -> int:
+            return max(1, round(n * factor))
+
+        return replace(
+            self,
+            n_loops=scale(self.n_loops),
+            n_tight_loops=scale(self.n_tight_loops),
+            n_forward_loops=scale(self.n_forward_loops),
+            n_patterns=scale(self.n_patterns),
+            n_biased=scale(self.n_biased),
+            n_global=scale(self.n_global),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, reproducible workload."""
+
+    name: str
+    category: str
+    seed: int
+    params: WorkloadParams = field(default_factory=WorkloadParams)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload name must be non-empty")

@@ -1,0 +1,67 @@
+"""Shared test fixtures.
+
+Traces used across tests are small and deterministic; anything that
+runs the full pipeline uses a few thousand branches at most so the unit
+suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.records import BranchKind, BranchRecord
+from repro.workloads.spec import WorkloadParams, WorkloadSpec
+
+
+def make_branch(
+    pc: int = 0x1000,
+    taken: bool = True,
+    kind: BranchKind = BranchKind.COND,
+    inst_gap: int = 4,
+    load_addr: int = 0,
+    depends_on_load: bool = False,
+) -> BranchRecord:
+    """Convenience branch-record builder used throughout the tests."""
+    return BranchRecord(
+        pc=pc,
+        target=pc + 64 if not taken else pc - 64 if pc >= 64 else pc + 64,
+        taken=taken,
+        kind=kind,
+        inst_gap=inst_gap,
+        load_addr=load_addr,
+        depends_on_load=depends_on_load,
+    )
+
+
+def loop_trace(pc: int, trip: int, executions: int, gap: int = 3) -> list[BranchRecord]:
+    """A pure loop-branch trace: ``trip`` taken then one not-taken."""
+    records: list[BranchRecord] = []
+    for _ in range(executions):
+        for _ in range(trip):
+            records.append(make_branch(pc=pc, taken=True, inst_gap=gap))
+        records.append(make_branch(pc=pc, taken=False, inst_gap=gap))
+    return records
+
+
+@pytest.fixture
+def tiny_spec() -> WorkloadSpec:
+    """A minimal workload spec for fast end-to-end runs."""
+    params = WorkloadParams(
+        n_loops=3,
+        n_tight_loops=2,
+        n_forward_loops=2,
+        n_patterns=4,
+        n_biased=4,
+        n_global=2,
+        trip_min=4,
+        trip_max=16,
+        working_set_kb=64,
+    )
+    return WorkloadSpec(name="tiny", category="test", seed=7, params=params)
+
+
+@pytest.fixture
+def tiny_trace(tiny_spec):
+    from repro.workloads.generators.engine import generate_trace
+
+    return generate_trace(tiny_spec, 3000)

@@ -1,0 +1,148 @@
+"""Unit tests for the Branch History Table."""
+
+import pytest
+
+from repro.core.bht import BhtConfig, BranchHistoryTable
+from repro.errors import ConfigError
+
+
+def filled_bht(entries=32, ways=4):
+    bht = BranchHistoryTable(BhtConfig(entries=entries, ways=ways))
+    pcs = [0x1000 + 4 * i for i in range(entries)]
+    for i, pc in enumerate(pcs):
+        bht.allocate(pc, state=i)
+    return bht, pcs
+
+
+class TestConfig:
+    def test_defaults_are_paper_sized(self):
+        config = BhtConfig()
+        assert config.entries == 128
+        assert config.ways == 8
+        assert config.sets == 16
+
+    def test_entries_divisible_by_ways(self):
+        with pytest.raises(ConfigError):
+            BhtConfig(entries=100, ways=8)
+
+    def test_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            BhtConfig(entries=24, ways=4)  # 6 sets
+
+    def test_storage_accounts_all_fields(self):
+        config = BhtConfig(entries=128, ways=8, tag_bits=8, state_bits=12)
+        # tag + state + valid + repair + 3 LRU bits = 25 per entry.
+        assert config.storage_bits() == 128 * 25
+
+
+class TestLookupAllocate:
+    def test_find_miss(self):
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        assert bht.find(0x1234) == -1
+
+    def test_allocate_then_find(self):
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        slot = bht.allocate(0x1000, state=42)
+        assert bht.find(0x1000) == slot
+        assert bht.state_at(slot) == 42
+        assert bht.is_valid(slot)
+        assert bht.pc_at(slot) == 0x1000
+
+    def test_lru_eviction_within_set(self):
+        bht = BranchHistoryTable(BhtConfig(entries=8, ways=2))
+        # Find pcs that map to one set.
+        base = None
+        same_set = []
+        for pc in range(0x1000, 0x9000, 4):
+            slot_set = bht._set_base(pc)
+            if base is None:
+                base = slot_set
+            if slot_set == base:
+                same_set.append(pc)
+            if len(same_set) == 3:
+                break
+        a, b, c = same_set
+        bht.allocate(a, 1)
+        bht.allocate(b, 2)
+        bht.touch(bht.find(a))  # make b the LRU victim
+        bht.allocate(c, 3)
+        assert bht.find(a) >= 0
+        assert bht.find(b) == -1
+        assert bht.find(c) >= 0
+        assert bht.evictions == 1
+
+    def test_occupancy_and_residents(self):
+        bht, pcs = filled_bht(entries=16, ways=4)
+        assert bht.occupancy() == 16
+        assert sorted(bht.resident_pcs()) == sorted(pcs)
+
+
+class TestStateAndValid:
+    def test_set_state(self):
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        slot = bht.allocate(0x1000, 5)
+        bht.set_state(slot, 9)
+        assert bht.state_at(slot) == 9
+
+    def test_invalidate_pc(self):
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        slot = bht.allocate(0x1000, 5)
+        assert bht.invalidate_pc(0x1000)
+        assert not bht.is_valid(slot)
+        assert bht.find(0x1000) == slot  # still present
+        assert not bht.invalidate_pc(0x9999)
+
+    def test_remove_pc(self):
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        bht.allocate(0x1000, 5)
+        assert bht.remove_pc(0x1000)
+        assert bht.find(0x1000) == -1
+        assert not bht.remove_pc(0x1000)
+
+
+class TestRepairBits:
+    def test_set_all_and_clear(self):
+        bht, pcs = filled_bht(entries=16, ways=4)
+        bht.set_all_repair_bits()
+        slots = [bht.find(pc) for pc in pcs]
+        assert all(bht.repair_bit(s) for s in slots)
+        bht.clear_repair_bit(slots[0])
+        assert not bht.repair_bit(slots[0])
+        assert bht.repair_bit(slots[1])
+
+    def test_allocation_clears_repair_bit(self):
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        bht.set_all_repair_bits()
+        slot = bht.allocate(0x1000, 1)
+        assert not bht.repair_bit(slot)
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self):
+        bht, pcs = filled_bht(entries=16, ways=4)
+        snap = bht.snapshot()
+        for pc in pcs[:5]:
+            bht.set_state(bht.find(pc), 999)
+        bht.invalidate_pc(pcs[6])
+        dirty = bht.restore_snapshot(snap)
+        assert dirty == 6
+        for i, pc in enumerate(pcs):
+            slot = bht.find(pc)
+            assert bht.state_at(slot) == i
+            assert bht.is_valid(slot)
+
+    def test_snapshot_is_independent_copy(self):
+        bht, pcs = filled_bht(entries=16, ways=4)
+        snap = bht.snapshot()
+        bht.set_state(bht.find(pcs[0]), 777)
+        assert snap[1][bht.find(pcs[0])] != 777
+
+    def test_restore_counts_allocation_changes(self):
+        bht, pcs = filled_bht(entries=16, ways=4)
+        snap = bht.snapshot()
+        bht.remove_pc(pcs[0])
+        bht.allocate(0xBEEF0, 1)
+        dirty = bht.restore_snapshot(snap)
+        assert dirty >= 1
+        assert bht.find(pcs[0]) >= 0
+        assert bht.find(0xBEEF0) == -1

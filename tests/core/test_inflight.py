@@ -1,0 +1,42 @@
+"""Unit tests for in-flight branch bookkeeping."""
+
+from repro.core.inflight import CarriedRepair, InflightBranch
+from repro.core.local_base import SpecUpdate
+from tests.conftest import make_branch
+
+
+class TestInflightBranch:
+    def test_pc_and_actual_delegate_to_record(self):
+        record = make_branch(pc=0x1234, taken=False)
+        branch = InflightBranch(uid=1, record=record)
+        assert branch.pc == 0x1234
+        assert branch.actual_taken is False
+
+    def test_mispredicted(self):
+        branch = InflightBranch(uid=1, record=make_branch(taken=True))
+        branch.predicted_taken = False
+        assert branch.mispredicted
+        branch.predicted_taken = True
+        assert not branch.mispredicted
+
+    def test_carried_pre_state(self):
+        branch = InflightBranch(uid=1, record=make_branch())
+        assert branch.carried_pre_state is None
+        branch.spec = SpecUpdate(
+            pc=branch.pc, slot=0, pre_state=13, pre_valid=True, post_state=15
+        )
+        assert branch.carried_pre_state == 13
+
+    def test_defaults(self):
+        branch = InflightBranch(uid=0, record=make_branch())
+        assert not branch.wrong_path
+        assert not branch.squashed
+        assert not branch.checkpointed
+        assert branch.obq_id is None
+        assert branch.carried is None
+
+    def test_carried_repair_record(self):
+        entry = CarriedRepair(pc=0x10, state=None, valid=False)
+        assert entry.state is None
+        entry2 = CarriedRepair(pc=0x10, state=5, valid=True)
+        assert entry2.state == 5

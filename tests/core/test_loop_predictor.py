@@ -1,0 +1,186 @@
+"""Unit tests for the CBPw-Loop predictor."""
+
+import pytest
+
+from repro.core.loop_predictor import (
+    LoopPredictor,
+    LoopPredictorConfig,
+    pack_state,
+    unpack_state,
+)
+
+
+def train_loop(predictor, pc, trip, executions, dominant=True):
+    """Run a clean loop through the predictor in order; returns accuracy
+    over the final execution."""
+    correct = total = 0
+    for execution in range(executions):
+        outcomes = [dominant] * trip + [not dominant]
+        for taken in outcomes:
+            pred = predictor.lookup(pc)
+            if execution == executions - 1:
+                total += 1
+                if pred is not None and pred.taken == taken:
+                    correct += 1
+            spec = predictor.spec_update(pc, taken)
+            predictor.train(pc, spec.pre_state, taken)
+    return correct / total if total else 0.0
+
+
+class TestStateEncoding:
+    def test_pack_unpack_round_trip(self):
+        for count in (0, 1, 7, 2047):
+            for direction in (True, False):
+                assert unpack_state(pack_state(count, direction)) == (count, direction)
+
+
+class TestStateMachine:
+    def test_next_state_counts_dominant(self):
+        predictor = LoopPredictor()
+        state = pack_state(3, True)
+        assert unpack_state(predictor.next_state(state, True)) == (4, True)
+
+    def test_next_state_resets_on_flip(self):
+        predictor = LoopPredictor()
+        state = pack_state(7, True)
+        assert unpack_state(predictor.next_state(state, False)) == (0, True)
+
+    def test_dominant_relearned_after_double_flip(self):
+        predictor = LoopPredictor()
+        state = pack_state(0, True)
+        new_state = predictor.next_state(state, False)
+        assert unpack_state(new_state) == (1, False)
+
+    def test_count_saturates(self):
+        predictor = LoopPredictor()
+        state = pack_state(predictor.pt.config.max_trip, True)
+        count, _ = unpack_state(predictor.next_state(state, True))
+        assert count == predictor.pt.config.max_trip
+
+    def test_initial_state(self):
+        predictor = LoopPredictor()
+        assert unpack_state(predictor.initial_state(True)) == (1, True)
+        assert unpack_state(predictor.initial_state(False)) == (1, False)
+
+
+class TestPrediction:
+    def test_learns_backward_loop(self):
+        predictor = LoopPredictor()
+        accuracy = train_loop(predictor, 0x4000, trip=7, executions=10)
+        assert accuracy == 1.0
+
+    def test_learns_forward_branch(self):
+        """NNN...T if-then-else patterns (dominant not-taken)."""
+        predictor = LoopPredictor()
+        accuracy = train_loop(predictor, 0x4000, trip=5, executions=10, dominant=False)
+        assert accuracy == 1.0
+
+    def test_no_prediction_before_confidence(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        for taken in [True] * 5 + [False]:
+            assert predictor.lookup(pc) is None or True  # may be None
+            spec = predictor.spec_update(pc, taken)
+            predictor.train(pc, spec.pre_state, taken)
+        # One completed execution is not enough for confidence.
+        assert predictor.lookup(pc) is None
+
+    def test_exit_predicted_at_exact_iteration(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        train_loop(predictor, pc, trip=4, executions=8)
+        # Mid-loop: dominant; at count == trip: exit.
+        slot = predictor.bht.find(pc)
+        predictor.bht.set_state(slot, pack_state(2, True))
+        assert predictor.lookup(pc).taken is True
+        predictor.bht.set_state(slot, pack_state(4, True))
+        assert predictor.lookup(pc).taken is False
+
+    def test_invalid_entry_gives_no_prediction(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        train_loop(predictor, pc, trip=4, executions=8)
+        predictor.bht.invalidate_pc(pc)
+        assert predictor.lookup(pc) is None
+
+    def test_variable_trips_never_confident(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            trip = rng.randint(2, 30)
+            for taken in [True] * trip + [False]:
+                spec = predictor.spec_update(pc, taken)
+                predictor.train(pc, spec.pre_state, taken)
+        entry = predictor.pt.lookup(pc)
+        assert entry is None or not entry.confident
+
+
+class TestTraining:
+    def test_own_misprediction_penalized(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        train_loop(predictor, pc, trip=6, executions=8)
+        before = predictor.pt.lookup(pc).confidence
+        predictor.train(pc, pack_state(3, True), taken=True, predicted=False)
+        assert predictor.pt.lookup(pc).confidence == before - 1
+
+    def test_none_pre_state_trains_nothing(self):
+        predictor = LoopPredictor()
+        predictor.train(0x4000, None, True)
+        assert predictor.pt.occupancy() == 0
+
+    def test_corrupt_carried_state_poisons_trip(self):
+        """Training from a corrupted count teaches the wrong trip —
+        exactly how no-repair degrades even future predictions."""
+        predictor = LoopPredictor()
+        pc = 0x4000
+        train_loop(predictor, pc, trip=6, executions=8)
+        for _ in range(12):
+            predictor.train(pc, pack_state(9, True), taken=False)
+        assert predictor.pt.lookup(pc).trip == 9
+
+
+class TestRepairInterface:
+    def test_repair_write_restores_state(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        predictor.spec_update(pc, True)
+        predictor.repair_write(pc, pack_state(5, True))
+        slot = predictor.bht.find(pc)
+        assert unpack_state(predictor.bht.state_at(slot)) == (5, True)
+
+    def test_repair_write_reallocates_missing_entry(self):
+        predictor = LoopPredictor()
+        assert predictor.repair_write(0x8000, pack_state(3, False))
+        assert predictor.bht.find(0x8000) >= 0
+
+    def test_repair_remove_undoes_fresh_allocation(self):
+        predictor = LoopPredictor()
+        predictor.spec_update(0x8000, True)
+        assert predictor.repair_remove(0x8000)
+        assert predictor.bht.find(0x8000) == -1
+
+    def test_shared_pt_storage_counted_once(self):
+        from repro.core.pattern_table import LoopPatternTable
+
+        config = LoopPredictorConfig.entries(64)
+        shared_pt = LoopPatternTable(config.pt)
+        a = LoopPredictor(config, pt=shared_pt)
+        b = LoopPredictor(config)
+        assert a.storage_bits() < b.storage_bits()
+
+
+class TestConfig:
+    def test_paper_configurations(self):
+        for entries in (64, 128, 256):
+            config = LoopPredictorConfig.entries(entries)
+            assert config.bht.entries == entries
+            assert config.pt.entries == entries
+
+    def test_storage_scales_with_entries(self):
+        small = LoopPredictorConfig.entries(64).storage_bits()
+        large = LoopPredictorConfig.entries(256).storage_bits()
+        assert large == 4 * small

@@ -1,0 +1,163 @@
+"""Unit tests for the Outstanding Branch Queue."""
+
+import pytest
+
+from repro.core.local_base import SpecUpdate
+from repro.core.obq import OutstandingBranchQueue
+from repro.errors import ConfigError
+
+
+def spec(pc, pre_state=0, pre_valid=True):
+    return SpecUpdate(
+        pc=pc, slot=0, pre_state=pre_state, pre_valid=pre_valid, post_state=pre_state + 2
+    )
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            OutstandingBranchQueue(capacity=0)
+
+    def test_push_returns_monotonic_ids(self):
+        obq = OutstandingBranchQueue(capacity=4)
+        ids = [obq.push(uid, spec(0x100 + uid)) for uid in range(3)]
+        assert ids == [0, 1, 2]
+        assert len(obq) == 3
+
+    def test_overflow_returns_none(self):
+        obq = OutstandingBranchQueue(capacity=2)
+        assert obq.push(0, spec(0x100)) is not None
+        assert obq.push(1, spec(0x104)) is not None
+        assert obq.push(2, spec(0x108)) is None
+        assert obq.overflows == 1
+
+    def test_retire_evicts_head(self):
+        obq = OutstandingBranchQueue(capacity=4)
+        for uid in range(4):
+            obq.push(uid, spec(0x100 + 4 * uid))
+        assert obq.retire(1) == 2
+        assert len(obq) == 2
+        assert obq.entries()[0].first_uid == 2
+
+    def test_retire_respects_order(self):
+        obq = OutstandingBranchQueue(capacity=4)
+        obq.push(5, spec(0x100))
+        obq.push(9, spec(0x104))
+        assert obq.retire(4) == 0
+        assert obq.retire(5) == 1
+
+
+class TestFlush:
+    def test_flush_removes_younger(self):
+        obq = OutstandingBranchQueue(capacity=8)
+        for uid in range(6):
+            obq.push(uid, spec(0x100 + 4 * uid, pre_state=uid))
+        removed = obq.flush_younger(2)
+        assert [e.first_uid for e in removed] == [3, 4, 5]
+        assert len(obq) == 3
+
+    def test_flush_empty_queue(self):
+        obq = OutstandingBranchQueue(capacity=4)
+        assert obq.flush_younger(10) == []
+
+
+class TestWalks:
+    def test_forward_from(self):
+        obq = OutstandingBranchQueue(capacity=8)
+        ids = [obq.push(uid, spec(0x100 + 4 * uid)) for uid in range(5)]
+        walk = obq.forward_from(ids[2])
+        assert [e.entry_id for e in walk] == ids[2:]
+
+    def test_backward_to(self):
+        obq = OutstandingBranchQueue(capacity=8)
+        ids = [obq.push(uid, spec(0x100 + 4 * uid)) for uid in range(5)]
+        walk = obq.backward_to(ids[1])
+        assert [e.entry_id for e in walk] == list(reversed(ids[1:]))
+
+    def test_find(self):
+        obq = OutstandingBranchQueue(capacity=4)
+        entry_id = obq.push(0, spec(0x100))
+        assert obq.find(entry_id).pc == 0x100
+        assert obq.find(999) is None
+
+    def test_walk_of_evicted_entry_is_empty(self):
+        obq = OutstandingBranchQueue(capacity=4)
+        entry_id = obq.push(0, spec(0x100))
+        obq.retire(0)
+        assert obq.forward_from(entry_id) == []
+
+
+class TestCoalescing:
+    def test_run_collapses_to_two_entries(self):
+        """First and last instance keep entries; intermediates merge."""
+        obq = OutstandingBranchQueue(capacity=8, coalesce=True)
+        ids = [obq.push(uid, spec(0x100, pre_state=uid)) for uid in range(5)]
+        assert len(obq) == 2
+        assert ids[0] != ids[1]
+        assert ids[1] == ids[2] == ids[3] == ids[4]
+        assert obq.merges == 3
+
+    def test_last_entry_tracks_newest_instance(self):
+        obq = OutstandingBranchQueue(capacity=8, coalesce=True)
+        for uid in range(4):
+            obq.push(uid, spec(0x100, pre_state=10 + uid))
+        last = obq.entries()[-1]
+        assert last.pre_state == 13
+        assert last.last_uid == 3
+        assert last.merged == 2
+
+    def test_different_pc_breaks_run(self):
+        obq = OutstandingBranchQueue(capacity=8, coalesce=True)
+        obq.push(0, spec(0x100))
+        obq.push(1, spec(0x100))
+        obq.push(2, spec(0x200))
+        obq.push(3, spec(0x100))  # new run, not merged with the old one
+        assert len(obq) == 4
+
+    def test_retire_blocked_until_last_merged_retires(self):
+        obq = OutstandingBranchQueue(capacity=8, coalesce=True)
+        for uid in range(4):
+            obq.push(uid, spec(0x100, pre_state=uid))
+        # The "last" entry covers uids 1..3: retiring uid 2 only frees
+        # the first-instance entry.
+        assert obq.retire(2) == 1
+        assert obq.retire(3) == 1
+
+    def test_partial_flush_rolls_back_run(self):
+        obq = OutstandingBranchQueue(capacity=8, coalesce=True)
+        for uid in range(5):
+            obq.push(uid, spec(0x100, pre_state=uid))
+        # Mispredict at uid 2 (an intermediate): the run shrinks to it
+        # and the surviving entry takes the carried pre-state.
+        removed = obq.flush_younger(2, boundary_pre_state=2)
+        assert removed == []
+        tail = obq.entries()[-1]
+        assert tail.last_uid == 2
+        assert tail.pre_state == 2
+        assert not tail.run_open
+
+    def test_flush_closes_open_run(self):
+        obq = OutstandingBranchQueue(capacity=8, coalesce=True)
+        for uid in range(3):
+            obq.push(uid, spec(0x100, pre_state=uid))
+        obq.flush_younger(2, boundary_pre_state=2)
+        # Post-flush instances start a new run rather than merging into
+        # the flushed one.
+        obq.push(7, spec(0x100, pre_state=7))
+        assert obq.entries()[-1].first_uid == 7
+
+    def test_full_queue_can_still_merge(self):
+        obq = OutstandingBranchQueue(capacity=2, coalesce=True)
+        obq.push(0, spec(0x100, pre_state=0))
+        obq.push(1, spec(0x100, pre_state=1))  # opens the run: queue full
+        assert obq.full
+        merged_id = obq.push(2, spec(0x100, pre_state=2))
+        assert merged_id is not None
+        assert obq.overflows == 0
+
+
+class TestStorage:
+    def test_paper_entry_size(self):
+        obq = OutstandingBranchQueue(capacity=32)
+        # 76 bits per entry: 64-bit PC + 11-bit pattern + valid.
+        assert obq.storage_bits() == 32 * 76

@@ -1,0 +1,112 @@
+"""Unit tests for the loop Pattern Table."""
+
+import pytest
+
+from repro.core.pattern_table import LoopPatternTable, PatternTableConfig
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PatternTableConfig()
+        assert config.entries == 128
+        assert config.max_trip == 2047
+        assert config.max_confidence == 7
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            PatternTableConfig(confidence_threshold=0)
+        with pytest.raises(ConfigError):
+            PatternTableConfig(confidence_bits=2, confidence_threshold=4)
+
+    def test_storage_sized_like_paper(self):
+        # 128 entries at ~0.75KB means ~48 bits/entry.
+        config = PatternTableConfig(entries=128)
+        per_entry = config.storage_bits() / config.entries
+        assert 25 <= per_entry <= 48
+
+
+class TestTraining:
+    def test_confidence_builds_on_consistent_trips(self):
+        pt = LoopPatternTable(PatternTableConfig(confidence_threshold=3))
+        pc = 0x4000
+        assert pt.lookup(pc) is None
+        for _ in range(4):
+            pt.train_exit(pc, 12)
+        entry = pt.lookup(pc)
+        assert entry is not None
+        assert entry.trip == 12
+        assert entry.confident
+
+    def test_confidence_not_reached_with_two_exits(self):
+        pt = LoopPatternTable(PatternTableConfig(confidence_threshold=3))
+        pt.train_exit(0x4000, 12)
+        pt.train_exit(0x4000, 12)
+        entry = pt.lookup(0x4000)
+        assert entry is not None
+        assert not entry.confident
+
+    def test_trip_change_decays_then_replaces(self):
+        pt = LoopPatternTable(PatternTableConfig(confidence_threshold=3))
+        pc = 0x4000
+        for _ in range(5):
+            pt.train_exit(pc, 12)
+        before = pt.lookup(pc).confidence
+        # Trip changes: confidence decays without immediately replacing.
+        pt.train_exit(pc, 20)
+        entry = pt.lookup(pc)
+        assert entry.trip == 12
+        assert entry.confidence == before - 1
+        # Persistent new trip eventually replaces the old one.
+        for _ in range(8):
+            pt.train_exit(pc, 20)
+        assert pt.lookup(pc).trip == 20
+
+    def test_trip_saturates_at_max(self):
+        pt = LoopPatternTable()
+        pt.train_exit(0x4000, 10_000)
+        entry = pt.lookup(0x4000)
+        assert entry.trip == pt.config.max_trip
+
+    def test_penalize_decrements(self):
+        pt = LoopPatternTable(PatternTableConfig(confidence_threshold=3))
+        for _ in range(5):
+            pt.train_exit(0x4000, 8)
+        before = pt.lookup(0x4000).confidence
+        pt.penalize(0x4000)
+        assert pt.lookup(0x4000).confidence == before - 1
+
+    def test_penalize_missing_pc_is_safe(self):
+        pt = LoopPatternTable()
+        pt.penalize(0xDEAD)  # must not raise
+
+    def test_penalize_floor_zero(self):
+        pt = LoopPatternTable()
+        pt.train_exit(0x4000, 5)
+        for _ in range(5):
+            pt.penalize(0x4000)
+        assert pt.lookup(0x4000).confidence == 0
+
+
+class TestReplacement:
+    def test_low_confidence_entries_evicted_first(self):
+        config = PatternTableConfig(entries=8, ways=8)
+        pt = LoopPatternTable(config)
+        # Fill all ways of the single set.
+        for i in range(8):
+            for _ in range(4):
+                pt.train_exit(0x1000 + 4 * i, 10 + i)
+        # One entry loses all confidence.
+        for _ in range(8):
+            pt.penalize(0x1000)
+        pt.train_exit(0xBEEF0, 99)
+        assert pt.lookup(0xBEEF0) is not None
+        assert pt.lookup(0x1000) is None
+        assert pt.evictions == 1
+
+    def test_occupancy(self):
+        pt = LoopPatternTable(PatternTableConfig(entries=16, ways=8))
+        assert pt.occupancy() == 0
+        pt.train_exit(0x4000, 3)
+        pt.train_exit(0x5000, 3)
+        assert pt.occupancy() == 2

@@ -1,0 +1,49 @@
+"""Unit tests for repair port configuration and timing."""
+
+import pytest
+
+from repro.core.ports import RepairPortConfig, repair_duration
+from repro.errors import ConfigError
+
+
+class TestRepairPortConfig:
+    def test_label(self):
+        assert RepairPortConfig(32, 4, 2).label == "32-4-2"
+
+    def test_parse_round_trip(self):
+        for label in ("32-4-2", "64-64-64", "16-4-4"):
+            assert RepairPortConfig.parse(label).label == label
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("32-4", "a-b-c", "32-4-2-1", ""):
+            with pytest.raises(ConfigError):
+                RepairPortConfig.parse(bad)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RepairPortConfig(0, 4, 4)
+        with pytest.raises(ConfigError):
+            RepairPortConfig(32, 0, 4)
+        with pytest.raises(ConfigError):
+            RepairPortConfig(32, 4, 0)
+
+
+class TestRepairDuration:
+    def test_zero_work_is_free(self):
+        assert repair_duration(0, 0, 4, 4) == 0
+
+    def test_single_write_is_one_cycle(self):
+        assert repair_duration(0, 1, 4, 4) == 1
+
+    def test_bandwidth_bound_on_writes(self):
+        assert repair_duration(4, 8, 4, 2) == 4
+
+    def test_bandwidth_bound_on_reads(self):
+        assert repair_duration(16, 4, 4, 4) == 4
+
+    def test_max_of_both_sides(self):
+        # The paper's average case: ~5 repairs with 4 ports = 2 cycles.
+        assert repair_duration(5, 5, 4, 4) == 2
+
+    def test_exact_division(self):
+        assert repair_duration(8, 8, 4, 4) == 2

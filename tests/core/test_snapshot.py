@@ -1,0 +1,64 @@
+"""Unit tests for the snapshot queue."""
+
+import pytest
+
+from repro.core.bht import BhtConfig, BranchHistoryTable
+from repro.core.snapshot import SnapshotQueue
+from repro.errors import ConfigError
+
+
+class TestSnapshotQueue:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            SnapshotQueue(capacity=0)
+
+    def test_take_and_find(self):
+        queue = SnapshotQueue(capacity=4)
+        snap_id = queue.take(uid=3, payload="state")
+        assert snap_id is not None
+        snap = queue.find(snap_id)
+        assert snap.uid == 3
+        assert snap.payload == "state"
+
+    def test_overflow(self):
+        queue = SnapshotQueue(capacity=2)
+        assert queue.take(0, "a") is not None
+        assert queue.take(1, "b") is not None
+        assert queue.take(2, "c") is None
+        assert queue.overflows == 1
+        assert queue.takes == 3
+
+    def test_retire_drops_old(self):
+        queue = SnapshotQueue(capacity=4)
+        for uid in range(4):
+            queue.take(uid, uid)
+        assert queue.retire(1) == 2
+        assert len(queue) == 2
+
+    def test_flush_drops_young(self):
+        queue = SnapshotQueue(capacity=4)
+        ids = [queue.take(uid, uid) for uid in range(4)]
+        assert queue.flush_younger(1) == 2
+        assert queue.find(ids[0]) is not None
+        assert queue.find(ids[3]) is None
+
+    def test_take_bht_round_trip(self):
+        queue = SnapshotQueue(capacity=4)
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        bht.allocate(0x100, 5)
+        snap_id = queue.take_bht(uid=0, bht=bht)
+        bht.set_state(bht.find(0x100), 99)
+        dirty = bht.restore_snapshot(queue.find(snap_id).payload)
+        assert dirty == 1
+        assert bht.state_at(bht.find(0x100)) == 5
+
+    def test_take_bht_overflow_counted(self):
+        queue = SnapshotQueue(capacity=1)
+        bht = BranchHistoryTable(BhtConfig(entries=16, ways=4))
+        assert queue.take_bht(0, bht) is not None
+        assert queue.take_bht(1, bht) is None
+        assert queue.overflows == 1
+
+    def test_storage(self):
+        queue = SnapshotQueue(capacity=32)
+        assert queue.storage_bits(bits_per_snapshot=100) == 3200

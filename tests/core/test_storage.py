@@ -1,0 +1,68 @@
+"""Unit tests for storage accounting."""
+
+from repro.core.loop_predictor import LoopPredictor, LoopPredictorConfig
+from repro.core.ports import RepairPortConfig
+from repro.core.repair.forward_walk import ForwardWalkRepair
+from repro.core.repair.snapshot_repair import SnapshotRepair
+from repro.core.storage import StorageBreakdown, system_storage
+from repro.core.unit import StandardLocalUnit
+from repro.predictors.tage import TagePredictor
+
+
+class TestStorageBreakdown:
+    def test_totals(self):
+        breakdown = StorageBreakdown(
+            baseline_bits=8192, local_bits=4096, repair_bits=2048
+        )
+        assert breakdown.total_bits == 14336
+        assert breakdown.baseline_kb == 1.0
+        assert breakdown.local_kb == 0.5
+        assert breakdown.repair_kb == 0.25
+        assert breakdown.total_kb == 1.75
+
+    def test_describe_mentions_components(self):
+        text = StorageBreakdown(8192, 8192, 8192).describe()
+        assert "baseline" in text and "local" in text and "repair" in text
+
+
+class TestSystemStorage:
+    def test_baseline_only(self):
+        tage = TagePredictor()
+        breakdown = system_storage(tage, None)
+        assert breakdown.baseline_bits == tage.storage_bits()
+        assert breakdown.local_bits == 0
+        assert breakdown.repair_bits == 0
+
+    def test_full_system(self):
+        tage = TagePredictor()
+        local = LoopPredictor(LoopPredictorConfig.entries(128))
+        scheme = ForwardWalkRepair(RepairPortConfig(32, 4, 2))
+        unit = StandardLocalUnit(local, scheme)
+        breakdown = system_storage(tage, unit)
+        assert breakdown.local_bits == local.storage_bits()
+        assert breakdown.repair_bits == scheme.storage_bits()
+        # Table 3 scale: forward walk lands near 8.6KB total.
+        assert 7.0 < breakdown.total_kb < 10.5
+
+    def test_snapshot_storage_dominates(self):
+        tage = TagePredictor()
+        local = LoopPredictor(LoopPredictorConfig.entries(128))
+        fwd_unit = StandardLocalUnit(
+            LoopPredictor(LoopPredictorConfig.entries(128)),
+            ForwardWalkRepair(RepairPortConfig(32, 4, 2)),
+        )
+        snap_unit = StandardLocalUnit(local, SnapshotRepair(RepairPortConfig(32, 8, 8)))
+        assert (
+            system_storage(tage, snap_unit).repair_bits
+            > 5 * system_storage(tage, fwd_unit).repair_bits
+        )
+
+    def test_multistage_storage(self):
+        from repro.core.repair.multistage import MultiStageUnit
+
+        tage = TagePredictor()
+        unit = MultiStageUnit()
+        breakdown = system_storage(tage, unit)
+        assert breakdown.local_bits > 0
+        assert breakdown.repair_bits > 0
+        assert breakdown.total_bits == tage.storage_bits() + unit.storage_bits()

@@ -1,0 +1,97 @@
+"""Unit tests for the generic two-level local predictor."""
+
+import pytest
+
+from repro.core.two_level_local import TwoLevelLocalConfig, TwoLevelLocalPredictor
+from repro.errors import ConfigError
+
+
+def drive(predictor, pc, outcomes, score_from=0):
+    correct = total = 0
+    for i, taken in enumerate(outcomes):
+        pred = predictor.lookup(pc)
+        if i >= score_from:
+            total += 1
+            if pred is not None and pred.taken == taken:
+                correct += 1
+        spec = predictor.spec_update(pc, taken)
+        predictor.train(pc, spec.pre_state, taken)
+    return correct / total if total else 0.0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TwoLevelLocalConfig(history_bits=0)
+        with pytest.raises(ConfigError):
+            TwoLevelLocalConfig(counter_bits=1)
+        with pytest.raises(ConfigError):
+            TwoLevelLocalConfig(confidence_margin=0)
+
+    def test_storage_positive_and_scaling(self):
+        small = TwoLevelLocalConfig(pt_log_entries=10).storage_bits()
+        large = TwoLevelLocalConfig(pt_log_entries=12).storage_bits()
+        assert 0 < small < large
+
+
+class TestStateMachine:
+    def test_next_state_shifts(self):
+        predictor = TwoLevelLocalPredictor()
+        assert predictor.next_state(0b1010, True) == 0b10101
+        assert predictor.next_state(0b1010, False) == 0b10100
+
+    def test_state_bounded_by_history_bits(self):
+        predictor = TwoLevelLocalPredictor(TwoLevelLocalConfig(history_bits=4))
+        state = 0
+        for _ in range(20):
+            state = predictor.next_state(state, True)
+        assert state == 0b1111
+
+    def test_initial_state(self):
+        predictor = TwoLevelLocalPredictor()
+        assert predictor.initial_state(True) == 1
+        assert predictor.initial_state(False) == 0
+
+
+class TestPrediction:
+    def test_learns_multi_flip_pattern(self):
+        """TTNN repeating — a pattern the loop predictor cannot hold."""
+        predictor = TwoLevelLocalPredictor()
+        pattern = [True, True, False, False]
+        outcomes = pattern * 120
+        accuracy = drive(predictor, 0x4000, outcomes, score_from=240)
+        assert accuracy > 0.9
+
+    def test_quarantines_noisy_branch(self):
+        """A coin-flip branch should rarely earn predictions."""
+        import random
+
+        predictor = TwoLevelLocalPredictor()
+        rng = random.Random(9)
+        outcomes = [rng.random() < 0.5 for _ in range(400)]
+        predictions = 0
+        for taken in outcomes:
+            if predictor.lookup(0x4000) is not None:
+                predictions += 1
+            spec = predictor.spec_update(0x4000, taken)
+            predictor.train(0x4000, spec.pre_state, taken)
+        assert predictions < len(outcomes) * 0.3
+
+    def test_repair_interface_round_trip(self):
+        predictor = TwoLevelLocalPredictor()
+        predictor.spec_update(0x4000, True)
+        predictor.repair_write(0x4000, 0b1011)
+        slot = predictor.bht.find(0x4000)
+        assert predictor.bht.state_at(slot) == 0b1011
+
+    def test_confidence_resets_on_virtual_miss(self):
+        predictor = TwoLevelLocalPredictor()
+        pattern = [True, True, False, False]
+        drive(predictor, 0x4000, pattern * 100)
+        assert predictor._entry_conf[0x4000] > 0
+        # Feed contradictions: streak collapses.
+        for _ in range(8):
+            spec = predictor.spec_update(0x4000, True)
+            predictor.train(0x4000, spec.pre_state, True)
+        drive(predictor, 0x4000, [False, True] * 4)
+        assert predictor._entry_conf[0x4000] <= predictor.config.entry_confidence_max

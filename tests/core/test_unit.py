@@ -1,0 +1,108 @@
+"""Unit tests for the local branch unit (override policy, chooser,
+blocked-update handling)."""
+
+from repro.core.repair.no_repair import NoRepair
+from repro.core.repair.perfect import PerfectRepair
+from tests.core_repair.helpers import SchemeHarness
+
+
+class TestOverridePolicy:
+    def test_local_agreement_marks_used_without_override(self):
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=8)
+        branch = harness.fetch(pc, True, base_taken=True)  # both say taken
+        assert branch.local_used
+        assert harness.unit.stats.overrides == 0
+
+    def test_differing_prediction_overrides(self):
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=8)
+        for _ in range(6):
+            harness.resolve(harness.fetch(pc, True))
+        branch = harness.fetch(pc, False, base_taken=True)
+        assert branch.local_used
+        assert branch.predicted_taken is False
+        assert harness.unit.stats.overrides == 1
+
+    def test_saves_and_damages_counted(self):
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=8)
+        for _ in range(6):
+            harness.resolve(harness.fetch(pc, True))
+        save = harness.fetch(pc, False, base_taken=True)
+        harness.resolve(save)
+        assert harness.unit.stats.saves == 1
+        assert harness.unit.stats.damages == 0
+
+
+class TestChooser:
+    def test_chooser_disables_losing_overrides(self):
+        from repro.core.local_base import LocalPrediction
+
+        harness = SchemeHarness(PerfectRepair())
+        unit = harness.unit
+        # Synthetic resolutions where the local prediction differs from
+        # TAGE and loses, over and over.
+        start = unit._chooser
+        for _ in range(start + 1):
+            branch = harness.fetch(0x4000, True, base_taken=True)
+            branch.local_pred = LocalPrediction(pc=0x4000, taken=False)
+            unit._train_chooser(branch)
+        assert not unit.override_enabled
+        # A losing streak never underflows.
+        for _ in range(5):
+            branch = harness.fetch(0x4000, True, base_taken=True)
+            branch.local_pred = LocalPrediction(pc=0x4000, taken=False)
+            unit._train_chooser(branch)
+        assert unit._chooser == 0
+
+    def test_chooser_recovers_from_virtual_wins(self):
+        harness = SchemeHarness(PerfectRepair())
+        unit = harness.unit
+        unit._chooser = 0  # force disabled
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=10)
+        # Correct differing predictions retrain the chooser even while
+        # overrides are off.
+        for _ in range(12):
+            for _ in range(6):
+                harness.resolve(harness.fetch(pc, True))
+            harness.resolve(harness.fetch(pc, False, base_taken=True))
+        assert unit.override_enabled
+
+    def test_agreeing_predictions_do_not_train_chooser(self):
+        harness = SchemeHarness(PerfectRepair())
+        before = harness.unit._chooser
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=4)
+        assert harness.unit._chooser == before
+
+
+class TestBlockedUpdates:
+    def test_blocked_update_invalidates_entry(self):
+        scheme = NoRepair()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=4)
+        scheme._busy_until = 10_000_000  # force a repair window
+        branch = harness.fetch(pc, True)
+        assert branch.spec is None
+        assert not branch.checkpointed
+        slot = harness.local.bht.find(pc)
+        assert not harness.local.bht.is_valid(slot)
+        assert harness.unit.stats.blocked_updates == 1
+        assert harness.unit.stats.denied_busy == 1
+
+    def test_wrong_path_branches_do_not_train(self):
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        wp = harness.fetch(pc, True, wrong_path=True)
+        harness.resolve(wp)
+        assert harness.local.pt.occupancy() == 0
+
+    def test_unit_storage_combines_local_and_scheme(self):
+        harness = SchemeHarness(PerfectRepair())
+        assert harness.unit.storage_bits() == harness.local.storage_bits()

@@ -1,0 +1,94 @@
+"""Driving harness for repair-scheme tests.
+
+Drives a :class:`StandardLocalUnit` (loop predictor + scheme) the way
+the pipeline would, but with full manual control over fetch order,
+wrong-path marking, cycles, and misprediction injection — so each test
+can build the exact speculative-state scenario it wants to see repaired.
+"""
+
+from __future__ import annotations
+
+from repro.core.inflight import InflightBranch
+from repro.core.loop_predictor import (
+    LoopPredictor,
+    LoopPredictorConfig,
+    pack_state,
+    unpack_state,
+)
+from repro.core.unit import StandardLocalUnit
+from repro.predictors.base import Prediction
+from repro.trace.records import BranchRecord
+
+__all__ = ["SchemeHarness", "pack_state", "unpack_state"]
+
+
+class SchemeHarness:
+    """In-order driver for one local unit."""
+
+    def __init__(self, scheme, entries: int = 64, confidence_threshold: int = 3) -> None:
+        self.local = LoopPredictor(
+            LoopPredictorConfig.entries(entries, confidence_threshold)
+        )
+        self.unit = StandardLocalUnit(self.local, scheme)
+        self.scheme = scheme
+        self.cycle = 0
+        self._uid = 0
+
+    # ------------------------------------------------------------- #
+
+    def train_loop(self, pc: int, trip: int, executions: int) -> None:
+        """Teach the predictor a clean loop (fetch/resolve/retire each)."""
+        for _ in range(executions):
+            for taken in [True] * trip + [False]:
+                branch = self.fetch(pc, taken)
+                self.resolve(branch)
+                self.retire(branch)
+
+    def fetch(
+        self,
+        pc: int,
+        actual_taken: bool,
+        base_taken: bool | None = None,
+        wrong_path: bool = False,
+        cycle: int | None = None,
+    ) -> InflightBranch:
+        """Fetch one conditional branch through the unit."""
+        if cycle is not None:
+            self.cycle = cycle
+        record = BranchRecord(pc=pc, target=pc + 64, taken=actual_taken, inst_gap=2)
+        branch = InflightBranch(
+            uid=self._uid,
+            record=record,
+            wrong_path=wrong_path,
+            fetch_cycle=self.cycle,
+            resolve_cycle=self.cycle + 20,
+        )
+        self._uid += 1
+        base = base_taken if base_taken is not None else actual_taken
+        branch.tage_pred = Prediction(pc=pc, taken=base)
+        self.unit.predict(branch, base, self.cycle)
+        self.cycle += 1
+        return branch
+
+    def resolve(self, branch: InflightBranch, flushed=(), cycle: int | None = None) -> None:
+        """Resolve a branch (training plus mispredict repair)."""
+        self.unit.resolve(
+            branch, list(flushed), cycle if cycle is not None else branch.resolve_cycle
+        )
+
+    def retire(self, branch: InflightBranch) -> None:
+        self.unit.retire(branch, branch.resolve_cycle + 5)
+
+    # ------------------------------------------------------------- #
+
+    def state_of(self, pc: int) -> tuple[int, bool] | None:
+        """(count, dominant) currently in the BHT, or None when absent."""
+        slot = self.local.bht.find(pc)
+        if slot < 0:
+            return None
+        return unpack_state(self.local.bht.state_at(slot))
+
+    def set_state(self, pc: int, count: int, dominant: bool = True) -> None:
+        slot = self.local.bht.find(pc)
+        assert slot >= 0, f"pc {pc:#x} not in BHT"
+        self.local.bht.set_state(slot, pack_state(count, dominant))

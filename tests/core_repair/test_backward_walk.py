@@ -1,0 +1,115 @@
+"""Unit tests for backward-walk history-file repair."""
+
+from repro.core.ports import RepairPortConfig
+from repro.core.repair.backward_walk import BackwardWalkRepair
+from tests.core_repair.helpers import SchemeHarness
+
+
+def make(entries=32, reads=4, writes=4):
+    return BackwardWalkRepair(RepairPortConfig(entries, reads, writes))
+
+
+class TestCheckpointing:
+    def test_every_branch_gets_an_entry(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        branches = [harness.fetch(0x4000 + 16 * i, True) for i in range(5)]
+        assert all(b.obq_id is not None for b in branches)
+        assert all(b.checkpointed for b in branches)
+
+    def test_overflow_leaves_branch_uncheckpointed(self):
+        scheme = make(entries=2)
+        harness = SchemeHarness(scheme)
+        branches = [harness.fetch(0x4000 + 16 * i, True) for i in range(4)]
+        assert branches[2].obq_id is None
+        assert not branches[2].checkpointed
+        assert scheme.stats.uncheckpointed == 2
+
+    def test_retire_frees_entries(self):
+        scheme = make(entries=2)
+        harness = SchemeHarness(scheme)
+        first = harness.fetch(0x4000, True)
+        harness.fetch(0x4010, True)
+        harness.retire(first)
+        assert harness.fetch(0x4020, True).checkpointed
+
+
+class TestRepair:
+    def test_restores_flushed_state(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        count_before, _ = harness.state_of(pc)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        wrong_path = [harness.fetch(pc, True, wrong_path=True) for _ in range(3)]
+        harness.resolve(trigger, flushed=wrong_path)
+        count_after, _ = harness.state_of(pc)
+        assert count_after == count_before
+
+    def test_globally_busy_during_repair(self):
+        scheme = make(entries=32, reads=2, writes=2)
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [
+            harness.fetch(0x4000 + 16 * i, True, wrong_path=True) for i in range(8)
+        ]
+        done = scheme.on_mispredict(trigger, flushed, cycle=100)
+        assert done > 100
+        # No PC is usable until the whole walk completes — including
+        # ones the walk never touches.
+        assert not scheme.can_predict(0xBEEF, 100)
+        assert not scheme.can_predict(0x4000, done - 1)
+        assert scheme.can_predict(0x4000, done)
+
+    def test_duplicate_instances_cost_duplicate_writes(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [harness.fetch(pc, True, wrong_path=True) for _ in range(6)]
+        harness.resolve(trigger, flushed=flushed)
+        # 6 same-PC entries + the trigger's walk entry + own correction.
+        assert scheme.stats.bht_writes == 8
+
+    def test_uncheckpointed_trigger_skips_repair(self):
+        scheme = make(entries=2)
+        harness = SchemeHarness(scheme)
+        harness.fetch(0x4000, True)
+        harness.fetch(0x4010, True)
+        trigger = harness.fetch(0x9000, False, base_taken=True)  # overflowed
+        assert not trigger.checkpointed
+        ghost = harness.fetch(0x7000, True, wrong_path=True)
+        harness.resolve(trigger, flushed=[ghost])
+        assert scheme.stats.skipped_events == 1
+        # The squashed allocation survives, unrepaired.
+        assert harness.local.bht.find(0x7000) >= 0
+
+    def test_flush_releases_obq_entries(self):
+        scheme = make(entries=4)
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        for i in range(3):
+            harness.fetch(0x4000 + 16 * i, True, wrong_path=True)
+        assert len(scheme.obq) == 4
+        harness.resolve(
+            trigger,
+            flushed=[],  # scheme flushes by uid regardless
+        )
+        assert len(scheme.obq) == 1
+
+    def test_restart_counted_on_overlapping_repairs(self):
+        scheme = make(entries=32, reads=1, writes=1)
+        harness = SchemeHarness(scheme)
+        young = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [harness.fetch(0x4000 + 16 * i, True, wrong_path=True) for i in range(6)]
+        done = scheme.on_mispredict(young, flushed, cycle=100)
+        assert done > 101
+        older = harness.fetch(0x9100, False, base_taken=True)
+        scheme.on_mispredict(older, [], cycle=101)
+        assert scheme.stats.restarts == 1
+
+    def test_storage_is_obq_only(self):
+        scheme = make(entries=32)
+        assert scheme.storage_bits() == 32 * 76
+        assert scheme.repair_ports == (4, 4)

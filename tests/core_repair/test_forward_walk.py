@@ -1,0 +1,162 @@
+"""Unit tests for forward-walk history-file repair."""
+
+from repro.core.ports import RepairPortConfig
+from repro.core.repair.forward_walk import ForwardWalkRepair
+from tests.core_repair.helpers import SchemeHarness, pack_state
+
+
+def make(entries=32, reads=4, writes=2, coalesce=False, **kwargs):
+    return ForwardWalkRepair(
+        RepairPortConfig(entries, reads, writes), coalesce=coalesce, **kwargs
+    )
+
+
+class TestRepairCorrectness:
+    def test_restores_flushed_state(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        count_before, _ = harness.state_of(pc)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        wrong_path = [harness.fetch(pc, True, wrong_path=True) for _ in range(3)]
+        harness.resolve(trigger, flushed=wrong_path)
+        assert harness.state_of(pc) == (count_before, True)
+
+    def test_one_write_per_pc(self):
+        """Repair bits: duplicate instances cost no extra writes."""
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [harness.fetch(pc, True, wrong_path=True) for _ in range(6)]
+        harness.resolve(trigger, flushed=flushed)
+        # One write for the trigger's own correction, one for the PC.
+        assert scheme.stats.bht_writes == 2
+
+    def test_without_repair_bits_charges_duplicates(self):
+        plain = make()
+        nobits = make(use_repair_bits=False)
+        for scheme in (plain, nobits):
+            harness = SchemeHarness(scheme)
+            trigger = harness.fetch(0x9000, False, base_taken=True)
+            flushed = [harness.fetch(0x4000, True, wrong_path=True) for _ in range(6)]
+            harness.resolve(trigger, flushed=flushed)
+        assert nobits.stats.bht_writes > plain.stats.bht_writes
+
+    def test_fresh_allocations_removed(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        ghost = harness.fetch(0x7000, True, wrong_path=True)
+        harness.resolve(trigger, flushed=[ghost])
+        assert harness.local.bht.find(0x7000) == -1
+
+
+class TestAvailability:
+    def test_per_pc_availability_during_repair(self):
+        """Forward walk's twin benefit: repaired/untouched PCs can be
+        predicted while the walk is still draining."""
+        scheme = make(entries=64, reads=1, writes=1)
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [
+            harness.fetch(0x4000 + 16 * i, True, wrong_path=True) for i in range(6)
+        ]
+        done = scheme.on_mispredict(trigger, flushed, cycle=100)
+        assert done > 102
+        # The mispredicting PC repairs first: ready at cycle+1.
+        assert scheme.can_predict(0x9000, 101)
+        # An untouched PC is always available.
+        assert scheme.can_predict(0xBEEF, 100)
+        # The last walked PC is not ready early on...
+        assert not scheme.can_predict(0x4000 + 16 * 5, 101)
+        # ...but is once the walk completes.
+        assert scheme.can_predict(0x4000 + 16 * 5, done)
+
+    def test_repair_order_is_oldest_first(self):
+        scheme = make(entries=64, reads=1, writes=1)
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [
+            harness.fetch(0x4000 + 16 * i, True, wrong_path=True) for i in range(4)
+        ]
+        scheme.on_mispredict(trigger, flushed, cycle=100)
+        ready = [scheme._ready[0x4000 + 16 * i] for i in range(4)]
+        assert ready == sorted(ready)
+
+
+class TestCoalescing:
+    def test_merged_run_repairs_from_first_entry(self):
+        scheme = make(coalesce=True)
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        count_before, _ = harness.state_of(pc)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        run = [harness.fetch(pc, True, wrong_path=True) for _ in range(5)]
+        # The run coalesced: at most two OBQ ids among five instances.
+        assert len({b.obq_id for b in run}) <= 2
+        harness.resolve(trigger, flushed=run)
+        assert harness.state_of(pc) == (count_before, True)
+
+    def test_mid_run_mispredict_uses_carried_state(self):
+        """An intermediate instance of a merged run recovers from the
+        11-bit state it carries, not from the OBQ."""
+        scheme = make(coalesce=True)
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        # Three consecutive instances; the middle one mispredicts.
+        first = harness.fetch(pc, True)
+        middle = harness.fetch(pc, False, base_taken=True)  # actually exits
+        last = harness.fetch(pc, True, wrong_path=True)
+        assert middle.mispredicted
+        harness.resolve(middle, flushed=[last])
+        count, dominant = harness.state_of(pc)
+        # Pre-middle count advanced by `first`; the exit resets it.
+        assert (count, dominant) == (0, True)
+
+    def test_uncheckpointed_trigger_still_self_repairs(self):
+        scheme = make(entries=2, coalesce=True)
+        harness = SchemeHarness(scheme)
+        harness.fetch(0x1000, True)
+        harness.fetch(0x2000, True)
+        pc = 0x4000
+        trigger = harness.fetch(pc, False, base_taken=True)  # overflowed
+        assert not trigger.checkpointed
+        harness.resolve(trigger)
+        # Carried state lets the mispredicting PC recover even so.
+        count, _ = harness.state_of(pc)
+        assert count == 0 or harness.state_of(pc) is not None
+        assert scheme.stats.skipped_events == 0
+
+    def test_plain_mode_skips_uncheckpointed_trigger(self):
+        scheme = make(entries=2, coalesce=False)
+        harness = SchemeHarness(scheme)
+        harness.fetch(0x1000, True)
+        harness.fetch(0x2000, True)
+        trigger = harness.fetch(0x4000, False, base_taken=True)
+        harness.resolve(trigger)
+        assert scheme.stats.skipped_events == 1
+
+
+class TestMultiRepair:
+    def test_restart_resets_repair_bits(self):
+        scheme = make(entries=64, reads=1, writes=1)
+        harness = SchemeHarness(scheme)
+        older = harness.fetch(0x9000, False, base_taken=True)
+        young = harness.fetch(0x9100, False, base_taken=True)
+        flushed_young = [harness.fetch(0x4000, True, wrong_path=True)]
+        scheme.on_mispredict(young, flushed_young, cycle=100)
+        # The older branch now resolves mispredicted: restart.
+        scheme.on_mispredict(older, [], cycle=101)
+        assert scheme.stats.restarts == 1
+        assert scheme.stats.events == 2
+
+    def test_storage_includes_rob_bits(self):
+        scheme = make(entries=32)
+        # OBQ (32x76) + 128 repair bits + 224 x (5-bit id + 11-bit ctr).
+        harness = SchemeHarness(scheme, entries=128)
+        assert scheme.storage_bits() == 32 * 76 + 128 + 224 * 16
+        assert scheme.repair_ports == (4, 2)

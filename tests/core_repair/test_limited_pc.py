@@ -1,0 +1,165 @@
+"""Unit tests for limited-PC repair."""
+
+import pytest
+
+from repro.core.repair.limited_pc import LimitedPcRepair
+from repro.errors import ConfigError
+from tests.core_repair.helpers import SchemeHarness
+
+
+class TestCandidateSelection:
+    def test_own_pc_always_first(self):
+        scheme = LimitedPcRepair(repair_count=2)
+        harness = SchemeHarness(scheme)
+        branch = harness.fetch(0x4000, True)
+        assert branch.carried is not None
+        assert branch.carried[0].pc == 0x4000
+
+    def test_carries_exactly_m_entries(self):
+        scheme = LimitedPcRepair(repair_count=4)
+        harness = SchemeHarness(scheme)
+        for i in range(6):
+            harness.fetch(0x1000 + 16 * i, True)
+        branch = harness.fetch(0x4000, True)
+        assert len(branch.carried) == 4
+
+    def test_utility_candidates_preferred(self):
+        scheme = LimitedPcRepair(repair_count=2)
+        harness = SchemeHarness(scheme)
+        hot = 0x4000
+        harness.train_loop(hot, trip=6, executions=8)
+        # Make `hot` a recent correct override: local says exit, TAGE
+        # says continue, exit happens.
+        for _ in range(6):
+            harness.resolve(harness.fetch(hot, True))
+        save = harness.fetch(hot, False, base_taken=True)
+        assert save.local_used and save.local_pred.taken is False
+        harness.resolve(save)
+        # Now a different branch's carried set should include `hot`.
+        for i in range(8):
+            harness.fetch(0x1000 + 16 * i, True)
+        other = harness.fetch(0x9000, True)
+        assert other.carried[1].pc == hot
+
+    def test_recency_backfill(self):
+        scheme = LimitedPcRepair(repair_count=3, policy="recency")
+        harness = SchemeHarness(scheme)
+        harness.fetch(0x1000, True)
+        harness.fetch(0x2000, True)
+        branch = harness.fetch(0x9000, True)
+        carried_pcs = [c.pc for c in branch.carried]
+        assert carried_pcs[0] == 0x9000
+        assert set(carried_pcs[1:]) == {0x1000, 0x2000}
+
+    def test_missing_entry_recorded_as_absent(self):
+        scheme = LimitedPcRepair(repair_count=2)
+        harness = SchemeHarness(scheme)
+        branch = harness.fetch(0x4000, True)
+        assert branch.carried[0].state is None  # fresh allocation
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            LimitedPcRepair(repair_count=0)
+        with pytest.raises(ConfigError):
+            LimitedPcRepair(write_ports=0)
+
+
+class TestRepair:
+    def test_repairs_carried_pcs_only(self):
+        scheme = LimitedPcRepair(repair_count=2)
+        harness = SchemeHarness(scheme)
+        pc_a, pc_b = 0x4000, 0x5000
+        harness.train_loop(pc_a, trip=8, executions=3)
+        harness.train_loop(pc_b, trip=8, executions=3)
+        # Advance a few iterations so the exit lands at a non-zero count.
+        for _ in range(3):
+            harness.resolve(harness.fetch(pc_a, True))
+        count_b = harness.state_of(pc_b)[0]
+
+        trigger = harness.fetch(pc_a, False, base_taken=True)
+        wrong_path = [
+            harness.fetch(pc_a, True, wrong_path=True),
+            harness.fetch(pc_b, True, wrong_path=True),
+            harness.fetch(pc_b, True, wrong_path=True),
+        ]
+        carried_pcs = {c.pc for c in trigger.carried}
+        harness.resolve(trigger, flushed=wrong_path)
+        # Own PC repaired (exit resets count)...
+        assert harness.state_of(pc_a)[0] == 0
+        if pc_b in carried_pcs:
+            assert harness.state_of(pc_b)[0] == count_b
+        else:
+            # ...non-carried pollution stays.
+            assert harness.state_of(pc_b)[0] == count_b + 2
+
+    def test_deterministic_duration(self):
+        scheme = LimitedPcRepair(repair_count=4, write_ports=2)
+        harness = SchemeHarness(scheme)
+        # Populate the recency pool so a full 4-PC set is carried.
+        for i in range(4):
+            harness.fetch(0x1000 + 16 * i, True)
+        trigger = harness.fetch(0x4000, False, base_taken=True)
+        assert len(trigger.carried) == 4
+        done = scheme.on_mispredict(trigger, [], cycle=100)
+        assert done == 102  # ceil(4 / 2) cycles, always
+
+    def test_invalidate_others_clears_all_non_repaired(self):
+        scheme = LimitedPcRepair(repair_count=2, invalidate_others=True)
+        harness = SchemeHarness(scheme)
+        for i in range(6):
+            harness.resolve(harness.fetch(0x1000 + 16 * i, True))
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        carried_pcs = {c.pc for c in trigger.carried}
+        harness.resolve(trigger)
+        for i in range(6):
+            pc = 0x1000 + 16 * i
+            slot = harness.local.bht.find(pc)
+            if pc not in carried_pcs and slot >= 0:
+                assert not harness.local.bht.is_valid(slot)
+
+    def test_unrepaired_stat(self):
+        scheme = LimitedPcRepair(repair_count=1)
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [harness.fetch(0x4000 + 16 * i, True, wrong_path=True) for i in range(3)]
+        harness.resolve(trigger, flushed=flushed)
+        assert scheme.stats.unrepaired == 3
+
+
+class TestSqVariant:
+    def test_checkpoints_into_queue(self):
+        scheme = LimitedPcRepair(repair_count=4, sq_entries=8)
+        harness = SchemeHarness(scheme)
+        branch = harness.fetch(0x4000, True)
+        assert branch.carried is None
+        assert branch.snapshot_id is not None
+
+    def test_overflow_skips_repair(self):
+        scheme = LimitedPcRepair(repair_count=2, sq_entries=1)
+        harness = SchemeHarness(scheme)
+        harness.fetch(0x1000, True)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        assert trigger.snapshot_id is None
+        harness.resolve(trigger)
+        assert scheme.stats.skipped_events == 1
+
+    def test_sq_repair_restores_states(self):
+        scheme = LimitedPcRepair(repair_count=2, sq_entries=16)
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=3)
+        for _ in range(3):
+            harness.resolve(harness.fetch(pc, True))
+        trigger = harness.fetch(pc, False, base_taken=True)
+        wrong_path = [harness.fetch(pc, True, wrong_path=True)]
+        harness.resolve(trigger, flushed=wrong_path)
+        assert harness.state_of(pc)[0] == 0  # exit applied after restore
+
+    def test_storage_modes_differ(self):
+        carried = LimitedPcRepair(repair_count=2)
+        queued = LimitedPcRepair(repair_count=8, sq_entries=32)
+        # Carried: 224 ROB entries x 2 PCs x 24 bits.
+        assert carried.storage_bits() == 224 * 2 * 24
+        # SQ: 32 x 8 x 24 + ROB id bits — about 0.77KB, paper says the
+        # 8PC/32-entry SQ needs ~0.33KB of queue storage plus ids.
+        assert queued.storage_bits() == 32 * 8 * 24 + 224 * 5

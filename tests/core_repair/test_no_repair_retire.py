@@ -1,0 +1,98 @@
+"""Unit tests for no-repair and update-at-retire."""
+
+from repro.core.repair.no_repair import NoRepair
+from repro.core.repair.retire_update import RetireUpdate
+from tests.core_repair.helpers import SchemeHarness
+
+
+class TestNoRepair:
+    def test_pollution_survives_flush(self):
+        harness = SchemeHarness(NoRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        count_before, _ = harness.state_of(pc)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        wrong_path = [harness.fetch(pc, True, wrong_path=True) for _ in range(3)]
+        harness.resolve(trigger, flushed=wrong_path)
+        count_after, _ = harness.state_of(pc)
+        assert count_after == count_before + 3  # corruption kept
+
+    def test_stats_track_unrepaired(self):
+        scheme = NoRepair()
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [harness.fetch(0x4000, True, wrong_path=True) for _ in range(4)]
+        harness.resolve(trigger, flushed=flushed)
+        assert scheme.stats.unrepaired == 4
+        assert scheme.stats.skipped_events == 1
+
+    def test_never_busy(self):
+        scheme = NoRepair()
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        harness.resolve(trigger)
+        assert scheme.can_predict(0x9000, trigger.resolve_cycle)
+
+    def test_state_recovers_at_direction_flip(self):
+        """The paper's self-healing: a (predicted) flip reinitialises the
+        counter, so corruption is temporary."""
+        harness = SchemeHarness(NoRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        # Corrupt the count up to the learned trip: the next prediction
+        # is the exit, whose speculative update resets the counter.
+        harness.set_state(pc, 8, True)
+        branch = harness.fetch(pc, actual_taken=False)
+        assert branch.local_used and branch.local_pred.taken is False
+        count, _ = harness.state_of(pc)
+        assert count == 0
+
+
+class TestRetireUpdate:
+    def test_no_speculative_update_at_fetch(self):
+        harness = SchemeHarness(RetireUpdate())
+        pc = 0x4000
+        branch = harness.fetch(pc, True)
+        assert harness.local.bht.find(pc) == -1
+        assert branch.spec is None
+
+    def test_bht_updated_only_at_retire(self):
+        harness = SchemeHarness(RetireUpdate())
+        pc = 0x4000
+        branch = harness.fetch(pc, True)
+        harness.resolve(branch)
+        assert harness.local.bht.find(pc) == -1
+        harness.retire(branch)
+        assert harness.state_of(pc) == (1, True)
+
+    def test_state_lags_in_flight_instances(self):
+        """The staleness that costs this scheme its gains (§6.2)."""
+        harness = SchemeHarness(RetireUpdate())
+        pc = 0x4000
+        in_flight = [harness.fetch(pc, True) for _ in range(5)]
+        # Five fetched instances, none retired: BHT sees nothing.
+        assert harness.local.bht.find(pc) == -1
+        for branch in in_flight[:2]:
+            harness.retire(branch)
+        assert harness.state_of(pc) == (2, True)
+
+    def test_learns_trips_from_architectural_stream(self):
+        harness = SchemeHarness(RetireUpdate())
+        pc = 0x4000
+        for _ in range(6):
+            for taken in [True] * 5 + [False]:
+                branch = harness.fetch(pc, taken)
+                harness.resolve(branch)
+                harness.retire(branch)
+        entry = harness.local.pt.lookup(pc)
+        assert entry is not None
+        assert entry.trip == 5
+        assert entry.confident
+
+    def test_mispredict_is_noop_for_state(self):
+        harness = SchemeHarness(RetireUpdate())
+        pc = 0x4000
+        branch = harness.fetch(pc, False, base_taken=True)
+        before = harness.local.bht.snapshot()
+        harness.resolve(branch)
+        assert harness.local.bht.restore_snapshot(before) == 0

@@ -1,0 +1,85 @@
+"""Unit tests for perfect (oracle) repair."""
+
+from repro.core.repair.perfect import PerfectRepair
+from tests.core_repair.helpers import SchemeHarness
+
+
+class TestPerfectRepair:
+    def test_restores_wrong_path_pollution_exactly(self):
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=5)
+        # Mid-loop: three iterations in.
+        for _ in range(3):
+            harness.resolve(harness.fetch(pc, True))
+        count_before, _ = harness.state_of(pc)
+
+        # A noise branch mispredicts; the wrong path re-runs the loop
+        # branch four more times (predicted taken).
+        noise = harness.fetch(0x9000, False, base_taken=True)
+        wrong_path = [
+            harness.fetch(pc, True, wrong_path=True) for _ in range(4)
+        ]
+        polluted, _ = harness.state_of(pc)
+        assert polluted == count_before + 4
+
+        harness.resolve(noise, flushed=wrong_path)
+        count_after, _ = harness.state_of(pc)
+        assert count_after == count_before
+
+    def test_own_entry_updated_with_actual_outcome(self):
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=6, executions=5)
+        # Run to the learned exit point...
+        for _ in range(6):
+            harness.resolve(harness.fetch(pc, True))
+        # ...where the predictor says "exit" but the loop runs longer:
+        # the misprediction repair must land the *resolved* count.
+        branch = harness.fetch(pc, actual_taken=True)
+        assert branch.local_used and not branch.local_pred.taken
+        assert branch.mispredicted
+        harness.resolve(branch)
+        count, dominant = harness.state_of(pc)
+        assert (count, dominant) == (7, True)
+
+    def test_fresh_wrong_path_allocations_removed(self):
+        harness = SchemeHarness(PerfectRepair())
+        victim = harness.fetch(0x4000, False, base_taken=True)
+        ghost = harness.fetch(0x7777, True, wrong_path=True)
+        assert harness.local.bht.find(0x7777) >= 0
+        harness.resolve(victim, flushed=[ghost])
+        assert harness.local.bht.find(0x7777) == -1
+
+    def test_first_flushed_instance_wins(self):
+        """Restore must use the oldest flushed instance's pre-state."""
+        harness = SchemeHarness(PerfectRepair())
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        base_count, _ = harness.state_of(pc)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [harness.fetch(pc, True, wrong_path=True) for _ in range(3)]
+        harness.resolve(trigger, flushed=flushed)
+        count, _ = harness.state_of(pc)
+        assert count == base_count
+
+    def test_zero_cost(self):
+        scheme = PerfectRepair()
+        harness = SchemeHarness(scheme)
+        branch = harness.fetch(0x4000, False, base_taken=True)
+        done = scheme.on_mispredict(branch, [], cycle=100)
+        assert done == 100
+        assert scheme.can_predict(0x4000, 100)
+        assert scheme.storage_bits() == 0
+
+    def test_records_figure8_demand(self):
+        scheme = PerfectRepair()
+        harness = SchemeHarness(scheme)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        flushed = [
+            harness.fetch(0x4000 + 16 * i, True, wrong_path=True) for i in range(5)
+        ]
+        harness.resolve(trigger, flushed=flushed)
+        # 5 distinct flushed PCs + the mispredicting branch itself.
+        assert scheme.stats.writes_per_event_max == 6
+        assert scheme.stats.events == 1

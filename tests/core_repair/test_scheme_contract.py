@@ -1,0 +1,138 @@
+"""Cross-scheme contract tests.
+
+Every repair scheme, whatever its policy, must satisfy the same small
+contract with the pipeline: survive arbitrary event sequences, keep its
+checkpoint structures consistent with retirement/flush, report sane
+statistics, and never *corrupt* state it claims to have repaired.
+These run the identical scenario battery across all schemes.
+"""
+
+import pytest
+
+from repro.core.ports import RepairPortConfig
+from repro.core.repair import (
+    BackwardWalkRepair,
+    ForwardWalkRepair,
+    LimitedPcRepair,
+    NoRepair,
+    PerfectRepair,
+    RetireUpdate,
+    SnapshotRepair,
+)
+from tests.core_repair.helpers import SchemeHarness
+
+SCHEME_FACTORIES = {
+    "perfect": PerfectRepair,
+    "no-repair": NoRepair,
+    "retire-update": RetireUpdate,
+    "backward": lambda: BackwardWalkRepair(RepairPortConfig(16, 4, 4)),
+    "forward": lambda: ForwardWalkRepair(RepairPortConfig(16, 4, 2)),
+    "forward-coalesce": lambda: ForwardWalkRepair(
+        RepairPortConfig(16, 4, 2), coalesce=True
+    ),
+    "snapshot": lambda: SnapshotRepair(RepairPortConfig(16, 8, 8)),
+    "limited-2pc": lambda: LimitedPcRepair(2),
+    "limited-sq": lambda: LimitedPcRepair(4, write_ports=4, sq_entries=8),
+}
+
+
+@pytest.fixture(params=sorted(SCHEME_FACTORIES))
+def harness(request):
+    return SchemeHarness(SCHEME_FACTORIES[request.param]())
+
+
+class TestSchemeContract:
+    def test_survives_mispredict_with_no_flushed(self, harness):
+        branch = harness.fetch(0x4000, False, base_taken=True)
+        harness.resolve(branch)  # must not raise
+        assert harness.scheme.stats.events == 1
+
+    def test_survives_repeated_mispredicts(self, harness):
+        for i in range(20):
+            branch = harness.fetch(0x4000 + 16 * (i % 3), False, base_taken=True)
+            ghost = harness.fetch(0x9000, True, wrong_path=True)
+            harness.resolve(branch, flushed=[ghost])
+        assert harness.scheme.stats.events == 20
+
+    def test_retire_heavy_sequence(self, harness):
+        branches = [harness.fetch(0x4000 + 16 * i, True) for i in range(30)]
+        for branch in branches:
+            harness.resolve(branch)
+            harness.retire(branch)
+
+    def test_interleaved_fetch_resolve_retire_mispredict(self, harness):
+        inflight = []
+        for i in range(60):
+            actual = (i % 7) != 0
+            predicted = (i % 11) != 0
+            branch = harness.fetch(0x4000 + 16 * (i % 5), actual, base_taken=predicted)
+            inflight.append(branch)
+            if len(inflight) >= 6:
+                oldest = inflight.pop(0)
+                flushed = inflight if oldest.mispredicted else []
+                harness.resolve(oldest, flushed=list(flushed))
+                if oldest.mispredicted:
+                    inflight.clear()
+                else:
+                    harness.retire(oldest)
+
+    def test_stats_are_consistent(self, harness):
+        for i in range(25):
+            branch = harness.fetch(0x4000 + 16 * (i % 4), i % 3 != 0, base_taken=True)
+            harness.resolve(branch)
+            harness.retire(branch)
+        stats = harness.scheme.stats
+        assert stats.events >= 0
+        assert stats.bht_writes >= 0
+        assert stats.writes_per_event_max * max(stats.events, 1) >= (
+            stats.writes_per_event_sum
+        )
+
+    def test_availability_is_eventually_restored(self, harness):
+        branch = harness.fetch(0x4000, False, base_taken=True)
+        flushed = [
+            harness.fetch(0x5000 + 16 * i, True, wrong_path=True) for i in range(8)
+        ]
+        done = harness.scheme.on_mispredict(branch, flushed, cycle=1000)
+        assert done >= 1000
+        assert harness.scheme.can_predict(0x4000, done + 1)
+        assert harness.scheme.can_update(0x4000, done + 1)
+
+
+class TestRepairingSchemesRestoreOwnPc:
+    """Schemes that claim to repair must land the resolved state on the
+    mispredicting branch's own entry."""
+
+    REPAIRING = ("perfect", "backward", "forward", "forward-coalesce",
+                 "snapshot", "limited-2pc", "limited-sq")
+
+    @pytest.mark.parametrize("name", REPAIRING)
+    def test_own_pc_correct_after_exit_mispredict(self, name):
+        harness = SchemeHarness(SCHEME_FACTORIES[name]())
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        for _ in range(3):
+            branch = harness.fetch(pc, True)
+            harness.resolve(branch)
+            harness.retire(branch)
+        # Mispredicted exit: the entry must read (count 0, dominant T).
+        branch = harness.fetch(pc, False, base_taken=True)
+        assert branch.mispredicted
+        harness.resolve(branch)
+        assert harness.state_of(pc) == (0, True)
+
+    @pytest.mark.parametrize("name", REPAIRING)
+    def test_wrong_path_pollution_of_own_pc_removed(self, name):
+        harness = SchemeHarness(SCHEME_FACTORIES[name]())
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        for _ in range(3):
+            branch = harness.fetch(pc, True)
+            harness.resolve(branch)
+            harness.retire(branch)
+        trigger = harness.fetch(pc, False, base_taken=True)
+        wrong_path = [harness.fetch(pc, True, wrong_path=True) for _ in range(3)]
+        harness.resolve(trigger, flushed=wrong_path)
+        count, dominant = harness.state_of(pc)
+        assert dominant is True
+        assert count == 0  # exit applied on top of the restored state

@@ -1,0 +1,74 @@
+"""Unit tests for snapshot-queue repair."""
+
+from repro.core.ports import RepairPortConfig
+from repro.core.repair.snapshot_repair import SnapshotRepair
+from tests.core_repair.helpers import SchemeHarness
+
+
+def make(entries=32, reads=8, writes=8):
+    return SnapshotRepair(RepairPortConfig(entries, reads, writes))
+
+
+class TestSnapshotRepair:
+    def test_snapshot_taken_before_update(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        branch = harness.fetch(pc, True)
+        snap = scheme.queue.find(branch.snapshot_id)
+        # The snapshot pre-dates the branch's own allocation.
+        pcs, _, _ = snap.payload
+        assert pc not in pcs
+
+    def test_restore_reverts_everything(self):
+        scheme = make()
+        harness = SchemeHarness(scheme)
+        pc = 0x4000
+        harness.train_loop(pc, trip=8, executions=4)
+        count_before, _ = harness.state_of(pc)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        wrong_path = [harness.fetch(pc, True, wrong_path=True) for _ in range(4)]
+        ghost = harness.fetch(0x7000, True, wrong_path=True)
+        harness.resolve(trigger, flushed=wrong_path + [ghost])
+        assert harness.state_of(pc) == (count_before, True)
+        # Whole-table restore also removes fresh wrong-path allocations
+        # without needing per-branch records.
+        assert harness.local.bht.find(0x7000) == -1
+
+    def test_repair_window_sized_by_full_table(self):
+        scheme = make(entries=32, reads=8, writes=8)
+        harness = SchemeHarness(scheme, entries=64)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        done = scheme.on_mispredict(trigger, [], cycle=100)
+        # 64 entries through 8 write ports = 8 cycles.
+        assert done == 108
+        assert not scheme.can_predict(0xBEEF, 104)
+        assert scheme.can_predict(0xBEEF, 108)
+
+    def test_dropped_snapshot_skips_repair(self):
+        scheme = make(entries=2)
+        harness = SchemeHarness(scheme)
+        harness.fetch(0x1000, True)
+        harness.fetch(0x2000, True)
+        trigger = harness.fetch(0x9000, False, base_taken=True)
+        assert trigger.snapshot_id is None
+        pc = 0x4000
+        ghost = harness.fetch(pc, True, wrong_path=True)
+        harness.resolve(trigger, flushed=[ghost])
+        assert scheme.stats.skipped_events == 1
+        assert harness.local.bht.find(pc) >= 0  # pollution kept
+
+    def test_retire_frees_snapshots(self):
+        scheme = make(entries=2)
+        harness = SchemeHarness(scheme)
+        first = harness.fetch(0x1000, True)
+        harness.fetch(0x2000, True)
+        harness.retire(first)
+        assert harness.fetch(0x3000, True).snapshot_id is not None
+
+    def test_storage_dwarfs_history_files(self):
+        scheme = make(entries=32)
+        harness = SchemeHarness(scheme, entries=128)
+        # 32 snapshots x 128 entries x (8 tag + 12 state + 1 valid).
+        assert scheme.storage_bits() == 32 * 128 * 21
+        assert scheme.storage_kb() > 10.0

@@ -1,0 +1,138 @@
+"""Unit tests for the analysis subpackage."""
+
+import pytest
+
+from repro.analysis.compare import compare_systems, diff_sweeps
+from repro.analysis.drilldown import diagnose
+from repro.analysis.markdown import category_markdown, markdown_table, table3_markdown
+from repro.errors import ExperimentError
+from repro.harness.runner import RunResult
+from repro.metrics.aggregate import WorkloadResult
+
+
+def run(workload="w1", system="s", ipc=1.0, mpki=5.0, category="hpc", extra=None):
+    return RunResult(
+        workload=workload,
+        category=category,
+        system=system,
+        ipc=ipc,
+        mpki=mpki,
+        instructions=10_000,
+        cycles=int(10_000 / ipc),
+        mispredictions=int(mpki * 10),
+        extra=extra or {},
+    )
+
+
+class TestDiffSweeps:
+    def test_deltas(self):
+        before = [run(ipc=1.0, mpki=5.0)]
+        after = [run(ipc=1.1, mpki=4.0)]
+        deltas = diff_sweeps(before, after)
+        assert len(deltas) == 1
+        assert deltas[0].ipc_change == pytest.approx(0.1)
+        assert deltas[0].mpki_change == pytest.approx(-1.0)
+        assert not deltas[0].is_regression()
+
+    def test_regression_flag(self):
+        deltas = diff_sweeps([run(ipc=1.0)], [run(ipc=0.9)])
+        assert deltas[0].is_regression()
+
+    def test_unpaired_rows_ignored(self):
+        before = [run(workload="a"), run(workload="b")]
+        after = [run(workload="a"), run(workload="c")]
+        deltas = diff_sweeps(before, after)
+        assert [d.workload for d in deltas] == ["a"]
+
+    def test_disjoint_sweeps_raise(self):
+        with pytest.raises(ExperimentError):
+            diff_sweeps([run(workload="a")], [run(workload="b")])
+
+
+class TestCompareSystems:
+    def test_within_sweep(self):
+        results = [
+            run(system="base", ipc=1.0, mpki=6.0),
+            run(system="better", ipc=1.05, mpki=5.0),
+        ]
+        deltas = compare_systems(results, "base", "better")
+        assert deltas[0].ipc_change == pytest.approx(0.05)
+
+    def test_missing_system_raises(self):
+        with pytest.raises(ExperimentError):
+            compare_systems([run(system="base")], "base", "ghost")
+
+
+class TestMarkdown:
+    def test_markdown_table_shape(self):
+        text = markdown_table(["a", "b"], [(1, 2), (3, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_category_markdown(self):
+        paired = [
+            WorkloadResult("w1", "hpc", 5.0, 4.0, 1.0, 1.02),
+            WorkloadResult("w2", "mm", 6.0, 5.0, 1.0, 1.01),
+        ]
+        text = category_markdown(paired, title="demo")
+        assert "### demo" in text
+        assert "hpc" in text and "mm" in text
+        assert "**overall**" in text
+
+    def test_table3_markdown(self):
+        paired = {
+            "perfect-repair": [WorkloadResult("w", "hpc", 5.0, 3.5, 1.0, 1.04)],
+            "forward-walk": [WorkloadResult("w", "hpc", 5.0, 4.0, 1.0, 1.03)],
+        }
+        text = table3_markdown(paired)
+        assert "forward-walk" in text
+        assert "perfect-repair" in text
+        # Retained fraction of forward walk: 3% / 4% = 75%.
+        assert "75%" in text
+
+
+class TestDiagnose:
+    def test_basic_indicators(self):
+        result = run(
+            extra={
+                "unit": {"saves": 30, "damages": 10, "lookups": 1000},
+                "repair": {
+                    "events": 50,
+                    "mean_writes_per_event": 4.0,
+                    "uncheckpointed": 100,
+                    "busy_cycles": 200,
+                    "skipped_events": 0,
+                    "restarts": 0,
+                },
+            }
+        )
+        diagnosis = diagnose(result)
+        assert diagnosis.override_precision == pytest.approx(0.75)
+        assert diagnosis.saves_per_kinst == pytest.approx(3.0)
+        assert diagnosis.repairs_per_event == 4.0
+        assert diagnosis.checkpoint_overflow_rate == pytest.approx(0.1)
+        assert "IPC" in diagnosis.render()
+
+    def test_notes_fire(self):
+        result = run(
+            extra={
+                "unit": {"saves": 5, "damages": 20, "lookups": 100},
+                "repair": {
+                    "events": 50,
+                    "mean_writes_per_event": 4.0,
+                    "uncheckpointed": 60,
+                    "busy_cycles": 0,
+                    "skipped_events": 20,
+                    "restarts": 10,
+                },
+            }
+        )
+        diagnosis = diagnose(result)
+        assert len(diagnosis.notes) >= 3
+
+    def test_baseline_run_without_extras(self):
+        diagnosis = diagnose(run())
+        assert diagnosis.override_precision == 0.0
+        assert diagnosis.notes == ()

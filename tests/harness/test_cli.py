@@ -1,0 +1,77 @@
+"""Unit tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "hpc-fft"])
+        assert args.system == "forward-walk-coalesce"
+        assert args.branches == 20_000
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "202 workloads" in out
+        assert "hpc-fft" in out
+
+    def test_list_workloads_filtered(self, capsys):
+        assert main(["list-workloads", "--category", "hpc"]) == 0
+        out = capsys.readouterr().out
+        assert "8 workloads" in out
+        assert "server-" not in out
+
+    def test_list_systems(self, capsys):
+        assert main(["list-systems"]) == 0
+        out = capsys.readouterr().out
+        assert "forward-walk" in out and "perfect-repair" in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "--workload", "hpc-fft", "--system", "perfect-repair",
+             "--branches", "1200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "MPKI" in out
+        assert "repair events" in out
+
+    def test_run_baseline_has_no_repair_line(self, capsys):
+        main(["run", "--workload", "hpc-fft", "--system", "baseline-tage",
+              "--branches", "1200"])
+        out = capsys.readouterr().out
+        assert "repair events" not in out
+
+    def test_run_unknown_system(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["run", "--workload", "hpc-fft", "--system", "quantum"])
+
+    def test_compare_smoke(self, capsys):
+        code = main(["compare", "--workload", "mm-animation", "--branches", "900"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline-tage" in out
+        assert "forward-walk-coalesce" in out
+
+    def test_diagnose(self, capsys):
+        code = main(
+            ["diagnose", "--workload", "mm-animation", "--system",
+             "forward-walk", "--branches", "1500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "override precision" in out
+        assert "repairs/event" in out

@@ -1,0 +1,78 @@
+"""Unit tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.persist import load_results, save_results
+from repro.harness.runner import RunResult
+from repro.harness.scale import SCALES
+
+
+def sample_results():
+    return [
+        RunResult(
+            workload="hpc-fft",
+            category="hpc",
+            system="perfect-repair",
+            ipc=1.23,
+            mpki=2.5,
+            instructions=100_000,
+            cycles=81_300,
+            mispredictions=250,
+            extra={"repair": {"events": 250}},
+        ),
+        RunResult(
+            workload="hpc-fft",
+            category="hpc",
+            system="baseline-tage",
+            ipc=1.20,
+            mpki=3.4,
+            instructions=100_000,
+            cycles=83_333,
+            mispredictions=340,
+            extra={},
+        ),
+    ]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        results = sample_results()
+        save_results(path, results, scale=SCALES["smoke"], label="unit test")
+        loaded = load_results(path)
+        assert loaded == results
+
+    def test_metadata_recorded(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_results(path, sample_results(), scale=SCALES["small"], label="x")
+        payload = json.loads(path.read_text())
+        assert payload["scale"]["name"] == "small"
+        assert payload["label"] == "x"
+        assert payload["repro_version"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot load"):
+            load_results(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_results(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "old.json"
+        save_results(path, sample_results())
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ExperimentError, match="format version"):
+            load_results(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "sweep.json"
+        save_results(path, sample_results())
+        assert path.exists()

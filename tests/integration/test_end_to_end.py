@@ -1,0 +1,168 @@
+"""End-to-end integration tests: full systems on synthetic workloads.
+
+These run the real pipeline with real predictors at small trace sizes
+and assert the paper's qualitative claims hold — the same shapes the
+benchmarks verify at larger scales.
+"""
+
+import pytest
+
+from repro.core import (
+    LoopPredictor,
+    LoopPredictorConfig,
+    RepairPortConfig,
+    StandardLocalUnit,
+)
+from repro.core.repair import (
+    BackwardWalkRepair,
+    ForwardWalkRepair,
+    MultiStageUnit,
+    NoRepair,
+    PerfectRepair,
+)
+from repro.memory import CacheHierarchy
+from repro.pipeline import PipelineConfig, PipelineModel
+from repro.predictors import TagePredictor
+from repro.workloads import WorkloadParams, WorkloadSpec, generate_trace
+
+N_BRANCHES = 6000
+
+
+@pytest.fixture(scope="module")
+def loopy_trace():
+    """A strongly local-predictable workload."""
+    spec = WorkloadSpec(
+        name="int-loopy",
+        category="test",
+        seed=99,
+        params=WorkloadParams(
+            n_loops=6,
+            n_tight_loops=4,
+            n_forward_loops=3,
+            n_patterns=4,
+            n_biased=4,
+            n_global=2,
+            trip_min=8,
+            trip_max=30,
+            trip_entropy=0.02,
+            loop_region_weight=0.85,
+            working_set_kb=128,
+            load_prob=0.15,
+        ),
+    )
+    return generate_trace(spec, N_BRANCHES)
+
+
+def run(trace, unit=None, config=None):
+    model = PipelineModel(
+        TagePredictor(),
+        unit=unit,
+        config=config if config is not None else PipelineConfig(),
+        hierarchy=CacheHierarchy(),
+    )
+    return model.run(trace)
+
+
+def loop_unit(scheme):
+    return StandardLocalUnit(LoopPredictor(LoopPredictorConfig.entries(128)), scheme)
+
+
+@pytest.fixture(scope="module")
+def baseline(loopy_trace):
+    return run(loopy_trace)
+
+
+class TestPaperClaims:
+    def test_perfect_repair_reduces_mpki_substantially(self, loopy_trace, baseline):
+        stats = run(loopy_trace, loop_unit(PerfectRepair()))
+        reduction = (baseline.mpki - stats.mpki) / baseline.mpki
+        assert reduction > 0.15
+
+    def test_perfect_repair_improves_ipc(self, loopy_trace, baseline):
+        stats = run(loopy_trace, loop_unit(PerfectRepair()))
+        assert stats.ipc > baseline.ipc
+
+    def test_no_repair_forfeits_the_gains(self, loopy_trace, baseline):
+        perfect = run(loopy_trace, loop_unit(PerfectRepair()))
+        none = run(loopy_trace, loop_unit(NoRepair()))
+        perfect_gain = perfect.ipc / baseline.ipc - 1
+        none_gain = none.ipc / baseline.ipc - 1
+        assert none_gain < perfect_gain * 0.5
+
+    def test_forward_beats_backward(self, loopy_trace, baseline):
+        forward = run(
+            loopy_trace, loop_unit(ForwardWalkRepair(RepairPortConfig(32, 4, 2)))
+        )
+        backward = run(
+            loopy_trace, loop_unit(BackwardWalkRepair(RepairPortConfig(32, 4, 4)))
+        )
+        assert forward.mpki <= backward.mpki * 1.05
+
+    def test_forward_close_to_perfect(self, loopy_trace, baseline):
+        perfect = run(loopy_trace, loop_unit(PerfectRepair()))
+        forward = run(
+            loopy_trace,
+            loop_unit(ForwardWalkRepair(RepairPortConfig(64, 4, 2), coalesce=True)),
+        )
+        perfect_red = baseline.mpki - perfect.mpki
+        forward_red = baseline.mpki - forward.mpki
+        assert forward_red > perfect_red * 0.5
+
+    def test_multistage_positive(self, loopy_trace, baseline):
+        stats = run(loopy_trace, MultiStageUnit())
+        assert stats.mpki < baseline.mpki
+
+    def test_repair_demand_is_multiple_pcs(self, loopy_trace):
+        stats = run(loopy_trace, loop_unit(PerfectRepair()))
+        repair = stats.extra["repair"]
+        assert repair["mean_writes_per_event"] > 1.0
+        assert repair["max_writes_per_event"] >= 4
+
+
+class TestRobustness:
+    def test_determinism_across_runs(self, loopy_trace):
+        first = run(loopy_trace, loop_unit(PerfectRepair()))
+        second = run(loopy_trace, loop_unit(PerfectRepair()))
+        assert first.cycles == second.cycles
+        assert first.mispredictions == second.mispredictions
+
+    def test_wrong_path_off_shrinks_the_gap(self, loopy_trace, baseline):
+        """Wrong-path pollution is the dominant corruption source.
+
+        Without it, the only unrepaired state under no-repair is the
+        mispredicting branch's own update, so the perfect-vs-none gap
+        shrinks markedly (it does not close: the own-update error
+        remains).
+        """
+        config = PipelineConfig(wrong_path=False)
+        perfect_on = run(loopy_trace, loop_unit(PerfectRepair()))
+        none_on = run(loopy_trace, loop_unit(NoRepair()))
+        perfect_off = run(loopy_trace, loop_unit(PerfectRepair()), config)
+        none_off = run(loopy_trace, loop_unit(NoRepair()), config)
+        gap_on = none_on.mpki - perfect_on.mpki
+        gap_off = none_off.mpki - perfect_off.mpki
+        assert gap_off < gap_on
+
+    def test_small_bht_thrashes_on_big_footprint(self):
+        spec = WorkloadSpec(
+            name="int-wide",
+            category="test",
+            seed=17,
+            params=WorkloadParams().scaled_footprint(5.0),
+        )
+        trace = generate_trace(spec, N_BRANCHES)
+        base = run(trace)
+        small = run(
+            trace,
+            StandardLocalUnit(
+                LoopPredictor(LoopPredictorConfig.entries(64)), PerfectRepair()
+            ),
+        )
+        large = run(
+            trace,
+            StandardLocalUnit(
+                LoopPredictor(LoopPredictorConfig.entries(256)), PerfectRepair()
+            ),
+        )
+        base_red = lambda s: (base.mpki - s.mpki) / base.mpki
+        assert base_red(large) >= base_red(small) - 0.02

@@ -1,0 +1,82 @@
+"""Smoke tests for the figure-reproduction harness.
+
+Each experiment runs at a very small custom scale — these verify the
+plumbing (sweeps, pairing, rendering), not the statistical shapes (the
+benchmarks do that at real scales).
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.figures import EXPERIMENTS, run_experiment
+from repro.harness.scale import Scale
+
+TEST_SCALE = Scale(name="test", branches_per_workload=1500, workloads_per_category=1)
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    # Keep the figure sweeps in-process for coverage and determinism.
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "fig4",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "tab1",
+            "tab2",
+            "tab3",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", TEST_SCALE)
+
+
+class TestCheapFigures:
+    def test_tab1(self):
+        figure = run_experiment("tab1", TEST_SCALE)
+        assert figure.data["total"] == 202
+        assert "server" in figure.render()
+
+    def test_tab2(self):
+        figure = run_experiment("tab2", TEST_SCALE)
+        assert figure.data["rob_entries"] == 224
+        assert "DDR4" in figure.render()
+
+    def test_fig8(self):
+        figure = run_experiment("fig8", TEST_SCALE)
+        assert figure.data["suite_mean"] >= 0.0
+        assert len(figure.data["per_workload"]) == 7
+
+    def test_fig9(self):
+        figure = run_experiment("fig9", TEST_SCALE)
+        assert "retained" in figure.data
+        text = figure.render()
+        assert "retire-update" in text and "no-repair" in text
+
+    def test_fig11(self):
+        figure = run_experiment("fig11", TEST_SCALE)
+        retained = figure.data["retained"]
+        assert set(retained) == {
+            "forward-64-4-4",
+            "forward-64-4-2",
+            "forward-32-4-4",
+            "forward-32-4-2",
+            "forward-32-4-2-coalesce",
+        }
+
+    def test_fig13(self):
+        figure = run_experiment("fig13", TEST_SCALE)
+        assert "limited-2pc" in figure.data["retained"]
+        assert "limited-8pc-sq32" in figure.data["retained"]

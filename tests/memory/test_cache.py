@@ -1,0 +1,78 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(size=1024, line=64, ways=2, latency=3):
+    return Cache(CacheConfig("test", size, line, ways, latency))
+
+
+class TestConfig:
+    def test_sets_computed(self):
+        config = CacheConfig("L1", 32 * 1024, 64, 8, 5)
+        assert config.sets == 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 0, 64, 8, 5)
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, 64, 8, 5)  # not divisible
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1024, 60, 2, 5)  # non-power-of-2 line
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1024, 64, 2, 0)  # zero latency
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x1000).hit
+        assert cache.access(0x1000).hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1030).hit  # same 64B line
+
+    def test_lru_eviction(self):
+        cache = small_cache(size=256, line=64, ways=2)  # 2 sets
+        # Three lines mapping to one set (stride = sets * line = 128).
+        a, b, c = 0x0, 0x100, 0x200
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a more recent than b
+        result = cache.access(c)
+        assert result.evicted_line == b >> 6
+        assert cache.access(a).hit
+        assert not cache.access(b).hit
+
+    def test_probe_does_not_disturb(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        hits, misses = cache.hits, cache.misses
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x2000)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_fill_counts_no_access(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.accesses == 0
+        assert cache.access(0x1000).hit
+
+    def test_invalidate_line(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.invalidate_line(0x1000 >> 6)
+        assert not cache.probe(0x1000)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.miss_rate == 0.5
+        assert small_cache().miss_rate == 0.0

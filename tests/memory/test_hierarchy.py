@@ -1,0 +1,73 @@
+"""Unit tests for the cache hierarchy and prefetchers."""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.memory.prefetch import NextLinePrefetcher
+
+
+class TestPrefetcher:
+    def test_fills_sequential_lines(self):
+        cache = Cache(CacheConfig("t", 4096, 64, 4, 3))
+        prefetcher = NextLinePrefetcher(cache, degree=2)
+        prefetcher.on_miss(0x1000)
+        assert cache.probe(0x1040)
+        assert cache.probe(0x1080)
+        assert not cache.probe(0x10C0)
+        assert prefetcher.issued == 2
+
+    def test_zero_degree(self):
+        cache = Cache(CacheConfig("t", 4096, 64, 4, 3))
+        prefetcher = NextLinePrefetcher(cache, degree=0)
+        prefetcher.on_miss(0x1000)
+        assert prefetcher.issued == 0
+
+
+class TestHierarchy:
+    def test_latency_tiers(self):
+        hierarchy = CacheHierarchy()
+        config = hierarchy.config
+        cold = hierarchy.load_latency(0x100000)
+        assert cold == (
+            config.l1.latency
+            + config.l2.latency
+            + config.llc.latency
+            + config.dram_latency
+        )
+        warm = hierarchy.load_latency(0x100000)
+        assert warm == config.l1.latency
+
+    def test_l2_hit_latency(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.load_latency(0x200000)  # install everywhere
+        hierarchy.l1.invalidate_line(0x200000 >> 6)
+        latency = hierarchy.load_latency(0x200000)
+        assert latency == hierarchy.config.l1.latency + hierarchy.config.l2.latency
+
+    def test_streaming_benefits_from_prefetch(self):
+        hierarchy = CacheHierarchy()
+        latencies = [hierarchy.load_latency(0x300000 + 64 * i) for i in range(32)]
+        l1_hits = sum(1 for lat in latencies if lat == hierarchy.config.l1.latency)
+        # Next-line prefetch (degree 4) turns most stream accesses into
+        # L1 hits after the first touch.
+        assert l1_hits >= len(latencies) * 0.5
+
+    def test_dram_counted(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.load_latency(0x400000)
+        assert hierarchy.dram_accesses == 1
+
+    def test_stats_keys(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.load_latency(0x500000)
+        stats = hierarchy.stats()
+        for key in ("l1_accesses", "l1_miss_rate", "l2_miss_rate", "dram_accesses"):
+            assert key in stats
+
+    def test_skylake_preset_matches_table2(self):
+        config = HierarchyConfig.skylake()
+        assert config.l1.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.llc.size_bytes == 8 * 1024 * 1024
+        assert config.l1.latency == 5
+        assert config.l2.latency == 15
+        assert config.llc.latency == 40

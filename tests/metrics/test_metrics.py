@@ -1,0 +1,105 @@
+"""Unit tests for metrics: basic arithmetic, aggregation, S-curves."""
+
+import math
+
+import pytest
+
+from repro.metrics.aggregate import WorkloadResult, overall, summarize
+from repro.metrics.basic import (
+    geomean,
+    geomean_gain,
+    ipc_gain,
+    mpki_reduction,
+    normalized_gain,
+)
+from repro.metrics.scurve import scurve
+
+
+def result(workload="w", category="c", base_mpki=10.0, mpki=7.0, base_ipc=1.0, ipc=1.03):
+    return WorkloadResult(
+        workload=workload,
+        category=category,
+        baseline_mpki=base_mpki,
+        system_mpki=mpki,
+        baseline_ipc=base_ipc,
+        system_ipc=ipc,
+    )
+
+
+class TestBasic:
+    def test_mpki_reduction(self):
+        assert mpki_reduction(10.0, 7.0) == pytest.approx(0.3)
+        assert mpki_reduction(10.0, 12.0) == pytest.approx(-0.2)
+        assert mpki_reduction(0.0, 5.0) == 0.0
+
+    def test_ipc_gain(self):
+        assert ipc_gain(1.0, 1.05) == pytest.approx(0.05)
+        assert ipc_gain(2.0, 1.9) == pytest.approx(-0.05)
+        assert ipc_gain(0.0, 1.0) == 0.0
+
+    def test_normalized_gain(self):
+        assert normalized_gain(0.03, 0.038) == pytest.approx(0.789, abs=1e-3)
+        assert normalized_gain(0.03, 0.0) == 0.0
+        assert normalized_gain(0.03, -0.01) == 0.0
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_gain(self):
+        value = geomean_gain([0.05, 0.02])
+        assert value == pytest.approx(math.sqrt(1.05 * 1.02) - 1.0)
+        assert geomean_gain([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean_gain([-1.5])
+
+
+class TestAggregate:
+    def test_workload_result_properties(self):
+        r = result()
+        assert r.mpki_reduction == pytest.approx(0.3)
+        assert r.ipc_gain == pytest.approx(0.03)
+
+    def test_summarize_groups_by_category(self):
+        results = [
+            result(workload="a", category="hpc"),
+            result(workload="b", category="hpc"),
+            result(workload="c", category="mm"),
+        ]
+        grouped = summarize(results)
+        assert set(grouped) == {"hpc", "mm"}
+        assert grouped["hpc"].count == 2
+
+    def test_category_means(self):
+        results = [
+            result(workload="a", mpki=8.0, ipc=1.02),
+            result(workload="b", mpki=6.0, ipc=1.04),
+        ]
+        summary = overall(results)
+        assert summary.mean_mpki_reduction == pytest.approx(0.3)
+        assert summary.mean_ipc_gain == pytest.approx(
+            math.sqrt(1.02 * 1.04) - 1.0
+        )
+
+    def test_empty_summary(self):
+        summary = overall([])
+        assert summary.mean_mpki_reduction == 0.0
+        assert summary.mean_ipc_gain == 0.0
+
+
+class TestScurve:
+    def test_sorted_ascending(self):
+        results = [
+            result(workload="slow", ipc=0.98),
+            result(workload="fast", ipc=1.2),
+            result(workload="mid", ipc=1.05),
+        ]
+        curve = scurve(results)
+        assert [p.workload for p in curve] == ["slow", "mid", "fast"]
+        assert [p.rank for p in curve] == [0, 1, 2]
+        assert curve[0].ipc_gain < 0 < curve[-1].ipc_gain
+
+    def test_empty(self):
+        assert scurve([]) == []

@@ -1,0 +1,54 @@
+"""Unit tests for the branch target buffer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline.btb import BranchTargetBuffer
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=64, ways=4)
+        assert btb.lookup(0x1000) is None
+        btb.install(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+        assert btb.hits == 1 and btb.misses == 1
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer(entries=64, ways=4)
+        btb.install(0x1000, 0x2000)
+        btb.install(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(entries=4, ways=2)  # 2 sets
+        # Find three pcs in one set.
+        pcs = []
+        base = None
+        for pc in range(0x1000, 0x8000, 4):
+            s = btb._base(pc)
+            if base is None:
+                base = s
+            if s == base:
+                pcs.append(pc)
+            if len(pcs) == 3:
+                break
+        a, b, c = pcs
+        btb.install(a, 1)
+        btb.install(b, 2)
+        btb.lookup(a)
+        btb.install(c, 3)
+        assert btb.lookup(a) == 1
+        assert btb.lookup(b) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(entries=100, ways=3)
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(entries=0, ways=1)
+
+    def test_miss_rate(self):
+        btb = BranchTargetBuffer(entries=64, ways=4)
+        assert btb.miss_rate == 0.0
+        btb.lookup(0x1000)
+        assert btb.miss_rate == 1.0

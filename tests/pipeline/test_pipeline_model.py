@@ -1,0 +1,206 @@
+"""Integration-grade unit tests for the pipeline timing model."""
+
+import pytest
+
+from repro.core import LoopPredictor, LoopPredictorConfig, StandardLocalUnit
+from repro.core.repair import NoRepair, PerfectRepair
+from repro.errors import ConfigError
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelineModel
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.tage import TagePredictor
+from tests.conftest import loop_trace, make_branch
+
+
+def run_trace(records, unit=None, config=None, baseline=None):
+    model = PipelineModel(
+        baseline if baseline is not None else TagePredictor(),
+        unit=unit,
+        config=config if config is not None else PipelineConfig(),
+    )
+    return model.run(records)
+
+
+class TestConfig:
+    def test_skylake_matches_table2(self):
+        config = PipelineConfig.skylake()
+        assert config.fetch_width == 4
+        assert config.rob_entries == 224
+        assert config.alloc_queue_entries == 64
+        assert config.load_buffer_entries == 72
+        assert config.store_buffer_entries == 56
+        assert config.btb_entries == 2048
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(fetch_width=0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(rob_entries=0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(btb_entries=100, btb_ways=3)
+
+    def test_penalty_estimate(self):
+        config = PipelineConfig()
+        assert config.mispredict_penalty_estimate() > 10
+
+
+class TestBasicTiming:
+    def test_instruction_accounting(self):
+        records = [make_branch(pc=0x1000 + 16 * i, inst_gap=3) for i in range(50)]
+        stats = run_trace(records)
+        assert stats.instructions == 50 * 4
+        assert stats.branches == 50
+        assert stats.cond_branches == 50
+
+    def test_ipc_bounded_by_width(self):
+        records = [make_branch(pc=0x1000 + 16 * i, inst_gap=7) for i in range(200)]
+        stats = run_trace(records)
+        assert 0.0 < stats.ipc <= 4.0
+
+    def test_more_mispredictions_lower_ipc(self):
+        """A random stream must run slower than a biased one."""
+        import random
+
+        rng = random.Random(4)
+        biased = [make_branch(pc=0x1000, taken=True, inst_gap=5) for _ in range(2000)]
+        noisy = [
+            make_branch(pc=0x1000, taken=rng.random() < 0.5, inst_gap=5)
+            for _ in range(2000)
+        ]
+        stats_biased = run_trace(biased)
+        stats_noisy = run_trace(noisy)
+        assert stats_noisy.mpki > stats_biased.mpki
+        assert stats_noisy.ipc < stats_biased.ipc
+
+    def test_empty_trace(self):
+        stats = run_trace([])
+        assert stats.instructions == 0
+        assert stats.cycles >= 1
+        assert stats.mpki == 0.0
+
+    def test_btb_misses_counted(self):
+        records = [make_branch(pc=0x1000 + 32 * i, taken=True) for i in range(20)]
+        stats = run_trace(records)
+        assert stats.btb_misses == 20  # all cold
+
+    def test_btb_warm_second_pass(self):
+        records = [make_branch(pc=0x1000 + 32 * (i % 20), taken=True) for i in range(200)]
+        stats = run_trace(records)
+        assert stats.btb_misses == 20
+
+
+class TestMispredictionMechanics:
+    def test_wrong_path_branches_synthesized(self):
+        records = loop_trace(pc=0x4000, trip=9, executions=40)
+        stats = run_trace(records, baseline=BimodalPredictor())
+        assert stats.mispredictions > 0
+        assert stats.wrong_path_branches > 0
+
+    def test_wrong_path_disabled(self):
+        records = loop_trace(pc=0x4000, trip=9, executions=40)
+        stats = run_trace(
+            records,
+            baseline=BimodalPredictor(),
+            config=PipelineConfig(wrong_path=False),
+        )
+        assert stats.wrong_path_branches == 0
+
+    def test_mispredictions_cost_cycles(self):
+        records = loop_trace(pc=0x4000, trip=9, executions=40)
+        always = run_trace(records, baseline=BimodalPredictor())
+
+        class Oracle(BimodalPredictor):
+            def __init__(self, answers):
+                super().__init__()
+                self._answers = iter(answers)
+
+            def lookup(self, pc):
+                pred = super().lookup(pc)
+                pred.taken = next(self._answers)
+                return pred
+
+        oracle = Oracle([r.taken for r in records])
+        perfect = run_trace(records, baseline=oracle)
+        assert perfect.mispredictions == 0
+        assert perfect.ipc > always.ipc
+
+    def test_load_dependent_branch_slows_resolution(self):
+        fast = [make_branch(pc=0x1000, taken=i % 3 != 0, inst_gap=5) for i in range(500)]
+        slow = [
+            make_branch(
+                pc=0x1000,
+                taken=i % 3 != 0,
+                inst_gap=5,
+                load_addr=0x100000 + 8192 * i,
+                depends_on_load=True,
+            )
+            for i in range(500)
+        ]
+        from repro.memory import CacheHierarchy
+
+        stats_fast = run_trace(fast, baseline=BimodalPredictor())
+        model = PipelineModel(BimodalPredictor(), hierarchy=CacheHierarchy())
+        stats_slow = model.run(slow)
+        assert stats_slow.ipc < stats_fast.ipc
+
+
+class TestRobBound:
+    def test_rob_limits_inflight(self):
+        """A huge group plus tiny ROB must raise, not wedge."""
+        from repro.errors import SimulationError
+
+        record = make_branch(inst_gap=300)
+        with pytest.raises(SimulationError):
+            run_trace([record], config=PipelineConfig(rob_entries=100))
+
+    def test_rob_stalls_counted_under_memory_pressure(self):
+        from repro.memory import CacheHierarchy
+
+        records = [
+            make_branch(
+                pc=0x1000 + 16 * (i % 8),
+                taken=True,
+                inst_gap=6,
+                load_addr=0x1000000 + 64 * 997 * i,
+            )
+            for i in range(2000)
+        ]
+        model = PipelineModel(
+            BimodalPredictor(),
+            config=PipelineConfig(rob_entries=64),
+            hierarchy=CacheHierarchy(),
+        )
+        stats = model.run(records)
+        assert stats.rob_stall_cycles > 0
+
+
+class TestLocalUnitIntegration:
+    def test_unit_stats_attached(self, tiny_trace):
+        unit = StandardLocalUnit(
+            LoopPredictor(LoopPredictorConfig.entries(64)), PerfectRepair()
+        )
+        model = PipelineModel(TagePredictor(), unit=unit)
+        stats = model.run(tiny_trace)
+        assert "unit" in stats.extra
+        assert "repair" in stats.extra
+        assert stats.extra["unit"]["lookups"] > 0
+
+    def test_deterministic(self, tiny_trace):
+        def run_once():
+            unit = StandardLocalUnit(
+                LoopPredictor(LoopPredictorConfig.entries(64)), NoRepair()
+            )
+            model = PipelineModel(TagePredictor(), unit=unit)
+            stats = model.run(tiny_trace)
+            return (stats.cycles, stats.mispredictions, stats.instructions)
+
+        assert run_once() == run_once()
+
+    def test_retirement_drains(self, tiny_trace):
+        unit = StandardLocalUnit(
+            LoopPredictor(LoopPredictorConfig.entries(64)), PerfectRepair()
+        )
+        model = PipelineModel(TagePredictor(), unit=unit)
+        model.run(tiny_trace)
+        assert model._rob_occupancy == 0
+        assert len(model._rob) == 0

@@ -1,0 +1,28 @@
+"""Unit tests for SimStats."""
+
+from repro.pipeline.stats import SimStats
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(instructions=1000, cycles=500)
+        assert stats.ipc == 2.0
+        assert SimStats().ipc == 0.0
+
+    def test_mpki(self):
+        stats = SimStats(instructions=10_000, mispredictions=42)
+        assert stats.mpki == 4.2
+        assert SimStats().mpki == 0.0
+
+    def test_branch_accuracy(self):
+        stats = SimStats(cond_branches=200, mispredictions=10)
+        assert stats.branch_accuracy == 0.95
+        assert SimStats().branch_accuracy == 1.0
+
+    def test_as_dict_round_trips_extras(self):
+        stats = SimStats(instructions=100, cycles=50)
+        stats.extra["unit"] = {"lookups": 7}
+        payload = stats.as_dict()
+        assert payload["ipc"] == 2.0
+        assert payload["unit"] == {"lookups": 7}
+        assert "mpki" in payload and "branch_accuracy" in payload

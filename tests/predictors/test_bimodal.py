@@ -1,0 +1,54 @@
+"""Unit tests for the bimodal predictor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.bimodal import BimodalPredictor
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(log_entries=8)
+        pc = 0x400100
+        for _ in range(4):
+            pred = predictor.lookup(pc)
+            predictor.train(pred, True)
+        assert predictor.lookup(pc).taken
+
+        for _ in range(4):
+            pred = predictor.lookup(pc)
+            predictor.train(pred, False)
+        assert not predictor.lookup(pc).taken
+
+    def test_distinct_pcs_distinct_counters(self):
+        predictor = BimodalPredictor(log_entries=10)
+        # 0x1000 and 0x1100 map to different counters at 1024 entries.
+        for _ in range(4):
+            predictor.train(predictor.lookup(0x1000), True)
+            predictor.train(predictor.lookup(0x1100), False)
+        assert predictor.lookup(0x1000).taken
+        assert not predictor.lookup(0x1100).taken
+
+    def test_storage(self):
+        predictor = BimodalPredictor(log_entries=12, counter_bits=2)
+        assert predictor.storage_bits() == 4096 * 2
+        assert predictor.storage_kb() == 1.0
+
+    def test_history_recovery_is_noop_safe(self):
+        predictor = BimodalPredictor()
+        ckpt = predictor.checkpoint()
+        predictor.spec_push(0x10, True)
+        predictor.recover(ckpt, 0x10, False)  # must not raise
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(log_entries=0)
+        with pytest.raises(ConfigError):
+            BimodalPredictor(counter_bits=0)
+
+    def test_initial_weakly_taken(self):
+        predictor = BimodalPredictor()
+        assert predictor.lookup(0x1234).taken
+        pred = predictor.lookup(0x1234)
+        predictor.train(pred, False)
+        assert not predictor.lookup(0x1234).taken

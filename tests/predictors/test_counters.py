@@ -1,0 +1,88 @@
+"""Unit tests for saturating-counter primitives."""
+
+import pytest
+
+from repro.predictors.counters import (
+    SaturatingCounter,
+    center_init,
+    counter_taken,
+    counter_update,
+    saturating_dec,
+    saturating_inc,
+)
+
+
+class TestFunctions:
+    def test_inc_saturates(self):
+        assert saturating_inc(2, 3) == 3
+        assert saturating_inc(3, 3) == 3
+
+    def test_dec_saturates(self):
+        assert saturating_dec(1) == 0
+        assert saturating_dec(0) == 0
+        assert saturating_dec(5, min_value=2) == 4
+        assert saturating_dec(2, min_value=2) == 2
+
+    def test_counter_update_direction(self):
+        assert counter_update(1, True, 3) == 2
+        assert counter_update(1, False, 3) == 0
+        assert counter_update(3, True, 3) == 3
+        assert counter_update(0, False, 3) == 0
+
+    def test_counter_taken_msb(self):
+        assert not counter_taken(0, 2)
+        assert not counter_taken(1, 2)
+        assert counter_taken(2, 2)
+        assert counter_taken(3, 2)
+
+    def test_center_init(self):
+        assert center_init(2, True) == 2
+        assert center_init(2, False) == 1
+        assert center_init(3, True) == 4
+        assert center_init(3, False) == 3
+
+
+class TestSaturatingCounter:
+    def test_default_two_bit(self):
+        counter = SaturatingCounter()
+        assert counter.max_value == 3
+        assert not counter.taken
+
+    def test_hysteresis(self):
+        counter = SaturatingCounter(bits=2, value=2)
+        counter.update(False)
+        assert not counter.taken  # 1: weakly not-taken
+        counter.update(True)
+        assert counter.taken
+
+    def test_saturation_both_ends(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+        for _ in range(10):
+            counter.update(False)
+        assert counter.value == 0
+
+    def test_is_weak(self):
+        assert SaturatingCounter(bits=2, value=1).is_weak
+        assert SaturatingCounter(bits=2, value=2).is_weak
+        assert not SaturatingCounter(bits=2, value=0).is_weak
+        assert not SaturatingCounter(bits=2, value=3).is_weak
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=3, value=7)
+        counter.reset(False)
+        assert counter.value == 3
+        assert not counter.taken
+        counter.reset(True)
+        assert counter.value == 4
+        assert counter.taken
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_invalid_initial_value(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)

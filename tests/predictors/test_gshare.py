@@ -1,0 +1,55 @@
+"""Unit tests for the gshare predictor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.gshare import GSharePredictor
+
+
+def run_sequence(predictor, pc, outcomes):
+    """Drive predict/spec-push/train for a single-branch stream."""
+    correct = 0
+    for taken in outcomes:
+        pred = predictor.lookup(pc)
+        if pred.taken == taken:
+            correct += 1
+        predictor.spec_push(pc, taken)
+        predictor.train(pred, taken)
+    return correct
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        predictor = GSharePredictor(log_entries=12, history_length=8)
+        outcomes = [True, False] * 200
+        correct = run_sequence(predictor, 0x4000, outcomes)
+        # After warmup, the history disambiguates the two phases.
+        assert correct > len(outcomes) * 0.8
+
+    def test_learns_period_patterns(self):
+        predictor = GSharePredictor(log_entries=12, history_length=10)
+        pattern = [True, True, False]
+        outcomes = pattern * 300
+        correct = run_sequence(predictor, 0x4000, outcomes)
+        assert correct > len(outcomes) * 0.85
+
+    def test_history_length_cannot_exceed_index(self):
+        with pytest.raises(ConfigError):
+            GSharePredictor(log_entries=8, history_length=9)
+
+    def test_recovery_restores_prediction_state(self):
+        predictor = GSharePredictor(log_entries=10, history_length=6)
+        for i in range(50):
+            pred = predictor.lookup(0x4000)
+            predictor.spec_push(0x4000, i % 2 == 0)
+            predictor.train(pred, i % 2 == 0)
+        ckpt = predictor.checkpoint()
+        ghist_before = predictor.history.ghist
+        predictor.spec_push(0x4000, True)
+        predictor.spec_push(0x4000, True)
+        predictor.recover(ckpt, 0x4000, False)
+        assert predictor.history.ghist == ((ghist_before << 1) | 0) & predictor.history._ghist_mask
+
+    def test_storage(self):
+        predictor = GSharePredictor(log_entries=14)
+        assert predictor.storage_bits() == (1 << 14) * 2

@@ -1,0 +1,97 @@
+"""Unit tests for global history and folded-history machinery."""
+
+import pytest
+
+from repro.predictors.history import FoldedHistory, GlobalHistory
+
+
+class TestFoldedHistory:
+    def test_incremental_matches_rebuild(self):
+        """The O(1) update must equal the from-scratch fold."""
+        history = GlobalHistory(max_length=64)
+        fold = history.register_fold(FoldedHistory(24, 7))
+        reference = FoldedHistory(24, 7)
+        pattern = [True, False, True, True, False, False, True] * 15
+        for i, taken in enumerate(pattern):
+            history.push(pc=0x1000 + 4 * i, taken=taken)
+            reference.rebuild(history.ghist)
+            assert fold.comp == reference.comp, f"diverged at step {i}"
+
+    def test_rebuild_known_value(self):
+        fold = FoldedHistory(8, 4)
+        # history bits 0b1011_0110: chunks 0110 and 1011 -> 1101.
+        fold.rebuild(0b10110110)
+        assert fold.comp == 0b0110 ^ 0b1011
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(0, 4)
+        with pytest.raises(ValueError):
+            FoldedHistory(4, 0)
+
+
+class TestGlobalHistory:
+    def test_push_shifts_ghist(self):
+        history = GlobalHistory(max_length=8)
+        history.push(0x4, True)
+        history.push(0x8, False)
+        history.push(0xC, True)
+        assert history.ghist & 0b111 == 0b101
+
+    def test_phist_uses_pc_low_bit(self):
+        history = GlobalHistory(max_length=8, path_bits=4)
+        history.push(0b1, True)
+        history.push(0b0, True)
+        history.push(0b1, True)
+        assert history.phist == 0b101
+
+    def test_checkpoint_restore_round_trip(self):
+        history = GlobalHistory(max_length=32)
+        fold = history.register_fold(FoldedHistory(16, 5))
+        for i in range(20):
+            history.push(4 * i, i % 3 == 0)
+        ckpt = history.checkpoint()
+        saved = (history.ghist, history.phist, fold.comp)
+        for i in range(10):
+            history.push(4 * i, i % 2 == 0)
+        history.restore(ckpt)
+        assert (history.ghist, history.phist, fold.comp) == saved
+
+    def test_restore_and_push_applies_truth(self):
+        history = GlobalHistory(max_length=16)
+        history.push(0x10, True)
+        ckpt = history.checkpoint()
+        history.push(0x20, True)  # speculative, wrong
+        history.push(0x24, False)  # wrong-path junk
+        history.restore_and_push(ckpt, 0x20, False)
+        reference = GlobalHistory(max_length=16)
+        reference.push(0x10, True)
+        reference.push(0x20, False)
+        assert history.ghist == reference.ghist
+
+    def test_fold_longer_than_history_rejected(self):
+        history = GlobalHistory(max_length=8)
+        with pytest.raises(ValueError):
+            history.register_fold(FoldedHistory(16, 4))
+
+    def test_ghist_bounded(self):
+        history = GlobalHistory(max_length=8)
+        for i in range(100):
+            history.push(4 * i, True)
+        assert history.ghist < (1 << 9)
+
+    def test_restore_keeps_folds_consistent_with_future_pushes(self):
+        """After restore, incremental folding must keep matching rebuild."""
+        history = GlobalHistory(max_length=32)
+        fold = history.register_fold(FoldedHistory(20, 6))
+        for i in range(25):
+            history.push(4 * i, i % 2 == 0)
+        ckpt = history.checkpoint()
+        for i in range(5):
+            history.push(4 * i, True)
+        history.restore(ckpt)
+        for i in range(15):
+            history.push(8 * i, i % 3 != 0)
+        reference = FoldedHistory(20, 6)
+        reference.rebuild(history.ghist)
+        assert fold.comp == reference.comp

@@ -1,0 +1,73 @@
+"""Unit tests for the hybrid (tournament) predictor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.hybrid import HybridPredictor
+
+
+def drive(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        pred = predictor.lookup(pc)
+        if pred.taken == taken:
+            correct += 1
+        predictor.spec_push(pc, taken)
+        predictor.train(pred, taken)
+    return correct / len(stream)
+
+
+class TestHybrid:
+    def test_biased_branch(self):
+        stream = [(0x4000, True)] * 300
+        assert drive(HybridPredictor(), stream) > 0.95
+
+    def test_beats_bimodal_on_patterns(self):
+        pattern = [True, True, False]
+        stream = [(0x4000, pattern[i % 3]) for i in range(900)]
+        hybrid_acc = drive(HybridPredictor(), stream)
+        bimodal = BimodalPredictor()
+        bim_correct = 0
+        for pc, taken in stream:
+            pred = bimodal.lookup(pc)
+            if pred.taken == taken:
+                bim_correct += 1
+            bimodal.train(pred, taken)
+        assert hybrid_acc > bim_correct / len(stream)
+
+    def test_tracks_gshare_on_history_patterns(self):
+        pattern = [True, False, False, True]
+        stream = [(0x4000, pattern[i % 4]) for i in range(1200)]
+        hybrid_acc = drive(HybridPredictor(), stream[400:])
+        gshare_acc = drive(GSharePredictor(), stream[400:])
+        assert hybrid_acc > gshare_acc - 0.1
+
+    def test_chooser_learns_per_pc(self):
+        predictor = HybridPredictor()
+        # PC A: pattern branch (gshare wins); PC B: noisy-but-biased
+        # short-history branch where bimodal is steadier.
+        pattern = [True, False]
+        stream = []
+        for i in range(800):
+            stream.append((0x4000, pattern[i % 2]))
+        drive(predictor, stream)
+        index = predictor._chooser_index(0x4000)
+        assert predictor._chooser[index] >= 2  # prefers gshare
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HybridPredictor(chooser_log_entries=0)
+
+    def test_storage_sums_components(self):
+        predictor = HybridPredictor()
+        assert predictor.storage_bits() == (
+            predictor.bimodal.storage_bits()
+            + predictor.gshare.storage_bits()
+            + (1 << 12) * 2
+        )
+
+    def test_shared_history_object(self):
+        predictor = HybridPredictor()
+        assert predictor.history is predictor.gshare.history

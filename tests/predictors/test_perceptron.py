@@ -1,0 +1,81 @@
+"""Unit tests for the perceptron predictor."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.perceptron import PerceptronPredictor
+
+
+def drive(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        pred = predictor.lookup(pc)
+        if pred.taken == taken:
+            correct += 1
+        predictor.spec_push(pc, taken)
+        predictor.train(pred, taken)
+    return correct / len(stream)
+
+
+class TestPerceptron:
+    def test_biased_branch(self):
+        predictor = PerceptronPredictor()
+        stream = [(0x4000, True)] * 300
+        assert drive(predictor, stream) > 0.95
+
+    def test_linearly_separable_correlation(self):
+        """Perceptrons excel at linear history functions."""
+        predictor = PerceptronPredictor(history_length=16)
+        rng = random.Random(7)
+        stream = []
+        history = [False] * 4
+        for _ in range(1500):
+            lead = rng.random() < 0.5
+            stream.append((0x1000, lead))
+            history.append(lead)
+            # Follower equals the outcome two branches back.
+            stream.append((0x2000, history[-2]))
+        accuracy = drive(predictor, stream[600:])
+        assert accuracy > 0.72
+
+    def test_alternating_pattern(self):
+        predictor = PerceptronPredictor()
+        stream = [(0x4000, i % 2 == 0) for i in range(800)]
+        assert drive(predictor, stream[200:]) > 0.9
+
+    def test_weights_stay_clipped(self):
+        predictor = PerceptronPredictor(weight_bits=4)
+        stream = [(0x4000, True)] * 500
+        drive(predictor, stream)
+        for weights in predictor._weights:
+            assert all(-8 <= w <= 7 for w in weights)
+
+    def test_default_threshold_formula(self):
+        predictor = PerceptronPredictor(history_length=24)
+        assert predictor.threshold == int(1.93 * 24 + 14)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PerceptronPredictor(log_entries=0)
+        with pytest.raises(ConfigError):
+            PerceptronPredictor(history_length=0)
+        with pytest.raises(ConfigError):
+            PerceptronPredictor(weight_bits=1)
+
+    def test_storage(self):
+        predictor = PerceptronPredictor(log_entries=8, history_length=10, weight_bits=8)
+        assert predictor.storage_bits() == 256 * 11 * 8
+
+    def test_history_recovery(self):
+        predictor = PerceptronPredictor()
+        for i in range(50):
+            pred = predictor.lookup(0x4000)
+            predictor.spec_push(0x4000, i % 2 == 0)
+            predictor.train(pred, i % 2 == 0)
+        ckpt = predictor.checkpoint()
+        ghist = predictor.history.ghist
+        predictor.spec_push(0x9000, True)
+        predictor.recover(ckpt, 0x4000, False)
+        assert predictor.history.ghist == (ghist << 1) & predictor.history._ghist_mask

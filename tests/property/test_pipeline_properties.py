@@ -1,0 +1,84 @@
+"""Property-based tests for the pipeline model on random small traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LoopPredictor, LoopPredictorConfig, StandardLocalUnit
+from repro.core.repair import ForwardWalkRepair, PerfectRepair
+from repro.pipeline.core import PipelineModel
+from repro.predictors.bimodal import BimodalPredictor
+from repro.trace.records import BranchKind, BranchRecord
+
+# Small random traces: a handful of PCs, arbitrary directions/gaps.
+_record = st.builds(
+    lambda pc_index, taken, gap, kind_cond: BranchRecord(
+        pc=0x4000 + 16 * pc_index,
+        target=0x4000 + 16 * pc_index - 64 if taken else 0x4000 + 16 * pc_index + 64,
+        taken=taken if kind_cond else True,
+        kind=BranchKind.COND if kind_cond else BranchKind.UNCOND,
+        inst_gap=gap,
+    ),
+    pc_index=st.integers(0, 9),
+    taken=st.booleans(),
+    gap=st.integers(0, 12),
+    kind_cond=st.booleans(),
+)
+
+_traces = st.lists(_record, min_size=1, max_size=120)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_traces)
+def test_pipeline_conserves_instructions(records):
+    stats = PipelineModel(BimodalPredictor()).run(records)
+    assert stats.instructions == sum(r.group_size for r in records)
+    assert stats.branches == len(records)
+    assert stats.cycles >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(_traces)
+def test_pipeline_counts_are_consistent(records):
+    stats = PipelineModel(BimodalPredictor()).run(records)
+    cond = sum(1 for r in records if r.kind is BranchKind.COND)
+    assert stats.cond_branches == cond
+    assert 0 <= stats.mispredictions <= cond
+    assert stats.taken_branches <= cond
+
+
+@settings(max_examples=15, deadline=None)
+@given(_traces)
+def test_pipeline_rob_always_drains(records):
+    model = PipelineModel(BimodalPredictor())
+    model.run(records)
+    assert model._rob_occupancy == 0
+    assert not model._rob
+
+
+@settings(max_examples=10, deadline=None)
+@given(_traces)
+def test_repaired_unit_never_crashes_and_is_deterministic(records):
+    def run_once(scheme):
+        unit = StandardLocalUnit(
+            LoopPredictor(LoopPredictorConfig.entries(16, confidence_threshold=2)),
+            scheme,
+        )
+        model = PipelineModel(BimodalPredictor(), unit=unit)
+        stats = model.run(records)
+        return (stats.cycles, stats.mispredictions)
+
+    assert run_once(PerfectRepair()) == run_once(PerfectRepair())
+    assert run_once(ForwardWalkRepair()) == run_once(ForwardWalkRepair())
+
+
+@settings(max_examples=10, deadline=None)
+@given(_traces)
+def test_mispredictions_never_exceed_baseline_plus_overrides(records):
+    """Sanity link between override counts and MPKI movement."""
+    unit = StandardLocalUnit(
+        LoopPredictor(LoopPredictorConfig.entries(16, confidence_threshold=2)),
+        PerfectRepair(),
+    )
+    stats = PipelineModel(BimodalPredictor(), unit=unit).run(records)
+    overrides = stats.extra["unit"]["overrides"]
+    assert stats.mispredictions <= stats.base_wrong + overrides

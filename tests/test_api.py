@@ -1,0 +1,122 @@
+"""Public-API stability tests: the documented imports keep working."""
+
+import repro
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import (
+            ConfigError,
+            ExperimentError,
+            ReproError,
+            SimulationError,
+            TraceError,
+            WorkloadError,
+        )
+
+        for exc in (
+            ConfigError,
+            TraceError,
+            WorkloadError,
+            SimulationError,
+            ExperimentError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestPublicImports:
+    def test_core_exports(self):
+        from repro.core import (
+            BranchHistoryTable,
+            InflightBranch,
+            LocalPredictorCore,
+            LoopPredictor,
+            OutstandingBranchQueue,
+            RepairPortConfig,
+            SnapshotQueue,
+            StandardLocalUnit,
+            TwoLevelLocalPredictor,
+            system_storage,
+        )
+
+        assert issubclass(LoopPredictor, LocalPredictorCore)
+        assert issubclass(TwoLevelLocalPredictor, LocalPredictorCore)
+        del (
+            BranchHistoryTable,
+            InflightBranch,
+            OutstandingBranchQueue,
+            RepairPortConfig,
+            SnapshotQueue,
+            StandardLocalUnit,
+            system_storage,
+        )
+
+    def test_repair_exports(self):
+        from repro.core.repair import (
+            BackwardWalkRepair,
+            ForwardWalkRepair,
+            LimitedPcRepair,
+            MultiStageUnit,
+            NoRepair,
+            PerfectRepair,
+            RepairScheme,
+            RetireUpdate,
+            SnapshotRepair,
+        )
+
+        for scheme in (
+            PerfectRepair,
+            NoRepair,
+            RetireUpdate,
+            BackwardWalkRepair,
+            SnapshotRepair,
+            ForwardWalkRepair,
+            LimitedPcRepair,
+        ):
+            assert issubclass(scheme, RepairScheme)
+        del MultiStageUnit
+
+    def test_predictor_exports(self):
+        from repro.predictors import (
+            BimodalPredictor,
+            GlobalPredictor,
+            GSharePredictor,
+            HybridPredictor,
+            PerceptronPredictor,
+            TagePredictor,
+        )
+
+        for predictor in (
+            BimodalPredictor,
+            GSharePredictor,
+            HybridPredictor,
+            PerceptronPredictor,
+            TagePredictor,
+        ):
+            assert issubclass(predictor, GlobalPredictor)
+
+    def test_every_global_predictor_speaks_the_protocol(self):
+        """Any baseline can drive the pipeline."""
+        from repro.pipeline import PipelineModel
+        from repro.predictors import (
+            BimodalPredictor,
+            GSharePredictor,
+            HybridPredictor,
+            PerceptronPredictor,
+        )
+        from tests.conftest import loop_trace
+
+        trace = loop_trace(pc=0x4000, trip=5, executions=30)
+        for predictor in (
+            BimodalPredictor(),
+            GSharePredictor(),
+            HybridPredictor(),
+            PerceptronPredictor(log_entries=6, history_length=12),
+        ):
+            stats = PipelineModel(predictor).run(trace)
+            assert stats.instructions > 0
+            assert stats.cycles > 0

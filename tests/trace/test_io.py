@@ -1,0 +1,81 @@
+"""Unit tests for trace serialization."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import dumps_trace, loads_trace, read_trace, write_trace
+from repro.trace.records import BranchKind, BranchRecord
+from tests.conftest import make_branch
+
+
+def sample_records():
+    return [
+        make_branch(pc=0x400000, taken=True, inst_gap=3),
+        make_branch(pc=0x400010, taken=False, inst_gap=0),
+        BranchRecord(
+            pc=0x400020,
+            target=0x400400,
+            taken=True,
+            kind=BranchKind.CALL,
+            inst_gap=7,
+            load_addr=0x10000040,
+            depends_on_load=False,
+        ),
+        make_branch(pc=0x400030, taken=True, load_addr=0xDEAD00, depends_on_load=True),
+    ]
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self):
+        recs = sample_records()
+        assert loads_trace(dumps_trace(recs)) == recs
+
+    def test_empty_trace(self):
+        assert loads_trace(dumps_trace([])) == []
+
+    def test_file_round_trip(self, tmp_path):
+        recs = sample_records()
+        path = tmp_path / "trace.bin"
+        write_trace(path, recs)
+        assert read_trace(path) == recs
+
+    def test_large_pc_values(self):
+        rec = BranchRecord(pc=2**63 - 8, target=2**63 - 4, taken=True)
+        assert loads_trace(dumps_trace([rec])) == [rec]
+
+    def test_all_kinds_round_trip(self):
+        recs = [
+            BranchRecord(pc=16 * (i + 1), target=8, taken=True, kind=kind)
+            for i, kind in enumerate(BranchKind)
+        ]
+        assert loads_trace(dumps_trace(recs)) == recs
+
+
+class TestMalformedInput:
+    def test_truncated_header(self):
+        with pytest.raises(TraceError, match="truncated"):
+            loads_trace(b"RP")
+
+    def test_bad_magic(self):
+        data = bytearray(dumps_trace(sample_records()))
+        data[:4] = b"NOPE"
+        with pytest.raises(TraceError, match="magic"):
+            loads_trace(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(dumps_trace([]))
+        data[4] = 0xFF
+        with pytest.raises(TraceError, match="version"):
+            loads_trace(bytes(data))
+
+    def test_truncated_body(self):
+        data = dumps_trace(sample_records())
+        with pytest.raises(TraceError, match="truncated"):
+            loads_trace(data[:-5])
+
+    def test_unknown_kind(self):
+        data = bytearray(dumps_trace([make_branch()]))
+        # kind byte sits after the 14-byte header + 16 (pc, target) + 1 flag.
+        data[14 + 17] = 99
+        with pytest.raises(TraceError, match="kind"):
+            loads_trace(bytes(data))

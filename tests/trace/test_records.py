@@ -1,0 +1,64 @@
+"""Unit tests for branch trace records."""
+
+import pytest
+
+from repro.trace.records import BranchKind, BranchRecord
+from tests.conftest import make_branch
+
+
+class TestBranchKind:
+    def test_only_cond_is_conditional(self):
+        assert BranchKind.COND.is_conditional
+        for kind in (BranchKind.UNCOND, BranchKind.CALL, BranchKind.RET, BranchKind.INDIRECT):
+            assert not kind.is_conditional
+
+    def test_kinds_are_stable_ints(self):
+        # The serialized format depends on these values.
+        assert int(BranchKind.COND) == 0
+        assert int(BranchKind.UNCOND) == 1
+        assert int(BranchKind.CALL) == 2
+        assert int(BranchKind.RET) == 3
+        assert int(BranchKind.INDIRECT) == 4
+
+
+class TestBranchRecord:
+    def test_basic_fields(self):
+        rec = BranchRecord(pc=0x400000, target=0x400040, taken=True, inst_gap=5)
+        assert rec.pc == 0x400000
+        assert rec.taken
+        assert rec.group_size == 6
+
+    def test_group_size_counts_the_branch_itself(self):
+        assert make_branch(inst_gap=0).group_size == 1
+        assert make_branch(inst_gap=9).group_size == 10
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=-4, target=0, taken=True)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=4, target=0, taken=True, inst_gap=-1)
+
+    def test_unconditional_must_be_taken(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=4, target=8, taken=False, kind=BranchKind.UNCOND)
+
+    def test_with_direction_flips_only_direction(self):
+        rec = make_branch(pc=0x2000, taken=True, inst_gap=7)
+        flipped = rec.with_direction(False)
+        assert not flipped.taken
+        assert flipped.pc == rec.pc
+        assert flipped.inst_gap == rec.inst_gap
+        assert flipped.kind == rec.kind
+
+    def test_records_are_immutable(self):
+        rec = make_branch()
+        with pytest.raises(AttributeError):
+            rec.taken = False  # type: ignore[misc]
+
+    def test_records_hash_and_compare(self):
+        a = make_branch(pc=0x1000)
+        b = make_branch(pc=0x1000)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,80 @@
+"""Unit tests for trace statistics."""
+
+from repro.trace.records import BranchKind
+from repro.trace.stats import PcProfile, collect_stats
+from tests.conftest import loop_trace, make_branch
+
+
+class TestPcProfile:
+    def test_bias(self):
+        profile = PcProfile(pc=0x10)
+        for taken in (True, True, True, False):
+            profile.observe(taken)
+        assert profile.occurrences == 4
+        assert profile.bias == 0.75
+
+    def test_transitions_and_run_length(self):
+        profile = PcProfile(pc=0x10)
+        # TTTN TTTN -> transitions at T->N, N->T, T->N = 3
+        for taken in (True, True, True, False, True, True, True, False):
+            profile.observe(taken)
+        assert profile.transitions == 3
+        assert profile.run_length == 8 / 4
+
+    def test_no_occurrences(self):
+        profile = PcProfile(pc=0x10)
+        assert profile.bias == 0.0
+        assert profile.run_length == 0.0
+
+    def test_constant_direction_run_length(self):
+        profile = PcProfile(pc=0x10)
+        for _ in range(7):
+            profile.observe(True)
+        assert profile.run_length == 7.0
+
+
+class TestCollectStats:
+    def test_empty(self):
+        stats = collect_stats([])
+        assert stats.total_branches == 0
+        assert stats.branch_density == 0.0
+        assert stats.taken_rate == 0.0
+
+    def test_counts(self):
+        recs = loop_trace(pc=0x100, trip=3, executions=2)
+        stats = collect_stats(recs)
+        assert stats.total_branches == 8
+        assert stats.conditional_branches == 8
+        assert stats.taken_branches == 6
+        assert stats.taken_rate == 0.75
+        assert stats.static_sites == 1
+
+    def test_instruction_accounting(self):
+        recs = [make_branch(inst_gap=4), make_branch(inst_gap=0)]
+        stats = collect_stats(recs)
+        assert stats.total_instructions == 6
+        assert stats.branch_density == 2 / 6
+
+    def test_non_cond_not_profiled(self):
+        recs = [
+            make_branch(pc=0x10, kind=BranchKind.COND),
+            make_branch(pc=0x20, kind=BranchKind.UNCOND),
+        ]
+        stats = collect_stats(recs)
+        assert stats.static_sites == 1
+        assert stats.kind_counts[BranchKind.UNCOND] == 1
+
+    def test_mean_run_length_weighted(self):
+        recs = loop_trace(pc=0x100, trip=9, executions=3)
+        stats = collect_stats(recs)
+        # Runs of 9 taken then 1 not-taken: mean run length ~ 30/6.
+        assert stats.mean_run_length() > 3.0
+
+    def test_top_sites(self):
+        recs = loop_trace(pc=0x100, trip=5, executions=4) + loop_trace(
+            pc=0x200, trip=2, executions=1
+        )
+        stats = collect_stats(recs)
+        top = stats.top_sites(1)
+        assert len(top) == 1
+        assert top[0].pc == 0x100

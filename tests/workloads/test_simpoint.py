@@ -1,0 +1,58 @@
+"""Unit tests for Simpoint-like phase selection."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.simpoint import interval_vectors, select_phases
+from tests.conftest import loop_trace, make_branch
+
+
+def two_phase_trace():
+    """A trace with two clearly distinct phases."""
+    phase_a = loop_trace(pc=0x1000, trip=4, executions=100)
+    phase_b = loop_trace(pc=0x9000, trip=4, executions=100)
+    return phase_a + phase_b
+
+
+class TestIntervalVectors:
+    def test_shapes(self):
+        trace = two_phase_trace()
+        matrix, bounds = interval_vectors(trace, interval_size=100)
+        assert matrix.shape[0] == len(bounds)
+        assert matrix.shape[0] == (len(trace) + 99) // 100
+
+    def test_rows_normalised(self):
+        matrix, _ = interval_vectors(two_phase_trace(), interval_size=100)
+        sums = matrix.sum(axis=1)
+        assert all(abs(s - 1.0) < 1e-9 for s in sums)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            interval_vectors([], 100)
+        with pytest.raises(WorkloadError):
+            interval_vectors([make_branch()], 0)
+
+
+class TestSelectPhases:
+    def test_two_phases_found(self):
+        phases = select_phases(two_phase_trace(), interval_size=100, max_phases=2)
+        assert len(phases) == 2
+        # Each phase's representative interval comes from its half.
+        starts = sorted(p.start for p in phases)
+        trace_len = len(two_phase_trace())
+        assert starts[0] < trace_len // 2 <= starts[1]
+
+    def test_weights_sum_to_one(self):
+        phases = select_phases(two_phase_trace(), interval_size=100, max_phases=3)
+        assert abs(sum(p.weight for p in phases) - 1.0) < 1e-9
+
+    def test_single_interval_trace(self):
+        trace = loop_trace(pc=0x1000, trip=4, executions=5)
+        phases = select_phases(trace, interval_size=10_000)
+        assert len(phases) == 1
+        assert phases[0].weight == 1.0
+
+    def test_uniform_trace_phases_cover(self):
+        trace = loop_trace(pc=0x1000, trip=4, executions=200)
+        phases = select_phases(trace, interval_size=100, max_phases=4)
+        assert 1 <= len(phases) <= 4

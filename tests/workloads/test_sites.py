@@ -1,0 +1,91 @@
+"""Unit tests for branch-site behaviour models."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators.sites import (
+    BiasedSite,
+    GlobalCorrelatedSite,
+    LoopSite,
+    PatternSite,
+)
+
+
+class TestLoopSite:
+    def test_draw_trip_from_choices(self):
+        site = LoopSite(pc=0x10, trips=(5, 6, 7))
+        rng = random.Random(1)
+        draws = {site.draw_trip(rng) for _ in range(100)}
+        assert draws <= {5, 6, 7}
+
+    def test_weighted_draws_respect_distribution(self):
+        site = LoopSite(pc=0x10, trips=(5, 6), trip_weights=(0.95, 0.05))
+        rng = random.Random(2)
+        draws = [site.draw_trip(rng) for _ in range(500)]
+        assert draws.count(5) > draws.count(6) * 5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LoopSite(pc=0x10, trips=())
+        with pytest.raises(WorkloadError):
+            LoopSite(pc=0x10, trips=(0,))
+        with pytest.raises(WorkloadError):
+            LoopSite(pc=0x10, trips=(3, 4), trip_weights=(1.0,))
+
+    def test_next_outcome_not_supported(self):
+        site = LoopSite(pc=0x10, trips=(5,))
+        with pytest.raises(WorkloadError):
+            site.next_outcome(random.Random(0), 0)
+
+
+class TestPatternSite:
+    def test_cycles_pattern(self):
+        site = PatternSite(pc=0x10, pattern=(True, True, False), noise=0.0)
+        rng = random.Random(0)
+        outcomes = [site.next_outcome(rng, 0) for _ in range(6)]
+        assert outcomes == [True, True, False, True, True, False]
+
+    def test_noise_flips_sometimes(self):
+        site = PatternSite(pc=0x10, pattern=(True,), noise=0.5)
+        rng = random.Random(3)
+        outcomes = [site.next_outcome(rng, 0) for _ in range(200)]
+        assert 0.2 < outcomes.count(False) / len(outcomes) < 0.8
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PatternSite(pc=0x10, pattern=())
+        with pytest.raises(WorkloadError):
+            PatternSite(pc=0x10, pattern=(True,), noise=1.5)
+
+
+class TestBiasedSite:
+    def test_bias_respected(self):
+        site = BiasedSite(pc=0x10, p_taken=0.9)
+        rng = random.Random(4)
+        outcomes = [site.next_outcome(rng, 0) for _ in range(1000)]
+        assert 0.85 < sum(outcomes) / len(outcomes) < 0.95
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BiasedSite(pc=0x10, p_taken=1.5)
+
+
+class TestGlobalCorrelatedSite:
+    def test_outcome_is_history_parity(self):
+        site = GlobalCorrelatedSite(pc=0x10, history_bits=3, noise=0.0)
+        rng = random.Random(0)
+        assert site.next_outcome(rng, 0b101) is False  # even parity in 3 LSBs? 101 -> 2 ones
+        assert site.next_outcome(rng, 0b111) is True
+        assert site.next_outcome(rng, 0b001) is True
+
+    def test_invert(self):
+        rng = random.Random(0)
+        plain = GlobalCorrelatedSite(pc=0x10, history_bits=3, invert=False)
+        inverted = GlobalCorrelatedSite(pc=0x10, history_bits=3, invert=True)
+        assert plain.next_outcome(rng, 0b111) != inverted.next_outcome(rng, 0b111)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            GlobalCorrelatedSite(pc=0x10, history_bits=0)

@@ -1,0 +1,123 @@
+"""Unit tests for the workload suite and categories."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.categories import (
+    CATEGORIES,
+    CATEGORY_COUNTS,
+    base_params,
+    jittered_params,
+)
+from repro.workloads.spec import WorkloadParams, WorkloadSpec
+from repro.workloads.suite import (
+    build_suite,
+    get_workload,
+    sample_suite,
+    suite_by_category,
+)
+
+
+class TestCategories:
+    def test_counts_match_table1(self):
+        assert CATEGORY_COUNTS == {
+            "server": 29,
+            "hpc": 8,
+            "ispec": 34,
+            "fspec": 64,
+            "mm": 15,
+            "bp": 16,
+            "personal": 36,
+        }
+        assert sum(CATEGORY_COUNTS.values()) == 202
+
+    def test_base_params_exist_for_all(self):
+        for category in CATEGORIES:
+            params = base_params(category)
+            assert isinstance(params, WorkloadParams)
+
+    def test_unknown_category(self):
+        with pytest.raises(WorkloadError):
+            base_params("gaming")
+
+    def test_jitter_is_deterministic(self):
+        assert jittered_params("hpc", 42) == jittered_params("hpc", 42)
+        assert jittered_params("hpc", 42) != jittered_params("hpc", 43)
+
+    def test_category_characters(self):
+        """Category params encode the paper's qualitative description."""
+        server = base_params("server")
+        hpc = base_params("hpc")
+        fspec = base_params("fspec")
+        # Server has the largest static footprint, HPC the smallest.
+        footprint = lambda p: (
+            p.n_loops + p.n_tight_loops + p.n_forward_loops
+            + p.n_patterns + p.n_biased + p.n_global
+        )
+        assert footprint(server) > footprint(hpc)
+        # FSPEC loops run much longer trips (rare exits).
+        assert fspec.trip_max > server.trip_max
+
+
+class TestSuite:
+    def test_total_size(self):
+        assert len(build_suite()) == 202
+
+    def test_names_unique(self):
+        names = [spec.name for spec in build_suite()]
+        assert len(names) == len(set(names))
+
+    def test_grouping(self):
+        grouped = suite_by_category()
+        for category, count in CATEGORY_COUNTS.items():
+            assert len(grouped[category]) == count
+
+    def test_get_workload(self):
+        spec = get_workload("server-cloud-compression")
+        assert spec.category == "server"
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_paper_named_workloads_exist(self):
+        for name in (
+            "server-cloud-compression",
+            "personal-tabletmark-email",
+            "bp-sysmark-photoshop",
+            "personal-eembc-dither",
+        ):
+            assert get_workload(name) is not None
+
+    def test_eembc_dither_has_huge_footprint(self):
+        dither = get_workload("personal-eembc-dither")
+        typical = get_workload("personal-email")
+        assert dither.params.n_loops > 2 * typical.params.n_loops
+
+    def test_sample_suite(self):
+        sample = sample_suite(2)
+        assert len(sample) == 14
+        categories = {spec.category for spec in sample}
+        assert categories == set(CATEGORIES)
+        with pytest.raises(WorkloadError):
+            sample_suite(0)
+
+    def test_seeds_unique(self):
+        seeds = [spec.seed for spec in build_suite()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestSpecValidation:
+    def test_trip_range(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(trip_min=10, trip_max=5)
+
+    def test_needs_a_loop(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(n_loops=0, n_tight_loops=0, n_forward_loops=0)
+
+    def test_name_required(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="", category="test", seed=1)
+
+    def test_scaled_footprint_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams().scaled_footprint(0)

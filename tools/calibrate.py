@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Calibration sweep: per-category opportunity of the local predictor.
+
+Development utility used to tune the workload-category parameters so the
+suite reproduces the paper's per-category shape (Figures 4 and 7):
+substantial perfect-repair MPKI reduction everywhere, no-repair flat or
+negative, MM/BP clearly negative without repair, FSPEC the weakest
+gainer.
+
+Usage::
+
+    python tools/calibrate.py [n_branches] [workloads_per_category]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import LoopPredictor, LoopPredictorConfig, StandardLocalUnit
+from repro.core.repair import NoRepair, PerfectRepair
+from repro.memory import CacheHierarchy
+from repro.pipeline import PipelineModel
+from repro.predictors import TagePredictor
+from repro.workloads import generate_trace, suite_by_category
+
+
+def run_system(trace, unit):
+    model = PipelineModel(TagePredictor(), unit=unit, hierarchy=CacheHierarchy())
+    return model.run(trace)
+
+
+def loop_unit(scheme):
+    return StandardLocalUnit(LoopPredictor(LoopPredictorConfig.entries(128)), scheme)
+
+
+def main() -> None:
+    n_branches = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    per_category = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    print(f"{'category':10s} {'workload':30s} {'mpki':>7s} {'ipc':>6s} "
+          f"{'perf-red':>8s} {'perf-gain':>9s} {'none-red':>8s} {'none-gain':>9s}")
+    t0 = time.time()
+    for category, specs in suite_by_category().items():
+        reductions, gains = [], []
+        for spec in specs[:per_category]:
+            trace = generate_trace(spec, n_branches)
+            base = run_system(trace, None)
+            perfect = run_system(trace, loop_unit(PerfectRepair()))
+            none = run_system(trace, loop_unit(NoRepair()))
+            p_red = (base.mpki - perfect.mpki) / base.mpki if base.mpki else 0.0
+            p_gain = perfect.ipc / base.ipc - 1.0
+            n_red = (base.mpki - none.mpki) / base.mpki if base.mpki else 0.0
+            n_gain = none.ipc / base.ipc - 1.0
+            reductions.append(p_red)
+            gains.append(p_gain)
+            print(f"{category:10s} {spec.name:30s} {base.mpki:7.2f} {base.ipc:6.3f} "
+                  f"{p_red:8.1%} {p_gain:9.2%} {n_red:8.1%} {n_gain:9.2%}")
+        if reductions:
+            mean_red = sum(reductions) / len(reductions)
+            mean_gain = sum(gains) / len(gains)
+            print(f"{category:10s} {'== mean ==':30s} {'':7s} {'':6s} "
+                  f"{mean_red:8.1%} {mean_gain:9.2%}")
+    print(f"total {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Regression check between two persisted sweeps.
+
+Run a sweep, save it, change code, run it again, diff:
+
+    python tools/regression.py sweep --out before.json
+    ... hack hack ...
+    python tools/regression.py sweep --out after.json
+    python tools/regression.py diff before.json after.json
+
+`diff` exits non-zero when any (workload, system) pair regressed in IPC
+beyond the tolerance — suitable for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import diff_sweeps
+from repro.harness.persist import load_results, save_results
+from repro.harness.report import format_table
+from repro.harness.runner import run_matrix, select_workloads
+from repro.harness.scale import resolve_scale
+from repro.harness.systems import TABLE3_SYSTEMS
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.scale)
+    workloads = select_workloads(scale)
+    results = run_matrix(workloads, TABLE3_SYSTEMS, scale)
+    save_results(args.out, results, scale=scale, label=args.label)
+    print(f"saved {len(results)} runs to {args.out}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = load_results(args.before)
+    after = load_results(args.after)
+    deltas = diff_sweeps(before, after)
+    regressions = [d for d in deltas if d.is_regression(args.tolerance)]
+    improvements = [d for d in deltas if d.ipc_change > args.tolerance]
+    print(
+        f"{len(deltas)} paired runs: {len(regressions)} regressions, "
+        f"{len(improvements)} improvements (tolerance {args.tolerance:.1%})"
+    )
+    if regressions:
+        rows = [
+            (
+                d.workload,
+                d.system,
+                f"{d.ipc_before:.3f}",
+                f"{d.ipc_after:.3f}",
+                f"{d.ipc_change:+.2%}",
+                f"{d.mpki_change:+.2f}",
+            )
+            for d in sorted(regressions, key=lambda d: d.ipc_change)
+        ]
+        print()
+        print(
+            format_table(
+                ["workload", "system", "IPC before", "IPC after", "ΔIPC", "ΔMPKI"],
+                rows,
+                title="Regressions",
+            )
+        )
+    return 1 if regressions else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="regression", description="Sweep-and-diff regression checking."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sweep = sub.add_parser("sweep", help="run Table 3 systems and save results")
+    p_sweep.add_argument("--out", required=True)
+    p_sweep.add_argument("--scale", default="smoke")
+    p_sweep.add_argument("--label", default="")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_diff = sub.add_parser("diff", help="compare two saved sweeps")
+    p_diff.add_argument("before")
+    p_diff.add_argument("after")
+    p_diff.add_argument("--tolerance", type=float, default=0.01)
+    p_diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
