@@ -1,0 +1,65 @@
+"""Telemetry overhead bench: disabled vs enabled pipeline throughput.
+
+The observability contract (docs/observability.md) is that disabled
+telemetry costs a single attribute check per instrumentation site —
+under 5% of pipeline throughput — and that metrics-only collection
+stays cheap enough to leave on during development.  This bench measures
+both modes on one workload and prints the ratio; the assertion guards
+the disabled path, which is what every default run pays.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.harness.runner import load_trace, run_single
+from repro.harness.systems import TABLE3_SYSTEMS
+from repro.telemetry import TELEMETRY
+from repro.workloads.suite import get_workload
+
+_SYSTEM = next(
+    cfg for cfg in TABLE3_SYSTEMS if cfg.name == "forward-walk-coalesce"
+)
+
+
+def _timed_run(spec, n_branches: int) -> tuple[float, float]:
+    """(wall seconds, ipc) for one simulation at the current mode."""
+    t0 = perf_counter()
+    result = run_single(spec, _SYSTEM, n_branches)
+    return perf_counter() - t0, result.ipc
+
+
+def test_bench_telemetry_overhead(benchmark, scale):
+    spec = get_workload("hpc-fft")
+    n_branches = scale.branches_per_workload
+    load_trace(spec, n_branches)  # warm the trace cache out-of-band
+
+    was_enabled = TELEMETRY.enabled
+    try:
+        TELEMETRY.disable()
+        _timed_run(spec, n_branches)  # warm-up (imports, cache reads)
+        off_wall, off_ipc = benchmark.pedantic(
+            _timed_run, args=(spec, n_branches), iterations=1, rounds=1
+        )
+
+        TELEMETRY.enable()
+        on_wall, on_ipc = _timed_run(spec, n_branches)
+    finally:
+        if was_enabled:
+            TELEMETRY.enable()
+        else:
+            TELEMETRY.disable()
+
+    overhead = on_wall / off_wall - 1.0 if off_wall else 0.0
+    print()
+    print(f"telemetry off: {off_wall:.3f}s   on: {on_wall:.3f}s   ")
+    print(f"metrics-collection overhead: {overhead:+.1%}")
+
+    # Identical simulation either way — telemetry must never perturb it.
+    assert on_ipc == off_ipc
+    # Generous bound: single-run wall times at smoke scale are noisy;
+    # the <5% acceptance claim is about the *disabled* path, checked in
+    # tests/telemetry/test_noop_and_trace.py against an uninstrumented
+    # baseline and here only indirectly (disabled mode IS the baseline
+    # every other bench in this directory runs under).
+    assert overhead < 1.0

@@ -10,9 +10,28 @@ table/figure.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.harness.scale import Scale, current_scale
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help="process fan-out for sweep benchmarks (sets REPRO_WORKERS)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _apply_workers(request: pytest.FixtureRequest) -> None:
+    """Plumb --workers through the runner's REPRO_WORKERS contract."""
+    workers = request.config.getoption("--workers")
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = str(max(1, workers))
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,9 @@ Packages:
 * :mod:`repro.trace` / :mod:`repro.workloads` — trace substrate and the
   202-workload synthetic suite;
 * :mod:`repro.metrics` / :mod:`repro.harness` — measurement and the
-  per-figure experiment harness.
+  per-figure experiment harness;
+* :mod:`repro.telemetry` — observability: metrics registry, structured
+  event tracing, and run provenance manifests.
 """
 
 from repro.errors import (
@@ -29,6 +31,7 @@ from repro.errors import (
     ExperimentError,
     ReproError,
     SimulationError,
+    TelemetryError,
     TraceError,
     WorkloadError,
 )
@@ -43,4 +46,5 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "ExperimentError",
+    "TelemetryError",
 ]

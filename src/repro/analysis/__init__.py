@@ -1,8 +1,10 @@
-"""Post-run analysis: sweep diffs, markdown reports, drilldowns."""
+"""Post-run analysis: sweep diffs, markdown reports, drilldowns,
+telemetry-trace summaries."""
 
 from repro.analysis.compare import RunDelta, compare_systems, diff_sweeps
 from repro.analysis.drilldown import Diagnosis, diagnose
 from repro.analysis.markdown import category_markdown, markdown_table, table3_markdown
+from repro.telemetry.summary import TraceSummary, summarize_trace
 
 __all__ = [
     "RunDelta",
@@ -13,4 +15,6 @@ __all__ = [
     "markdown_table",
     "category_markdown",
     "table3_markdown",
+    "TraceSummary",
+    "summarize_trace",
 ]

@@ -6,14 +6,19 @@ with direct, single-run access:
     repro list-workloads [--category hpc]
     repro list-systems
     repro run --workload hpc-fft --system forward-walk --branches 20000
-    repro compare --workload hpc-fft --branches 20000
+    repro run --workload hpc-fft --telemetry out.jsonl
+    repro compare --workload hpc-fft --branches 20000 --workers 4
+    repro telemetry out.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 
+from repro.errors import ReproError
 from repro.harness.report import format_table
 from repro.harness.runner import run_single
 from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
@@ -21,6 +26,32 @@ from repro.workloads.categories import CATEGORIES
 from repro.workloads.suite import build_suite, get_workload
 
 __all__ = ["main"]
+
+
+@contextmanager
+def _telemetry_session(path: str | None):
+    """Enable telemetry + JSONL tracing for the wrapped commands."""
+    if path is None:
+        yield
+        return
+    from repro.telemetry import TELEMETRY, JsonlSink
+
+    sink = JsonlSink(path)
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.attach_sink(sink)
+    try:
+        yield
+    finally:
+        TELEMETRY.detach_sink()
+        sink.close()
+        if not was_enabled:
+            TELEMETRY.disable()
+        note = f"telemetry: {sink.emitted} events -> {path}"
+        if sink.truncated:
+            note += f" ({sink.truncated} truncated)"
+        if sink.error is not None:
+            note += f" (write error: {sink.error})"
+        print(note)
 
 
 def _system_by_name(name: str) -> SystemConfig:
@@ -67,7 +98,8 @@ def _print_run(label: str, result) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     system = _system_by_name(args.system)
-    result = run_single(spec, system, args.branches)
+    with _telemetry_session(args.telemetry):
+        result = run_single(spec, system, args.branches)
     _print_run(system.name, result)
     repair = result.extra.get("repair")
     if repair:
@@ -89,12 +121,34 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_results(args: argparse.Namespace, spec) -> list:
+    """One run per Table 3 system, fanning out when --workers asks."""
+    if args.workers is not None and args.workers > 1 and not args.telemetry:
+        # Plumb the request through the runner's REPRO_WORKERS contract
+        # so nested sweeps (and worker processes) see the same setting.
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+        from repro.harness.runner import run_matrix
+        from repro.harness.scale import Scale
+
+        scale = Scale(
+            name="cli",
+            branches_per_workload=args.branches,
+            workloads_per_category=1,
+        )
+        return run_matrix(
+            [spec], TABLE3_SYSTEMS, scale, workers=args.workers
+        )
+    # Sequential: required for tracing (a sink lives in this process).
+    return [run_single(spec, system, args.branches) for system in TABLE3_SYSTEMS]
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     print(f"workload {spec.name}, {args.branches} branches\n")
+    with _telemetry_session(args.telemetry):
+        results = _compare_results(args, spec)
     base = None
-    for system in TABLE3_SYSTEMS:
-        result = run_single(spec, system, args.branches)
+    for system, result in zip(TABLE3_SYSTEMS, results):
         if system.name == "baseline-tage":
             base = result
             _print_run(system.name, result)
@@ -105,6 +159,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"{system.name:24s} IPC {result.ipc:7.3f} ({gain:+6.2%})   "
             f"MPKI {result.mpki:7.2f} ({red:+6.1%})"
         )
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import json_summary, prometheus_text
+    from repro.telemetry.summary import summarize_trace
+
+    summary = summarize_trace(args.trace)
+    if args.export == "json":
+        print(json_summary(summary.metrics))
+    elif args.export == "prom":
+        print(prometheus_text(summary.metrics), end="")
+    else:
+        print(summary.render())
     return 0
 
 
@@ -125,12 +193,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--workload", required=True)
     p_run.add_argument("--system", default="forward-walk-coalesce")
     p_run.add_argument("--branches", type=int, default=20_000)
+    p_run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and stream a JSONL event trace to PATH",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all Table 3 systems on one workload")
     p_cmp.add_argument("--workload", required=True)
     p_cmp.add_argument("--branches", type=int, default=15_000)
+    p_cmp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process fan-out for the sweep (sets REPRO_WORKERS; "
+        "1 = sequential)",
+    )
+    p_cmp.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and stream a JSONL event trace to PATH "
+        "(forces a sequential sweep)",
+    )
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="summarize a JSONL telemetry trace"
+    )
+    p_tel.add_argument("trace", help="trace written by --telemetry PATH")
+    p_tel.add_argument(
+        "--export",
+        choices=("json", "prom"),
+        default=None,
+        help="dump the trace's final metrics snapshot instead of the "
+        "drilldown table",
+    )
+    p_tel.set_defaults(func=_cmd_telemetry)
 
     p_diag = sub.add_parser(
         "diagnose", help="explain one (workload, system) run's behaviour"
@@ -149,10 +250,13 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except BrokenPipeError:
         # Output piped into a pager/head that exited early: not an error.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except (ReproError, OSError) as exc:
+        # Bad trace path, corrupt file, unwritable sink: a message, not
+        # a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

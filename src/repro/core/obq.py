@@ -22,8 +22,11 @@ from dataclasses import dataclass
 
 from repro.core.local_base import SpecUpdate
 from repro.errors import ConfigError
+from repro.telemetry import TELEMETRY
 
 __all__ = ["ObqEntry", "OutstandingBranchQueue"]
+
+_OCC_BUCKETS = (0, 2, 4, 8, 16, 32, 64, 128)
 
 
 @dataclass(slots=True)
@@ -80,6 +83,13 @@ class OutstandingBranchQueue:
         an OBQ entry id").
         """
         self.pushes += 1
+        tel = TELEMETRY
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("obq.pushes").inc()
+            reg.histogram("obq.occupancy", _OCC_BUCKETS).observe(
+                len(self._entries)
+            )
         entries = self._entries
         if self.coalesce and entries:
             tail = entries[-1]
@@ -93,6 +103,8 @@ class OutstandingBranchQueue:
                     tail.last_uid = uid
                     tail.merged += 1
                     self.merges += 1
+                    if tel.enabled:
+                        tel.registry.counter("obq.merges").inc()
                     return tail.entry_id
                 if not self.full:
                     # Second instance of a run: open a "last" entry.
@@ -100,9 +112,13 @@ class OutstandingBranchQueue:
                     entries.append(entry)
                     return entry.entry_id
                 self.overflows += 1
+                if tel.enabled:
+                    tel.registry.counter("obq.overflows").inc()
                 return None
         if self.full:
             self.overflows += 1
+            if tel.enabled:
+                tel.registry.counter("obq.overflows").inc()
             return None
         entry = self._new_entry(uid, spec, run_open=False)
         entries.append(entry)

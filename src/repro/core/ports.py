@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.telemetry import TELEMETRY
 
 __all__ = ["RepairPortConfig", "repair_duration"]
 
@@ -58,4 +59,16 @@ def repair_duration(reads: int, writes: int, read_ports: int, write_ports: int) 
         return 0
     read_cycles = -(-reads // read_ports) if reads > 0 else 0
     write_cycles = -(-writes // write_ports) if writes > 0 else 0
+    tel = TELEMETRY
+    if tel.enabled:
+        # Which side of the M-N-P budget bounds this repair?  The
+        # counters feed the port-conflict drilldown (Figures 10/11).
+        reg = tel.registry
+        reg.counter("ports.repairs").inc()
+        if read_cycles > write_cycles:
+            reg.counter("ports.read_bound").inc()
+        elif write_cycles > read_cycles:
+            reg.counter("ports.write_bound").inc()
+        else:
+            reg.counter("ports.balanced").inc()
     return max(read_cycles, write_cycles, 1)

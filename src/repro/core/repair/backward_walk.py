@@ -61,7 +61,9 @@ class BackwardWalkRepair(RepairScheme):
             # still released.
             self.obq.flush_younger(branch.uid)
             self.stats.skipped_events += 1
-            self.stats.record_event(writes=0, reads=0, busy=0)
+            self.stats.record_event(
+                writes=0, reads=0, busy=0, cycle=cycle, scheme=self.name
+            )
             return cycle
 
         walk = self.obq.backward_to(branch.obq_id)
@@ -85,7 +87,9 @@ class BackwardWalkRepair(RepairScheme):
         )
         self._busy_until = cycle + busy
         self.obq.flush_younger(branch.uid)
-        self.stats.record_event(writes=writes, reads=len(walk), busy=busy)
+        self.stats.record_event(
+            writes=writes, reads=len(walk), busy=busy, cycle=cycle, scheme=self.name
+        )
         return self._busy_until
 
     def on_retire(self, branch: InflightBranch, cycle: int) -> None:

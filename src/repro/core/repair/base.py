@@ -29,8 +29,14 @@ from typing import Sequence
 
 from repro.core.inflight import InflightBranch
 from repro.core.local_base import LocalPredictorCore
+from repro.telemetry import TELEMETRY, RepairWalkEvent
 
 __all__ = ["RepairStats", "RepairScheme"]
+
+#: Bucket bounds sized to the paper's checkpoint structures (OBQ/SQ
+#: capacities of 16-64 entries).
+_WALK_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
+_BUSY_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 
 
 @dataclass(slots=True)
@@ -59,7 +65,14 @@ class RepairStats:
     writes_per_event_sum: int = 0
     writes_per_event_max: int = 0
 
-    def record_event(self, writes: int, reads: int, busy: int) -> None:
+    def record_event(
+        self,
+        writes: int,
+        reads: int,
+        busy: int,
+        cycle: int = 0,
+        scheme: str = "",
+    ) -> None:
         self.events += 1
         self.entries_walked += reads
         self.bht_writes += writes
@@ -67,6 +80,22 @@ class RepairStats:
         self.writes_per_event_sum += writes
         if writes > self.writes_per_event_max:
             self.writes_per_event_max = writes
+        tel = TELEMETRY
+        if tel.enabled:
+            reg = tel.registry
+            reg.histogram("repair.walk_entries", _WALK_BUCKETS).observe(reads)
+            reg.histogram("repair.walk_writes", _WALK_BUCKETS).observe(writes)
+            reg.histogram("repair.busy_cycles", _BUSY_BUCKETS).observe(busy)
+            if tel.tracing:
+                tel.emit(
+                    RepairWalkEvent(
+                        cycle=cycle,
+                        scheme=scheme,
+                        entries=reads,
+                        writes=writes,
+                        busy=busy,
+                    )
+                )
 
     @property
     def mean_writes_per_event(self) -> float:

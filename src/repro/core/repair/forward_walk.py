@@ -113,12 +113,16 @@ class ForwardWalkRepair(RepairScheme):
                 busy = repair_duration(0, 1, 1, self.ports.write_ports)
                 self._busy_until = cycle + busy
                 self.obq.flush_younger(branch.uid, branch.carried_pre_state)
-                self.stats.record_event(writes=1, reads=0, busy=busy)
+                self.stats.record_event(
+                    writes=1, reads=0, busy=busy, cycle=cycle, scheme=self.name
+                )
                 self.last_repaired = {branch.pc}
                 return self._busy_until
             self.obq.flush_younger(branch.uid)
             self.stats.skipped_events += 1
-            self.stats.record_event(writes=0, reads=0, busy=0)
+            self.stats.record_event(
+                writes=0, reads=0, busy=0, cycle=cycle, scheme=self.name
+            )
             self.last_repaired = set()
             return cycle
 
@@ -176,7 +180,9 @@ class ForwardWalkRepair(RepairScheme):
         )
         self._busy_until = cycle + busy
         self.obq.flush_younger(branch.uid, branch.carried_pre_state)
-        self.stats.record_event(writes=writes, reads=len(walk), busy=busy)
+        self.stats.record_event(
+            writes=writes, reads=len(walk), busy=busy, cycle=cycle, scheme=self.name
+        )
         self.last_repaired = repaired
         return self._busy_until
 

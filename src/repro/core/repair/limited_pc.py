@@ -196,7 +196,9 @@ class LimitedPcRepair(RepairScheme):
             if self.queue is not None:
                 self.queue.flush_younger(branch.uid)
             self.stats.skipped_events += 1
-            self.stats.record_event(writes=0, reads=0, busy=0)
+            self.stats.record_event(
+                writes=0, reads=0, busy=0, cycle=cycle, scheme=self.name
+            )
             return cycle
 
         repaired_pcs = {entry.pc for entry in carried}
@@ -229,7 +231,9 @@ class LimitedPcRepair(RepairScheme):
         self._busy_until = cycle + busy
         if self.queue is not None:
             self.queue.flush_younger(branch.uid)
-        self.stats.record_event(writes=writes, reads=0, busy=busy)
+        self.stats.record_event(
+            writes=writes, reads=0, busy=busy, cycle=cycle, scheme=self.name
+        )
         return self._busy_until
 
     def on_retire(self, branch: InflightBranch, cycle: int) -> None:

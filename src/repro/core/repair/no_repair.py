@@ -27,7 +27,9 @@ class NoRepair(RepairScheme):
         unrepaired = sum(1 for fb in flushed if fb.spec is not None)
         self.stats.unrepaired += unrepaired
         self.stats.skipped_events += 1
-        self.stats.record_event(writes=0, reads=0, busy=0)
+        self.stats.record_event(
+            writes=0, reads=0, busy=0, cycle=cycle, scheme=self.name
+        )
         return cycle
 
     def storage_bits(self) -> int:

@@ -44,7 +44,9 @@ class PerfectRepair(RepairScheme):
                 local.repair_write(spec.pc, spec.pre_state, spec.pre_valid)
         self._apply_own_correction(branch, branch.carried_pre_state)
         writes = len(restored) + 1
-        self.stats.record_event(writes=writes, reads=len(flushed), busy=0)
+        self.stats.record_event(
+            writes=writes, reads=len(flushed), busy=0, cycle=cycle, scheme=self.name
+        )
         return cycle
 
     def storage_bits(self) -> int:

@@ -32,7 +32,9 @@ class RetireUpdate(RepairScheme):
         self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int
     ) -> int:
         # Nothing speculative exists; the event is recorded for parity.
-        self.stats.record_event(writes=0, reads=0, busy=0)
+        self.stats.record_event(
+            writes=0, reads=0, busy=0, cycle=cycle, scheme=self.name
+        )
         return cycle
 
     def storage_bits(self) -> int:

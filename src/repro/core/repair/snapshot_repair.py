@@ -62,7 +62,9 @@ class SnapshotRepair(RepairScheme):
         if snap is None:
             self.queue.flush_younger(branch.uid)
             self.stats.skipped_events += 1
-            self.stats.record_event(writes=0, reads=0, busy=0)
+            self.stats.record_event(
+                writes=0, reads=0, busy=0, cycle=cycle, scheme=self.name
+            )
             return cycle
 
         dirty = self.local.bht.restore_snapshot(snap.payload)
@@ -80,7 +82,9 @@ class SnapshotRepair(RepairScheme):
         )
         self._busy_until = cycle + busy
         self.queue.flush_younger(branch.uid)
-        self.stats.record_event(writes=writes, reads=dirty, busy=busy)
+        self.stats.record_event(
+            writes=writes, reads=dirty, busy=busy, cycle=cycle, scheme=self.name
+        )
         return self._busy_until
 
     def on_retire(self, branch: InflightBranch, cycle: int) -> None:

@@ -35,3 +35,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown id or bad scale."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry artifact (metric, trace, manifest) is malformed."""

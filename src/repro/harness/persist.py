@@ -46,6 +46,7 @@ def save_results(
                 "cycles": r.cycles,
                 "mispredictions": r.mispredictions,
                 "extra": r.extra,
+                "manifest": r.manifest,
             }
             for r in results
         ],
@@ -58,7 +59,13 @@ def save_results(
 
 
 def load_results(path: str | Path) -> list[RunResult]:
-    """Read a sweep previously written by :func:`save_results`."""
+    """Read a sweep previously written by :func:`save_results`.
+
+    Rows come back as :class:`RunResult` dataclasses, never raw dicts.
+    Files written before manifests existed load with ``manifest=None``
+    (the backward-compatible default); an unknown ``format_version``
+    raises :class:`ExperimentError` naming the offending file.
+    """
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -69,17 +76,23 @@ def load_results(path: str | Path) -> list[RunResult]:
             f"results file {path} has format version {version}, "
             f"expected {_FORMAT_VERSION}"
         )
-    return [
-        RunResult(
-            workload=row["workload"],
-            category=row["category"],
-            system=row["system"],
-            ipc=row["ipc"],
-            mpki=row["mpki"],
-            instructions=row["instructions"],
-            cycles=row["cycles"],
-            mispredictions=row["mispredictions"],
-            extra=row.get("extra", {}),
-        )
-        for row in payload["results"]
-    ]
+    try:
+        return [
+            RunResult(
+                workload=row["workload"],
+                category=row["category"],
+                system=row["system"],
+                ipc=row["ipc"],
+                mpki=row["mpki"],
+                instructions=row["instructions"],
+                cycles=row["cycles"],
+                mispredictions=row["mispredictions"],
+                extra=row.get("extra", {}),
+                manifest=row.get("manifest"),
+            )
+            for row in payload["results"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(
+            f"results file {path} has a malformed row: {exc!r}"
+        ) from exc

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Sequence
 
 from repro.harness.scale import Scale
@@ -20,6 +21,8 @@ from repro.memory.hierarchy import CacheHierarchy
 from repro.metrics.aggregate import WorkloadResult
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import PipelineModel
+from repro.telemetry import TELEMETRY
+from repro.telemetry.manifest import build_manifest
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import BranchRecord
 from repro.workloads.generators.engine import generate_trace
@@ -45,6 +48,10 @@ class RunResult:
     cycles: int
     mispredictions: int
     extra: dict[str, Any]
+    #: Provenance record (config/workload hashes, versions, env, wall
+    #: time) — see :mod:`repro.telemetry.manifest`.  None only for
+    #: results loaded from pre-manifest files.
+    manifest: dict[str, Any] | None = field(default=None, compare=False)
 
 
 def _cache_dir() -> Path | None:
@@ -80,13 +87,22 @@ def run_single(
     """Simulate one system on one workload."""
     records = load_trace(spec, n_branches)
     baseline, unit = build_system(system)
+    pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
     model = PipelineModel(
         baseline,
         unit=unit,
-        config=pipeline if pipeline is not None else PipelineConfig(),
+        config=pipeline_cfg,
         hierarchy=CacheHierarchy(),
     )
+    manifest = build_manifest(spec, system, n_branches, pipeline_cfg).as_dict()
+    tel = TELEMETRY
+    if tel.enabled:
+        tel.begin_run(spec.name, system.name, n_branches, manifest)
+    t0 = perf_counter()
     stats = model.run(records)
+    manifest["wall_s"] = perf_counter() - t0
+    if tel.enabled:
+        tel.end_run(stats)
     return RunResult(
         workload=spec.name,
         category=spec.category,
@@ -97,6 +113,7 @@ def run_single(
         cycles=stats.cycles,
         mispredictions=stats.mispredictions,
         extra=stats.extra,
+        manifest=manifest,
     )
 
 
@@ -106,7 +123,10 @@ def _run_job(
     return run_single(*job)
 
 
-def _worker_count(n_jobs: int) -> int:
+def _worker_count(n_jobs: int, override: int | None = None) -> int:
+    """Worker processes to use: explicit arg > REPRO_WORKERS env > CPUs."""
+    if override is not None:
+        return max(1, override)
     env = os.environ.get(_WORKERS_ENV)
     if env is not None:
         return max(1, int(env))
@@ -128,18 +148,23 @@ def run_matrix(
     scale: Scale,
     pipeline: PipelineConfig | None = None,
     parallel: bool | None = None,
+    workers: int | None = None,
 ) -> list[RunResult]:
     """Run every system against every workload.
 
     Results come back grouped by workload then system, in input order.
-    ``parallel=None`` auto-enables process fan-out for larger sweeps.
+    ``parallel=None`` auto-enables process fan-out for larger sweeps;
+    ``workers`` pins the process count (overriding ``REPRO_WORKERS``),
+    with ``workers=1`` forcing a sequential in-process sweep.
     """
     jobs = [
         (spec, system, scale.branches_per_workload, pipeline)
         for spec in workloads
         for system in systems
     ]
-    if parallel is None:
+    if workers is not None:
+        parallel = workers > 1
+    elif parallel is None:
         parallel = len(jobs) >= 8
     if not parallel or len(jobs) <= 1:
         return [_run_job(job) for job in jobs]
@@ -148,7 +173,8 @@ def run_matrix(
     # would be duplicated).
     for spec in workloads:
         load_trace(spec, scale.branches_per_workload)
-    with ProcessPoolExecutor(max_workers=_worker_count(len(jobs))) as pool:
+    n_workers = _worker_count(len(jobs), override=workers)
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(_run_job, jobs, chunksize=1))
 
 

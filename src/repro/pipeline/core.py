@@ -43,6 +43,7 @@ from repro.pipeline.btb import BranchTargetBuffer
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stats import SimStats
 from repro.predictors.base import GlobalPredictor
+from repro.telemetry import TELEMETRY, EpisodeEvent, PredictEvent, RetireEvent
 from repro.trace.records import BranchKind, BranchRecord
 from repro.trace.stream import TraceStream
 
@@ -82,6 +83,9 @@ class PipelineModel:
         #: (retire_cycle, group_size, branch or None) in program order.
         self._rob: deque[tuple[int, int, InflightBranch | None]] = deque()
         self._next_uid = 0
+        #: Telemetry handle; the disabled path costs one attribute check
+        #: per instrumentation site (see repro.telemetry).
+        self._tel = TELEMETRY
 
     # ------------------------------------------------------------- #
     # public API
@@ -174,6 +178,23 @@ class PipelineModel:
             else:
                 stats.wrong_path_branches += 1
 
+        tel = self._tel
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("pipeline.fetch_cycles").inc(fetch_cycles)
+            if btb_bubble:
+                reg.counter("pipeline.btb_bubble_cycles").inc(btb_bubble)
+            if tel.tracing and branch is not None:
+                tel.emit(
+                    PredictEvent(
+                        cycle=fetch_cycle,
+                        pc=record.pc,
+                        predicted=branch.predicted_taken,
+                        actual=record.taken,
+                        wrong_path=wrong_path,
+                    )
+                )
+
         self._fe_cycle += fetch_cycles + btb_bubble
         if not wrong_path:
             stats.branches += 1
@@ -229,8 +250,11 @@ class PipelineModel:
                 )
             retire_cycle, size, retired = self._rob.popleft()
             self._rob_occupancy -= size
-            if retired is not None and self.unit is not None:
-                self.unit.retire(retired, retire_cycle)
+            if retired is not None:
+                if self.unit is not None:
+                    self.unit.retire(retired, retire_cycle)
+                if self._tel.tracing:
+                    self._tel.emit(RetireEvent(cycle=retire_cycle, pc=retired.pc))
             if retire_cycle > alloc_cycle:
                 self.stats.rob_stall_cycles += retire_cycle - alloc_cycle
                 alloc_cycle = retire_cycle
@@ -252,6 +276,8 @@ class PipelineModel:
         resolve = branch.resolve_cycle
         episode: list[InflightBranch] = []
         pending: list[InflightBranch] = []
+        episode_start_fe = self._fe_cycle
+        wp_mispredicts_before = self.stats.wrong_path_mispredicts
 
         if cfg.wrong_path:
             replay = stream.recent(cfg.wrong_path_window)
@@ -304,29 +330,69 @@ class PipelineModel:
             squashed.squashed = True
         self._fe_cycle = resolve + cfg.resteer_penalty
 
+        tel = self._tel
+        if tel.enabled:
+            reg = tel.registry
+            reg.counter("pipeline.episodes").inc()
+            reg.counter("pipeline.resteer_cycles").inc(cfg.resteer_penalty)
+            if resolve > episode_start_fe:
+                reg.counter("pipeline.wrong_path_cycles").inc(
+                    resolve - episode_start_fe
+                )
+            reg.histogram("episode.wrong_path_branches").observe(len(episode))
+            if tel.tracing:
+                tel.emit(
+                    EpisodeEvent(
+                        pc=branch.pc,
+                        fetch_cycle=branch.fetch_cycle,
+                        resolve_cycle=resolve,
+                        wrong_path_branches=len(episode),
+                        wrong_path_mispredicts=(
+                            self.stats.wrong_path_mispredicts
+                            - wp_mispredicts_before
+                        ),
+                        flushed=len(flushed),
+                    )
+                )
+
     # ------------------------------------------------------------- #
     # retirement
 
     def _retire_up_to(self, cycle: int) -> None:
         """Release ROB groups whose retirement time has passed."""
         rob = self._rob
+        tel = self._tel
         while rob and rob[0][0] <= cycle:
             retire_cycle, size, branch = rob.popleft()
             self._rob_occupancy -= size
-            if branch is not None and self.unit is not None:
-                self.unit.retire(branch, retire_cycle)
+            if branch is not None:
+                if self.unit is not None:
+                    self.unit.retire(branch, retire_cycle)
+                if tel.tracing:
+                    tel.emit(RetireEvent(cycle=retire_cycle, pc=branch.pc))
 
     def _drain(self) -> None:
         """Retire everything left in flight and close the run."""
         final_cycle = self._fe_cycle
+        tel = self._tel
         while self._rob:
             retire_cycle, size, branch = self._rob.popleft()
             self._rob_occupancy -= size
-            if branch is not None and self.unit is not None:
-                self.unit.retire(branch, retire_cycle)
+            if branch is not None:
+                if self.unit is not None:
+                    self.unit.retire(branch, retire_cycle)
+                if tel.tracing:
+                    tel.emit(RetireEvent(cycle=retire_cycle, pc=branch.pc))
             if retire_cycle > final_cycle:
                 final_cycle = retire_cycle
         self.stats.cycles = max(final_cycle, self._last_retire, 1)
+        if tel.enabled:
+            # Mirror the stall total accumulated during allocation so
+            # the stage breakdown is complete without touching the
+            # ROB-bound inner loop.
+            tel.registry.counter("pipeline.rob_stall_cycles").inc(
+                self.stats.rob_stall_cycles
+            )
         self._attach_extra()
 
     def _attach_extra(self) -> None:

@@ -1,0 +1,170 @@
+"""repro.telemetry: metrics, structured tracing, and run provenance.
+
+The subsystem has one global handle, :data:`TELEMETRY`, shared by every
+instrumentation site.  Hot paths pay a single attribute check when
+telemetry is off (the default)::
+
+    from repro.telemetry import TELEMETRY
+
+    tel = TELEMETRY
+    if tel.enabled:                       # one bool attribute read
+        tel.registry.counter("obq.overflows").inc()
+    if tel.tracing:                       # sink attached, too
+        tel.emit(RepairWalkEvent(...))
+
+Enablement comes from the ``REPRO_TELEMETRY`` environment variable
+(``off`` by default; anything but ``off``/``0``/``false``/``none``
+enables metrics) or programmatically via :meth:`Telemetry.enable` —
+which is what ``repro run --telemetry out.jsonl`` does.  While
+disabled, the handle's registry is a :class:`NullRegistry`, so even
+un-guarded instrument calls are cheap no-ops and ``SimStats`` outputs
+are bit-identical to an uninstrumented build.
+
+Tracing (the JSONL event stream) is a second, opt-in level on top of
+metrics: attach a sink with :meth:`Telemetry.attach_sink`.  Worker
+processes spawned by the parallel runner inherit enablement through the
+environment variable but not the parent's sink — traces are a
+single-process feature (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.telemetry.events import (
+    EpisodeEvent,
+    PredictEvent,
+    RepairWalkEvent,
+    RetireEvent,
+    RunEndEvent,
+    RunStartEvent,
+    TraceEvent,
+)
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+from repro.telemetry.sink import EventSink, JsonlSink, NullSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.stats import SimStats
+
+__all__ = [
+    "TELEMETRY",
+    "Telemetry",
+    "telemetry_enabled_by_env",
+    "EventSink",
+    "JsonlSink",
+    "NullSink",
+    "MetricsRegistry",
+    "NullRegistry",
+    "TraceEvent",
+    "RunStartEvent",
+    "PredictEvent",
+    "EpisodeEvent",
+    "RepairWalkEvent",
+    "RetireEvent",
+    "RunEndEvent",
+]
+
+_ENV_VAR = "REPRO_TELEMETRY"
+_OFF_VALUES = ("", "off", "0", "false", "none")
+
+
+def telemetry_enabled_by_env() -> bool:
+    """Whether ``REPRO_TELEMETRY`` asks for metrics collection."""
+    return os.environ.get(_ENV_VAR, "off").lower() not in _OFF_VALUES
+
+
+class Telemetry:
+    """Process-wide telemetry state: registry + optional event sink."""
+
+    __slots__ = ("enabled", "tracing", "registry", "sink", "_run_t0")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.tracing = False
+        self.registry: MetricsRegistry = (
+            MetricsRegistry() if enabled else NullRegistry()
+        )
+        self.sink: EventSink = NullSink()
+        self._run_t0 = 0.0
+
+    # ------------------------------------------------------------- #
+    # state transitions
+
+    def enable(self) -> None:
+        """Turn metrics collection on (idempotent)."""
+        if not self.enabled:
+            self.enabled = True
+            self.registry = MetricsRegistry()
+            self.tracing = not isinstance(self.sink, NullSink)
+
+    def disable(self) -> None:
+        """Turn everything off and drop collected state."""
+        self.enabled = False
+        self.tracing = False
+        self.registry = NullRegistry()
+
+    def attach_sink(self, sink: EventSink) -> None:
+        """Stream events to ``sink``; implies :meth:`enable`."""
+        self.sink = sink
+        self.enable()
+        self.tracing = True
+
+    def detach_sink(self) -> EventSink:
+        """Stop tracing; returns the sink (caller closes it)."""
+        sink, self.sink = self.sink, NullSink()
+        self.tracing = False
+        return sink
+
+    # ------------------------------------------------------------- #
+    # emission
+
+    def emit(self, event: TraceEvent) -> None:
+        """Send one typed record to the sink (call under ``tracing``)."""
+        self.sink.emit(event)
+
+    # ------------------------------------------------------------- #
+    # run lifecycle (driven by harness.runner)
+
+    def begin_run(
+        self, workload: str, system: str, branches: int, manifest: dict
+    ) -> None:
+        """Reset per-run metrics and mark the trace's run boundary."""
+        self.registry.reset()
+        self._run_t0 = perf_counter()
+        if self.tracing:
+            self.emit(
+                RunStartEvent(
+                    workload=workload,
+                    system=system,
+                    branches=branches,
+                    manifest=manifest,
+                )
+            )
+
+    def end_run(self, stats: "SimStats") -> float:
+        """Close the run: stamp wall time, snapshot metrics, flush.
+
+        Returns the run's wall-clock duration in seconds.
+        """
+        wall = perf_counter() - self._run_t0
+        self.registry.timer("run.wall").observe(wall)
+        if self.tracing:
+            self.emit(
+                RunEndEvent(
+                    cycles=stats.cycles,
+                    instructions=stats.instructions,
+                    mispredictions=stats.mispredictions,
+                    ipc=stats.ipc,
+                    mpki=stats.mpki,
+                    wall_s=wall,
+                    metrics=self.registry.snapshot(),
+                )
+            )
+            self.sink.flush()
+        return wall
+
+
+#: The process-wide handle every instrumentation site imports.
+TELEMETRY = Telemetry(enabled=telemetry_enabled_by_env())

@@ -1,0 +1,147 @@
+"""Typed trace records streamed to the JSONL sink.
+
+Every record is a slotted dataclass with a class-level ``ev`` tag; the
+wire format is one JSON object per line, ``{"ev": <tag>, ...fields}``.
+Cycle fields are simulated cycles, not wall time — the trace is a
+timeline of the simulated core.
+
+The schema (documented in ``docs/observability.md``):
+
+========= ===========================================================
+``ev``     meaning
+========= ===========================================================
+run_start  one per simulated run; carries the run manifest
+predict    one per fetched conditional branch (correct + wrong path)
+episode    one per misprediction episode (resolve → flush → resteer)
+repair     one per repair-scheme walk
+retire     one per retired conditional branch
+run_end    final stats + a full metrics-registry snapshot
+========= ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "TraceEvent",
+    "RunStartEvent",
+    "PredictEvent",
+    "EpisodeEvent",
+    "RepairWalkEvent",
+    "RetireEvent",
+    "RunEndEvent",
+    "event_from_dict",
+]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """Base class: serialization shared by every record type."""
+
+    ev = "event"
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["ev"] = self.ev
+        return payload
+
+
+@dataclass(slots=True)
+class RunStartEvent(TraceEvent):
+    """Start-of-run marker carrying provenance."""
+
+    ev = "run_start"
+    workload: str
+    system: str
+    branches: int
+    manifest: dict[str, Any]
+
+
+@dataclass(slots=True)
+class PredictEvent(TraceEvent):
+    """One fetch-stage prediction of a conditional branch."""
+
+    ev = "predict"
+    cycle: int
+    pc: int
+    predicted: bool
+    actual: bool
+    wrong_path: bool
+
+
+@dataclass(slots=True)
+class EpisodeEvent(TraceEvent):
+    """One misprediction episode: fetch → resolve → flush → resteer."""
+
+    ev = "episode"
+    pc: int
+    fetch_cycle: int
+    resolve_cycle: int
+    wrong_path_branches: int
+    wrong_path_mispredicts: int
+    flushed: int
+
+
+@dataclass(slots=True)
+class RepairWalkEvent(TraceEvent):
+    """One repair-scheme activation after a misprediction."""
+
+    ev = "repair"
+    cycle: int
+    scheme: str
+    entries: int
+    writes: int
+    busy: int
+
+
+@dataclass(slots=True)
+class RetireEvent(TraceEvent):
+    """One conditional branch leaving the ROB."""
+
+    ev = "retire"
+    cycle: int
+    pc: int
+
+
+@dataclass(slots=True)
+class RunEndEvent(TraceEvent):
+    """End-of-run marker: headline stats + metrics snapshot."""
+
+    ev = "run_end"
+    cycles: int
+    instructions: int
+    mispredictions: int
+    ipc: float
+    mpki: float
+    wall_s: float
+    metrics: dict[str, Any]
+
+
+_EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.ev: cls
+    for cls in (
+        RunStartEvent,
+        PredictEvent,
+        EpisodeEvent,
+        RepairWalkEvent,
+        RetireEvent,
+        RunEndEvent,
+    )
+}
+
+
+def event_from_dict(payload: dict[str, Any]) -> TraceEvent:
+    """Rebuild the typed record for one parsed JSONL line."""
+    tag = payload.get("ev")
+    cls = _EVENT_TYPES.get(tag)  # type: ignore[arg-type]
+    if cls is None:
+        raise TelemetryError(f"unknown trace event type {tag!r}")
+    names = {f.name for f in fields(cls)}
+    try:
+        return cls(**{k: v for k, v in payload.items() if k in names})
+    except TypeError as exc:
+        raise TelemetryError(f"malformed {tag!r} event: {exc}") from exc

@@ -1,0 +1,72 @@
+"""Metric exporters: JSON summary and Prometheus text exposition.
+
+Both exporters accept either a live :class:`MetricsRegistry` or a
+snapshot dict previously produced by ``registry.snapshot()`` (which is
+what a trace's ``run_end`` record carries), so traces can be re-exported
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["json_summary", "prometheus_text"]
+
+
+def _as_snapshot(source: MetricsRegistry | dict[str, Any]) -> dict[str, Any]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def json_summary(
+    source: MetricsRegistry | dict[str, Any], indent: int | None = 1
+) -> str:
+    """The snapshot as a stable, sorted JSON document."""
+    return json.dumps(_as_snapshot(source), indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + name.replace(".", "_").replace("-", "_")
+
+
+def prometheus_text(
+    source: MetricsRegistry | dict[str, Any], prefix: str = "repro_"
+) -> str:
+    """Prometheus text exposition format (counters, gauges, histograms).
+
+    Histogram buckets are emitted cumulatively with ``le`` labels, the
+    convention every Prometheus scraper expects; timers become
+    ``_seconds_sum`` / ``_seconds_count`` summaries.
+    """
+    snap = _as_snapshot(source)
+    lines: list[str] = []
+    for name, value in snap.get("counters", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {value}")
+    for name, value in snap.get("gauges", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snap.get("histograms", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            label = int(bound) if float(bound).is_integer() else bound
+            lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist['sum']}")
+        lines.append(f"{metric}_count {hist['count']}")
+    for name, timer in snap.get("timers", {}).items():
+        metric = _prom_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {timer['sum']}")
+        lines.append(f"{metric}_count {timer['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,112 @@
+"""Run provenance: what exactly produced a persisted result.
+
+A manifest answers "can I trust / reproduce this number?" without
+re-running anything: stable content hashes of the system + pipeline
+configuration and of the workload recipe, the trace length, the library
+version, and the environment knobs that change behaviour (every
+``REPRO_*`` variable).  Hashes are SHA-256 over canonical JSON
+(sorted keys, no whitespace), so they are stable across processes,
+platforms, and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import asdict, dataclass, field, fields, is_dataclass
+from typing import TYPE_CHECKING, Any
+
+import repro
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.systems import SystemConfig
+    from repro.pipeline.config import PipelineConfig
+    from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["RunManifest", "build_manifest", "stable_hash"]
+
+#: Bump when the hashed payload layout changes.
+_MANIFEST_VERSION = 1
+
+
+def _canonical(payload: Any) -> Any:
+    """Reduce dataclasses to plain JSON-able structures."""
+    if is_dataclass(payload) and not isinstance(payload, type):
+        return asdict(payload)
+    return payload
+
+
+def stable_hash(payload: Any) -> str:
+    """Short process-stable content hash (first 16 hex of SHA-256)."""
+    canonical = json.dumps(
+        _canonical(payload), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance attached to every :class:`~repro.harness.runner.RunResult`."""
+
+    config_hash: str
+    workload_hash: str
+    workload: str
+    system: str
+    branches: int
+    repro_version: str
+    manifest_version: int = _MANIFEST_VERSION
+    scale: str | None = None
+    python: str = ""
+    platform: str = ""
+    env: dict[str, str] = field(default_factory=dict)
+    #: Filled in by the runner after the simulation finishes.
+    wall_s: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def _captured_env() -> dict[str, str]:
+    return {
+        key: value
+        for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_")
+    }
+
+
+def build_manifest(
+    spec: "WorkloadSpec",
+    system: "SystemConfig",
+    n_branches: int,
+    pipeline: "PipelineConfig",
+    scale: str | None = None,
+) -> RunManifest:
+    """Assemble the provenance record for one (workload, system) run."""
+    config_payload = {
+        "system": asdict(system),
+        "pipeline": asdict(pipeline),
+    }
+    workload_payload = {
+        "spec": asdict(spec),
+        "branches": n_branches,
+    }
+    return RunManifest(
+        config_hash=stable_hash(config_payload),
+        workload_hash=stable_hash(workload_payload),
+        workload=spec.name,
+        system=system.name,
+        branches=n_branches,
+        repro_version=repro.__version__,
+        scale=scale,
+        python=platform.python_version(),
+        platform=f"{sys.platform}-{platform.machine()}",
+        env=_captured_env(),
+    )

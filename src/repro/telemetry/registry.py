@@ -1,0 +1,265 @@
+"""Metrics registry: counters, gauges, histograms, timers.
+
+Instruments are looked up by dotted name (``"repair.walk_entries"``) and
+created on first use, so instrumentation sites never need registration
+boilerplate.  Two registry flavours exist:
+
+* :class:`MetricsRegistry` — the real thing, installed while telemetry
+  is enabled;
+* :class:`NullRegistry` — returns shared no-op instruments, installed
+  while telemetry is disabled so that un-guarded instrumentation costs a
+  dictionary-free method call and nothing else.  Hot paths should still
+  guard on ``TELEMETRY.enabled`` (one attribute check) and skip even
+  that.
+
+Histograms use *fixed* bucket boundaries chosen at the call site: the
+value ``v`` lands in the first bucket whose upper bound satisfies
+``v <= bound``, with one implicit overflow bucket past the last bound.
+Fixed bounds keep observation O(log buckets), make snapshots mergeable
+across runs, and map directly onto the Prometheus exposition format.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from time import perf_counter
+from typing import Any, Sequence
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Power-of-two bounds covering the structures this repo sizes (OBQ
+#: capacities, walk lengths, repair busy windows).
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (occupancy, level, ratio)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count/max sidecars."""
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise TelemetryError(
+                f"histogram {name!r} needs ascending bucket bounds, got {bounds!r}"
+            )
+        self.name = name
+        self.bounds = tuple(bounds)
+        #: One slot per bound plus the overflow bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_pairs(self) -> list[tuple[str, int]]:
+        """(upper-bound label, count) pairs, overflow labelled ``+Inf``."""
+        labels = [_bound_label(b) for b in self.bounds] + ["+Inf"]
+        return list(zip(labels, self.counts))
+
+
+def _bound_label(bound: float) -> str:
+    return str(int(bound)) if float(bound).is_integer() else str(bound)
+
+
+class Timer:
+    """Wall-clock accumulator; use as a context manager or observe()."""
+
+    __slots__ = ("name", "sum", "count", "max", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+        self._t0 = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.sum += seconds
+        self.count += 1
+        if seconds > self.max:
+            self.max = seconds
+
+    def __enter__(self) -> "Timer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.observe(perf_counter() - self._t0)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, *args: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise TelemetryError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def reset(self) -> None:
+        """Forget every instrument (run boundaries)."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Serializable view of every instrument's current value."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, Any] = {}
+        timers: dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            elif isinstance(inst, Histogram):
+                histograms[name] = {
+                    "bounds": list(inst.bounds),
+                    "counts": list(inst.counts),
+                    "sum": inst.sum,
+                    "count": inst.count,
+                    "max": inst.max,
+                }
+            elif isinstance(inst, Timer):
+                timers[name] = {
+                    "sum": inst.sum,
+                    "count": inst.count,
+                    "max": inst.max,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "timers": timers,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+_NULL_TIMER = _NullTimer("null")
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled-mode registry: every lookup returns a shared no-op."""
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str) -> Timer:
+        return _NULL_TIMER

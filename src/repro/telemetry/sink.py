@@ -1,0 +1,155 @@
+"""Event sinks: where trace records go.
+
+The JSONL sink buffers serialized lines and writes them in batches so
+tracing a multi-million-event run does one syscall per
+``buffer_size`` events, not per event.  Failure policy: a sink must
+*never* abort a simulation — on a write error it marks itself broken,
+keeps counting what it drops, and surfaces the error on ``close()``
+via :attr:`JsonlSink.error` rather than by raising mid-run.
+
+``max_events`` bounds trace size for long runs: once reached, further
+records are counted as ``truncated`` and dropped (the ``run_end``
+record is exempt so summaries still see the final stats).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import TraceEvent
+
+__all__ = ["EventSink", "NullSink", "JsonlSink", "read_events"]
+
+
+class EventSink:
+    """Interface: emit typed events, flush buffers, close."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Swallows everything (used when tracing is off)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class JsonlSink(EventSink):
+    """Append-only JSON-lines sink with bounded buffering."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        buffer_size: int = 256,
+        max_events: int | None = None,
+    ) -> None:
+        if buffer_size < 1:
+            raise TelemetryError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.path = Path(path)
+        self.buffer_size = buffer_size
+        self.max_events = max_events
+        self.emitted = 0
+        self.truncated = 0
+        self.dropped = 0
+        self.error: Exception | None = None
+        self._buffer: list[str] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+        self._closed = False
+
+    @property
+    def broken(self) -> bool:
+        return self.error is not None
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._closed or self.error is not None:
+            self.dropped += 1
+            return
+        if (
+            self.max_events is not None
+            and self.emitted >= self.max_events
+            and event.ev != "run_end"
+        ):
+            self.truncated += 1
+            return
+        self._buffer.append(json.dumps(event.as_dict(), separators=(",", ":")))
+        self.emitted += 1
+        if len(self._buffer) >= self.buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer or self._closed or self.error is not None:
+            return
+        data = "\n".join(self._buffer) + "\n"
+        self._buffer.clear()
+        try:
+            self._file.write(data)
+            self._file.flush()
+        except (OSError, ValueError) as exc:
+            # OSError is the disk failing; ValueError is the file object
+            # already closed under us.  Either way: keep the simulation
+            # alive and remember what happened.
+            self.error = exc
+            self.dropped += data.count("\n")
+            self.emitted -= data.count("\n")
+            try:
+                self._file.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self.error is None:
+            try:
+                self._file.close()
+            except OSError as exc:
+                self.error = exc
+
+
+def read_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield raw event dicts from a JSONL trace.
+
+    A truncated *final* line (killed run, full disk) is tolerated and
+    simply ends the stream; malformed content followed by more records
+    is real corruption and raises :class:`TelemetryError`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError(f"cannot read trace {path}: {exc}") from exc
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if any(rest.strip() for rest in lines[i + 1 :]):
+                raise TelemetryError(
+                    f"corrupt trace {path} at line {i + 1}: {exc}"
+                ) from exc
+            return  # truncated tail — everything before it is good
+        if not isinstance(payload, dict):
+            raise TelemetryError(
+                f"corrupt trace {path} at line {i + 1}: not an object"
+            )
+        yield payload

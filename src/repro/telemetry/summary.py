@@ -1,0 +1,203 @@
+"""Trace summarizer: turn a JSONL telemetry trace into a drilldown.
+
+This is the consumer behind ``repro telemetry out.jsonl``: it reads a
+trace produced with ``--telemetry``, aggregates the per-event records,
+and renders episode counts, the repair-walk histogram, and the
+per-stage cycle breakdown — the "where did the cycles go" table the
+paper's figures are really about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.report import format_table
+from repro.telemetry.registry import Histogram
+from repro.telemetry.sink import read_events
+
+__all__ = ["TraceSummary", "summarize_trace"]
+
+_WALK_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+#: Counter → human label for the cycle breakdown, in display order.
+_STAGE_COUNTERS = (
+    ("pipeline.fetch_cycles", "fetch (incl. wrong path)"),
+    ("pipeline.btb_bubble_cycles", "BTB-miss bubbles"),
+    ("pipeline.rob_stall_cycles", "ROB-full stalls"),
+    ("pipeline.wrong_path_cycles", "wrong-path episodes"),
+    ("pipeline.resteer_cycles", "resteer redirects"),
+)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one JSONL trace (possibly several runs)."""
+
+    path: str
+    runs: list[dict[str, Any]] = field(default_factory=list)
+    event_counts: dict[str, int] = field(default_factory=dict)
+    episodes: int = 0
+    episode_wp_branches: int = 0
+    episode_wp_mispredicts: int = 0
+    episode_flushed: int = 0
+    episode_cycles: int = 0
+    walk_entries: Histogram = field(
+        default_factory=lambda: Histogram("repair.walk_entries", _WALK_BUCKETS)
+    )
+    repair_writes: int = 0
+    repair_busy: int = 0
+    repair_schemes: dict[str, int] = field(default_factory=dict)
+    #: Metrics snapshot of the last completed run (from ``run_end``).
+    metrics: dict[str, Any] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def mean_wp_branches(self) -> float:
+        return self.episode_wp_branches / self.episodes if self.episodes else 0.0
+
+    @property
+    def mean_episode_cycles(self) -> float:
+        return self.episode_cycles / self.episodes if self.episodes else 0.0
+
+    # ------------------------------------------------------------- #
+
+    def render(self) -> str:
+        sections = [self._render_runs(), self._render_episodes()]
+        if self.walk_entries.count:
+            sections.append(self._render_walks())
+        breakdown = self._render_stages()
+        if breakdown:
+            sections.append(breakdown)
+        if self.truncated:
+            sections.append(
+                "note: trace ends mid-record (truncated write); "
+                "aggregates cover the readable prefix"
+            )
+        return "\n\n".join(s for s in sections if s)
+
+    def _render_runs(self) -> str:
+        if not self.runs:
+            return f"{self.path}: no complete runs recorded"
+        rows = []
+        for run in self.runs:
+            end = run.get("end", {})
+            rows.append(
+                (
+                    run.get("workload", "?"),
+                    run.get("system", "?"),
+                    run.get("branches", "?"),
+                    f"{end.get('ipc', 0.0):.3f}" if end else "-",
+                    f"{end.get('mpki', 0.0):.2f}" if end else "-",
+                    f"{end.get('wall_s', 0.0):.2f}s" if end else "unfinished",
+                )
+            )
+        counts = ", ".join(
+            f"{n} {ev}" for ev, n in sorted(self.event_counts.items())
+        )
+        return (
+            format_table(
+                ["workload", "system", "branches", "IPC", "MPKI", "wall"],
+                rows,
+                title=f"trace {self.path}",
+            )
+            + f"\nevents: {counts}"
+        )
+
+    def _render_episodes(self) -> str:
+        lines = [
+            f"misprediction episodes: {self.episodes}",
+            f"  wrong-path branches/episode: {self.mean_wp_branches:.1f} "
+            f"(mispredicted on the wrong path: {self.episode_wp_mispredicts})",
+            f"  flushed in-flight branches: {self.episode_flushed}",
+            f"  mean fetch→resolve span: {self.mean_episode_cycles:.1f} cycles",
+        ]
+        return "\n".join(lines)
+
+    def _render_walks(self) -> str:
+        hist = self.walk_entries
+        rows = [(f"<= {label}", count) for label, count in hist.bucket_pairs()]
+        schemes = ", ".join(
+            f"{name} x{n}" for name, n in sorted(self.repair_schemes.items())
+        )
+        return (
+            format_table(
+                ["walk entries", "repairs"],
+                rows,
+                title=f"repair walks ({schemes or 'none'})",
+            )
+            + f"\nmean entries/walk {hist.mean:.1f}, max {int(hist.max)}; "
+            f"total BHT writes {self.repair_writes}, "
+            f"busy cycles {self.repair_busy}"
+        )
+
+    def _render_stages(self) -> str:
+        counters = self.metrics.get("counters", {})
+        total = 0
+        for run in self.runs:
+            total = max(total, run.get("end", {}).get("cycles", 0))
+        rows = []
+        for key, label in _STAGE_COUNTERS:
+            value = counters.get(key)
+            if value is None:
+                continue
+            share = f"{value / total:.1%}" if total else "-"
+            rows.append((label, value, share))
+        if not rows:
+            return ""
+        title = "cycle breakdown — stages overlap, shares need not sum to 100%"
+        if total:
+            title += f" ({total} total cycles, last run)"
+        return format_table(["stage", "cycles", "of total"], rows, title=title)
+
+
+def summarize_trace(path: str | Path) -> TraceSummary:
+    """Aggregate one JSONL trace into a :class:`TraceSummary`."""
+    summary = TraceSummary(path=str(path))
+    current: dict[str, Any] | None = None
+    for payload in read_events(path):
+        ev = payload.get("ev", "?")
+        summary.event_counts[ev] = summary.event_counts.get(ev, 0) + 1
+        if ev == "run_start":
+            current = {
+                "workload": payload.get("workload"),
+                "system": payload.get("system"),
+                "branches": payload.get("branches"),
+                "manifest": payload.get("manifest", {}),
+            }
+            summary.runs.append(current)
+        elif ev == "run_end":
+            if current is None:
+                current = {}
+                summary.runs.append(current)
+            current["end"] = payload
+            summary.metrics = payload.get("metrics", {})
+            current = None
+        elif ev == "episode":
+            summary.episodes += 1
+            summary.episode_wp_branches += payload.get("wrong_path_branches", 0)
+            summary.episode_wp_mispredicts += payload.get(
+                "wrong_path_mispredicts", 0
+            )
+            summary.episode_flushed += payload.get("flushed", 0)
+            summary.episode_cycles += max(
+                0, payload.get("resolve_cycle", 0) - payload.get("fetch_cycle", 0)
+            )
+        elif ev == "repair":
+            summary.walk_entries.observe(payload.get("entries", 0))
+            summary.repair_writes += payload.get("writes", 0)
+            summary.repair_busy += payload.get("busy", 0)
+            scheme = payload.get("scheme", "?")
+            summary.repair_schemes[scheme] = (
+                summary.repair_schemes.get(scheme, 0) + 1
+            )
+    # read_events stops silently on a truncated tail; detect it by
+    # comparing what we consumed against the raw line count.
+    raw_lines = [
+        line
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    summary.truncated = sum(summary.event_counts.values()) < len(raw_lines)
+    return summary

@@ -66,6 +66,14 @@ class TestCommands:
         assert "baseline-tage" in out
         assert "forward-walk-coalesce" in out
 
+    def test_compare_workers_one_is_sequential(self, capsys):
+        code = main(
+            ["compare", "--workload", "mm-animation", "--branches", "900",
+             "--workers", "1"]
+        )
+        assert code == 0
+        assert "baseline-tage" in capsys.readouterr().out
+
     def test_diagnose(self, capsys):
         code = main(
             ["diagnose", "--workload", "mm-animation", "--system",
@@ -75,3 +83,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "override precision" in out
         assert "repairs/event" in out
+
+
+class TestTelemetryCommands:
+    def test_run_telemetry_then_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--workload", "hpc-fft", "--system", "forward-walk",
+             "--branches", "1200", "--telemetry", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and str(trace) in out
+        assert trace.exists()
+
+        assert main(["telemetry", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "hpc-fft" in out
+        assert "misprediction episodes" in out
+        assert "cycle breakdown" in out
+
+    def test_telemetry_export_prom(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(["run", "--workload", "hpc-fft", "--branches", "1200",
+              "--telemetry", str(trace)])
+        capsys.readouterr()
+        assert main(["telemetry", str(trace), "--export", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_pipeline_episodes counter" in out
+
+    def test_telemetry_export_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        main(["run", "--workload", "hpc-fft", "--branches", "1200",
+              "--telemetry", str(trace)])
+        capsys.readouterr()
+        assert main(["telemetry", str(trace), "--export", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["pipeline.episodes"] > 0
+
+    def test_run_telemetry_leaves_global_state_off(self, tmp_path, capsys):
+        from repro.telemetry import TELEMETRY
+
+        was_enabled = TELEMETRY.enabled
+        main(["run", "--workload", "hpc-fft", "--branches", "1200",
+              "--telemetry", str(tmp_path / "t.jsonl")])
+        assert TELEMETRY.enabled == was_enabled
+        assert not TELEMETRY.tracing

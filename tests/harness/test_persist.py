@@ -76,3 +76,47 @@ class TestPersistence:
         path = tmp_path / "deep" / "nested" / "sweep.json"
         save_results(path, sample_results())
         assert path.exists()
+
+    def test_manifest_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        manifest = {
+            "config_hash": "aa" * 8,
+            "workload_hash": "bb" * 8,
+            "workload": "hpc-fft",
+            "wall_s": 1.25,
+        }
+        results = sample_results()
+        results[0] = RunResult(
+            **{
+                **{f: getattr(results[0], f) for f in (
+                    "workload", "category", "system", "ipc", "mpki",
+                    "instructions", "cycles", "mispredictions", "extra",
+                )},
+                "manifest": manifest,
+            }
+        )
+        save_results(path, results)
+        loaded = load_results(path)
+        assert loaded[0].manifest == manifest
+        assert loaded[1].manifest is None
+
+    def test_legacy_payload_without_manifest_loads(self, tmp_path):
+        """Files written before the manifest field must still load."""
+        path = tmp_path / "legacy.json"
+        save_results(path, sample_results())
+        payload = json.loads(path.read_text())
+        for row in payload["results"]:
+            row.pop("manifest", None)
+        path.write_text(json.dumps(payload))
+        loaded = load_results(path)
+        assert loaded == sample_results()
+        assert all(r.manifest is None for r in loaded)
+
+    def test_malformed_row_names_offending_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_results(path, sample_results())
+        payload = json.loads(path.read_text())
+        del payload["results"][0]["ipc"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ExperimentError, match="malformed row"):
+            load_results(path)

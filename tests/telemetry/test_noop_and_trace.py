@@ -1,0 +1,147 @@
+"""No-op guarantees and the end-to-end trace pipeline.
+
+The acceptance bar for the subsystem: with telemetry disabled (the
+default), simulation outputs are bit-identical to an uninstrumented
+run; with a sink attached, ``run --telemetry`` traces summarize back
+into the same headline numbers.
+"""
+
+import pytest
+
+from repro.harness.runner import run_single
+from repro.harness.systems import TABLE3_SYSTEMS
+from repro.telemetry import (
+    TELEMETRY,
+    JsonlSink,
+    MetricsRegistry,
+    NullRegistry,
+    telemetry_enabled_by_env,
+)
+from repro.telemetry.summary import summarize_trace
+
+_SYSTEM = next(cfg for cfg in TABLE3_SYSTEMS if cfg.name == "forward-walk-coalesce")
+_BRANCHES = 2500
+
+
+@pytest.fixture
+def restore_telemetry():
+    """Snapshot and restore the global handle around a test."""
+    was_enabled = TELEMETRY.enabled
+    yield TELEMETRY
+    TELEMETRY.detach_sink()
+    if was_enabled:
+        TELEMETRY.enable()
+    else:
+        TELEMETRY.disable()
+
+
+class TestEnablement:
+    def test_env_parsing(self, monkeypatch):
+        for value in ("off", "0", "false", "none", "OFF", ""):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert not telemetry_enabled_by_env()
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        assert not telemetry_enabled_by_env()  # off by default
+        for value in ("on", "1", "metrics"):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert telemetry_enabled_by_env()
+
+    def test_enable_disable_swap_registry(self, restore_telemetry):
+        tel = restore_telemetry
+        tel.disable()
+        assert type(tel.registry) is NullRegistry
+        assert not tel.tracing
+        tel.enable()
+        assert type(tel.registry) is MetricsRegistry
+
+    def test_attach_sink_implies_enable(self, restore_telemetry, tmp_path):
+        tel = restore_telemetry
+        tel.disable()
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        tel.attach_sink(sink)
+        assert tel.enabled and tel.tracing
+        assert tel.detach_sink() is sink
+        assert not tel.tracing
+        sink.close()
+
+
+class TestNoOpFidelity:
+    def test_disabled_and_enabled_runs_identical(
+        self, tiny_spec, restore_telemetry
+    ):
+        tel = restore_telemetry
+        tel.disable()
+        off = run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        tel.enable()
+        on = run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        assert (on.ipc, on.mpki, on.cycles, on.mispredictions) == (
+            off.ipc,
+            off.mpki,
+            off.cycles,
+            off.mispredictions,
+        )
+        assert on.extra == off.extra
+
+    def test_disabled_run_collects_nothing(self, tiny_spec, restore_telemetry):
+        tel = restore_telemetry
+        tel.disable()
+        run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        assert tel.registry.snapshot()["counters"] == {}
+
+    def test_manifest_attached_either_way(self, tiny_spec, restore_telemetry):
+        restore_telemetry.disable()
+        result = run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        assert result.manifest is not None
+        assert result.manifest["workload"] == tiny_spec.name
+        assert result.manifest["wall_s"] is not None
+
+
+class TestEndToEndTrace:
+    def test_trace_summarizes_back_to_run_stats(
+        self, tiny_spec, restore_telemetry, tmp_path
+    ):
+        tel = restore_telemetry
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        tel.attach_sink(sink)
+        result = run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        tel.detach_sink()
+        sink.close()
+        assert not sink.broken
+
+        summary = summarize_trace(path)
+        assert not summary.truncated
+        assert summary.event_counts["run_start"] == 1
+        assert summary.event_counts["run_end"] == 1
+        (run,) = summary.runs
+        assert run["workload"] == tiny_spec.name
+        assert run["system"] == _SYSTEM.name
+        assert run["end"]["ipc"] == pytest.approx(result.ipc)
+        assert run["end"]["mispredictions"] == result.mispredictions
+        assert run["manifest"]["config_hash"] == result.manifest["config_hash"]
+        # The forward-walk system repairs after mispredictions, so the
+        # trace must carry repair walks and the summary must fold them.
+        assert summary.event_counts.get("repair", 0) > 0
+        assert summary.walk_entries.count == summary.event_counts["repair"]
+        assert summary.metrics["counters"]["pipeline.episodes"] > 0
+        rendered = summary.render()
+        assert tiny_spec.name in rendered
+        assert "repair walks" in rendered
+
+    def test_metrics_reset_between_runs(
+        self, tiny_spec, restore_telemetry, tmp_path
+    ):
+        tel = restore_telemetry
+        path = tmp_path / "two.jsonl"
+        sink = JsonlSink(path)
+        tel.attach_sink(sink)
+        run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        tel.detach_sink()
+        sink.close()
+        summary = summarize_trace(path)
+        assert len(summary.runs) == 2
+        first, second = (r["end"]["metrics"]["counters"] for r in summary.runs)
+        # Identical runs with a per-run registry reset report identical
+        # counters; without the reset the second run would double them.
+        assert first == second

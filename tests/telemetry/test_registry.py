@@ -1,0 +1,176 @@
+"""Unit tests for the metrics registry and exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.export import json_summary, prometheus_text
+from repro.telemetry.registry import (
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_get_or_create_and_increment(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        assert reg.counter("a.b").value == 5
+        assert len(reg) == 1
+
+    def test_distinct_names_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert reg.counter("y").value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("occ").set(3.0)
+        reg.gauge("occ").set(7.5)
+        assert reg.gauge("occ").value == 7.5
+
+
+class TestHistogram:
+    def test_bucketing_at_boundaries(self):
+        h = Histogram("h", bounds=(1, 4, 16))
+        for v in (0, 1, 2, 4, 5, 16, 17, 1000):
+            h.observe(v)
+        # v <= bound lands in that bucket; past the last bound overflows.
+        assert h.counts == [2, 2, 2, 2]
+        assert h.count == 8
+        assert h.max == 1000
+        assert h.sum == 1045
+        assert h.mean == pytest.approx(1045 / 8)
+
+    def test_bucket_pairs_label_overflow(self):
+        h = Histogram("h", bounds=(2, 8))
+        h.observe(100)
+        assert h.bucket_pairs() == [("2", 0), ("8", 0), ("+Inf", 1)]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(TelemetryError, match="ascending"):
+            Histogram("h", bounds=(4, 1))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", bounds=())
+
+
+class TestTimer:
+    def test_observe_accumulates(self):
+        t = Timer("t")
+        t.observe(0.25)
+        t.observe(0.75)
+        assert t.sum == 1.0
+        assert t.count == 2
+        assert t.max == 0.75
+        assert t.mean == 0.5
+
+    def test_context_manager_records_once(self):
+        t = Timer("t")
+        with t:
+            pass
+        assert t.count == 1
+        assert t.sum >= 0.0
+
+
+class TestRegistrySemantics:
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("metric")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.gauge("metric")
+
+    def test_reset_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(10)
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter("a").value == 0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(1, 2)).observe(2)
+        reg.timer("t").observe(0.1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [0, 1, 0]
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(3)
+        json.dumps(reg.snapshot())
+
+
+class TestNullRegistry:
+    def test_instruments_are_shared_noops(self):
+        reg = NullRegistry()
+        c = reg.counter("anything")
+        assert c is reg.counter("else")
+        c.inc(100)
+        assert c.value == 0
+        reg.gauge("g").set(5)
+        assert reg.gauge("g").value == 0.0
+        reg.histogram("h").observe(7)
+        assert reg.histogram("h").count == 0
+        with reg.timer("t"):
+            pass
+        assert reg.timer("t").count == 0
+
+    def test_snapshot_is_empty(self):
+        reg = NullRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("pipeline.fetch_cycles").inc(10)
+        reg.gauge("obq.level").set(3.0)
+        h = reg.histogram("repair.walk_entries", bounds=(1, 4))
+        for v in (1, 2, 9):
+            h.observe(v)
+        reg.timer("run.wall").observe(0.5)
+        return reg
+
+    def test_json_summary_round_trips(self):
+        payload = json.loads(json_summary(self._registry()))
+        assert payload["counters"]["pipeline.fetch_cycles"] == 10
+
+    def test_json_summary_accepts_snapshot_dict(self):
+        snap = self._registry().snapshot()
+        assert json.loads(json_summary(snap)) == snap
+
+    def test_prometheus_counters_and_gauges(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_pipeline_fetch_cycles counter" in text
+        assert "repro_pipeline_fetch_cycles_total 10" in text
+        assert "repro_obq_level 3.0" in text
+
+    def test_prometheus_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(self._registry())
+        assert 'repro_repair_walk_entries_bucket{le="1"} 1' in text
+        assert 'repro_repair_walk_entries_bucket{le="4"} 2' in text
+        assert 'repro_repair_walk_entries_bucket{le="+Inf"} 3' in text
+        assert "repro_repair_walk_entries_count 3" in text
+
+    def test_prometheus_timer_summary(self):
+        text = prometheus_text(self._registry())
+        assert "repro_run_wall_seconds_sum 0.5" in text
+        assert "repro_run_wall_seconds_count 1" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""

@@ -1,0 +1,160 @@
+"""Unit tests for the JSONL event sink and trace reader."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import (
+    RepairWalkEvent,
+    RetireEvent,
+    RunEndEvent,
+    event_from_dict,
+)
+from repro.telemetry.sink import JsonlSink, read_events
+
+
+def retire(cycle: int) -> RetireEvent:
+    return RetireEvent(cycle=cycle, pc=0x1000)
+
+
+def run_end() -> RunEndEvent:
+    return RunEndEvent(
+        cycles=10,
+        instructions=20,
+        mispredictions=1,
+        ipc=2.0,
+        mpki=50.0,
+        wall_s=0.1,
+        metrics={},
+    )
+
+
+class TestJsonlSink:
+    def test_write_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(retire(1))
+            sink.emit(
+                RepairWalkEvent(cycle=2, scheme="fw", entries=3, writes=2, busy=5)
+            )
+        events = list(read_events(path))
+        assert [e["ev"] for e in events] == ["retire", "repair"]
+        assert events[1]["scheme"] == "fw"
+        assert sink.emitted == 2
+        assert not sink.broken
+
+    def test_buffering_defers_writes_until_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, buffer_size=100)
+        for c in range(5):
+            sink.emit(retire(c))
+        assert path.read_text() == ""  # still buffered
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 5
+        sink.close()
+
+    def test_buffer_full_triggers_write(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, buffer_size=3)
+        for c in range(3):
+            sink.emit(retire(c))
+        assert len(path.read_text().splitlines()) == 3
+        sink.close()
+
+    def test_max_events_truncates_but_keeps_run_end(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path, buffer_size=1, max_events=2) as sink:
+            for c in range(10):
+                sink.emit(retire(c))
+            sink.emit(run_end())
+        assert sink.emitted == 3  # 2 retires + the exempt run_end
+        assert sink.truncated == 8
+        tags = [e["ev"] for e in read_events(path)]
+        assert tags == ["retire", "retire", "run_end"]
+
+    def test_write_error_marks_broken_not_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, buffer_size=1)
+        sink.emit(retire(0))
+        # Yank the file out from under the sink: next write must not raise.
+        sink._file.close()
+        sink.emit(retire(1))
+        assert sink.broken
+        assert sink.error is not None
+        assert sink.dropped == 1
+        assert sink.emitted == 1  # the first event landed before the break
+        # Further emits keep counting drops without raising.
+        sink.emit(retire(2))
+        assert sink.dropped == 2
+        sink.close()
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.emit(retire(0))
+        assert sink.dropped == 1
+
+    def test_bad_buffer_size_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError, match="buffer_size"):
+            JsonlSink(tmp_path / "t.jsonl", buffer_size=0)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(retire(0))
+        assert path.exists()
+
+
+class TestReadEvents:
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(retire(1).as_dict())
+        path.write_text(good + "\n" + good[: len(good) // 2])
+        events = list(read_events(path))
+        assert len(events) == 1  # the readable prefix
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(retire(1).as_dict())
+        path.write_text("{broken\n" + good + "\n")
+        with pytest.raises(TelemetryError, match="corrupt"):
+            list(read_events(path))
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1,2,3]\n" + json.dumps(retire(1).as_dict()) + "\n")
+        with pytest.raises(TelemetryError, match="not an object"):
+            list(read_events(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot read"):
+            list(read_events(tmp_path / "nope.jsonl"))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(retire(1).as_dict())
+        path.write_text(good + "\n\n" + good + "\n")
+        assert len(list(read_events(path))) == 2
+
+
+class TestEventSchema:
+    def test_as_dict_carries_tag(self):
+        payload = retire(7).as_dict()
+        assert payload["ev"] == "retire"
+        assert payload["cycle"] == 7
+
+    def test_event_from_dict_round_trips(self):
+        original = RepairWalkEvent(
+            cycle=9, scheme="backward", entries=4, writes=3, busy=12
+        )
+        rebuilt = event_from_dict(json.loads(json.dumps(original.as_dict())))
+        assert rebuilt == original
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(TelemetryError, match="unknown"):
+            event_from_dict({"ev": "mystery"})
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(TelemetryError, match="malformed"):
+            event_from_dict({"ev": "retire", "cycle": 1})  # pc missing
