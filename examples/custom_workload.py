@@ -20,8 +20,10 @@ from repro.core import LoopPredictor, LoopPredictorConfig, RepairPortConfig, Sta
 from repro.core.repair import ForwardWalkRepair, PerfectRepair
 from repro.memory import CacheHierarchy
 from repro.pipeline import PipelineModel
+from repro.pipeline.stats import SimStats
 from repro.predictors import TagePredictor
 from repro.trace import collect_stats
+from repro.trace.records import BranchRecord
 from repro.workloads import WorkloadParams, WorkloadSpec, generate_trace
 
 
@@ -49,7 +51,9 @@ def page_scan_workload() -> WorkloadSpec:
     return WorkloadSpec(name="db-page-scan", category="custom", seed=1234, params=params)
 
 
-def run_system(trace, entries: int | None, perfect: bool = False):
+def run_system(
+    trace: list[BranchRecord], entries: int | None, perfect: bool = False
+) -> SimStats:
     unit = None
     if entries is not None:
         scheme = PerfectRepair() if perfect else ForwardWalkRepair(

@@ -23,13 +23,16 @@ from repro.core import (
     TwoLevelLocalPredictor,
 )
 from repro.core.repair import ForwardWalkRepair, NoRepair, PerfectRepair
+from repro.core.repair.base import RepairScheme
 from repro.memory import CacheHierarchy
 from repro.pipeline import PipelineModel
+from repro.pipeline.stats import SimStats
 from repro.predictors import TagePredictor
+from repro.trace.records import BranchRecord
 from repro.workloads import generate_trace, get_workload
 
 
-def run(trace, scheme=None):
+def run(trace: list[BranchRecord], scheme: RepairScheme | None = None) -> SimStats:
     unit = None
     if scheme is not None:
         local = TwoLevelLocalPredictor(TwoLevelLocalConfig(bht_entries=128))

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import sys
 
+from typing import Callable
+
 from repro.core import (
     LoopPredictor,
     LoopPredictorConfig,
@@ -25,14 +27,21 @@ from repro.core import (
     StandardLocalUnit,
 )
 from repro.core.repair import ForwardWalkRepair, PerfectRepair
+from repro.core.repair.base import RepairScheme, RepairStats
 from repro.harness.report import format_table
 from repro.memory import CacheHierarchy
 from repro.pipeline import PipelineConfig, PipelineModel
+from repro.pipeline.stats import SimStats
 from repro.predictors import TagePredictor
+from repro.trace.records import BranchRecord
 from repro.workloads import generate_trace, get_workload
 
 
-def run(trace, config, scheme_factory):
+def run(
+    trace: list[BranchRecord],
+    config: PipelineConfig,
+    scheme_factory: Callable[[], RepairScheme],
+) -> tuple[SimStats, RepairStats]:
     unit = StandardLocalUnit(
         LoopPredictor(LoopPredictorConfig.entries(128)), scheme_factory()
     )

@@ -17,7 +17,6 @@ import sys
 from repro.harness.report import format_table
 from repro.harness.runner import run_single
 from repro.harness.systems import TABLE3_SYSTEMS
-from repro.harness.scale import Scale
 from repro.workloads import get_workload
 
 

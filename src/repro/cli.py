@@ -16,20 +16,22 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 from repro.errors import ReproError
 from repro.harness.report import format_table
-from repro.harness.runner import run_single
+from repro.harness.runner import RunResult, run_single
 from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
 from repro.workloads.categories import CATEGORIES
+from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suite import build_suite, get_workload
 
 __all__ = ["main"]
 
 
 @contextmanager
-def _telemetry_session(path: str | None):
+def _telemetry_session(path: str | None) -> Iterator[None]:
     """Enable telemetry + JSONL tracing for the wrapped commands."""
     if path is None:
         yield
@@ -88,7 +90,7 @@ def _cmd_list_systems(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_run(label: str, result) -> None:
+def _print_run(label: str, result: RunResult) -> None:
     print(
         f"{label:24s} IPC {result.ipc:7.3f}   MPKI {result.mpki:7.2f}   "
         f"({result.instructions} instructions, {result.cycles} cycles)"
@@ -121,7 +123,9 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
-def _compare_results(args: argparse.Namespace, spec) -> list:
+def _compare_results(
+    args: argparse.Namespace, spec: WorkloadSpec
+) -> list[RunResult]:
     """One run per Table 3 system, fanning out when --workers asks."""
     if args.workers is not None and args.workers > 1 and not args.telemetry:
         # Plumb the request through the runner's REPRO_WORKERS contract
@@ -174,6 +178,12 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     else:
         print(summary.render())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.simlint.cli import run_lint
+
+    return run_lint(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,6 +242,17 @@ def build_parser() -> argparse.ArgumentParser:
         "drilldown table",
     )
     p_tel.set_defaults(func=_cmd_telemetry)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the simlint invariant checker over source trees",
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--select", metavar="RULES", default=None)
+    p_lint.add_argument("--no-suppress", action="store_true")
+    p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_diag = sub.add_parser(
         "diagnose", help="explain one (workload, system) run's behaviour"

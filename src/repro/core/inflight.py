@@ -10,8 +10,8 @@ the limited-PC scheme — the pre-update state of the M selected PCs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.trace.records import BranchRecord
 

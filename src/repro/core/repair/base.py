@@ -24,7 +24,7 @@ the following per-branch hooks, in order:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.inflight import InflightBranch

@@ -1,0 +1,16 @@
+"""Developer tooling that guards the reproduction's invariants.
+
+``repro.devtools`` hosts code that never runs inside a simulation but
+keeps the simulator honest:
+
+* :mod:`repro.devtools.simlint` — an AST-based invariant checker with
+  simulator-specific rules (determinism, speculative-state discipline,
+  telemetry no-op fidelity, error hygiene, public-API typing).
+
+The package is imported lazily by the CLI so simulation imports stay
+unaffected.
+"""
+
+from __future__ import annotations
+
+__all__ = ["simlint"]

@@ -1,0 +1,63 @@
+"""simlint: AST-based invariant checker for the simulator.
+
+Shipped rules (full catalogue in ``docs/static-analysis.md``):
+
+========  ==========================================================
+rule      invariant protected
+========  ==========================================================
+API001    public functions carry complete type annotations
+DET001    simulations are bit-deterministic under a seed
+ERR001    intentional library failures derive from ``ReproError``
+SPEC001   speculative BHT/PT/OBQ state mutates only via update/repair
+TEL001    telemetry off means bit-identical ``SimStats``
+PARSE001  (pseudo-rule) every linted file parses
+========  ==========================================================
+
+Suppress with a trailing ``# simlint: ignore[RULE] -- reason`` comment
+or a column-0 ``# simlint: ignore-file[RULE] -- reason`` line.
+
+Programmatic use::
+
+    from repro.devtools.simlint import lint_paths
+
+    report = lint_paths(["src", "tests", "tools"])
+    assert report.clean, report.violations
+"""
+
+from __future__ import annotations
+
+from repro.devtools.simlint.engine import (
+    LintReport,
+    infer_role,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.simlint.model import (
+    PARSE_RULE_ID,
+    FileContext,
+    LintError,
+    ModuleRole,
+    Rule,
+    Violation,
+    all_rules,
+    register,
+)
+
+__all__ = [
+    "LintReport",
+    "LintError",
+    "FileContext",
+    "ModuleRole",
+    "Rule",
+    "Violation",
+    "PARSE_RULE_ID",
+    "all_rules",
+    "register",
+    "infer_role",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,122 @@
+"""Command-line front end for simlint.
+
+Invoked as ``repro lint ...`` (the CLI subcommand delegates here) or
+directly via ``python -m repro.devtools.simlint``.
+
+Exit codes are part of the contract (CI keys off them):
+
+* ``0`` — all files parsed and no violations,
+* ``1`` — at least one violation (including unparseable files),
+* ``2`` — internal error: bad invocation, unknown rule, checker crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.devtools.simlint.engine import lint_paths
+from repro.devtools.simlint.model import LintError, all_rules
+from repro.devtools.simlint.rules import load as _load_rules
+
+__all__ = ["build_parser", "run_lint", "main"]
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_INTERNAL = 2
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="AST-based invariant checker for the simulator "
+        "(determinism, speculative-state discipline, telemetry fidelity, "
+        "error hygiene, API typing).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (e.g. src tests tools)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="violation report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="report violations even where suppression comments cover them",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    _load_rules()
+    for rule in all_rules():
+        roles = ",".join(sorted(role.value for role in rule.roles))
+        print(f"{rule.rule_id}  {rule.summary}")
+        print(f"         invariant: {rule.invariant}")
+        print(f"         applies to: {roles}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+    if not args.paths:
+        print("error: no paths given (try: repro lint src tests tools)", file=sys.stderr)
+        return EXIT_INTERNAL
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = lint_paths(
+            args.paths,
+            select=select,
+            respect_suppressions=not args.no_suppress,
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except Exception as exc:  # simlint: ignore[ERR001] -- checker crash -> exit 2
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for violation in report.violations:
+            print(violation.render())
+        counts = ", ".join(f"{k}:{v}" for k, v in report.counts().items())
+        status = "clean" if report.clean else f"violations ({counts})"
+        print(f"simlint: {report.files} files, {status}")
+    return EXIT_CLEAN if report.clean else EXIT_VIOLATIONS
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser(prog="simlint").parse_args(
+        list(argv) if argv is not None else None
+    )
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

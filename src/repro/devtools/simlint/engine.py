@@ -1,0 +1,212 @@
+"""simlint engine: file discovery, role inference, rule dispatch.
+
+The engine is deliberately small: it parses each file once, asks every
+registered rule that *applies to the file's role* for violations, and
+filters the result through suppression comments.  All simulator
+knowledge lives in the rule modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.devtools.simlint.model import (
+    PARSE_RULE_ID,
+    REGISTRY,
+    FileContext,
+    LintError,
+    ModuleRole,
+    Violation,
+    all_rules,
+)
+from repro.devtools.simlint.rules import load as _load_rules
+from repro.devtools.simlint.suppress import parse_suppressions
+
+__all__ = [
+    "LintReport",
+    "infer_role",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Subpackages of ``repro`` with simulation semantics: bit-determinism
+#: and speculative-state rules apply here.
+SIM_PACKAGES = frozenset(
+    {"core", "pipeline", "predictors", "memory", "workloads", "trace", "metrics"}
+)
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+def _normalise(path: str) -> tuple[str, ...]:
+    return tuple(part for part in os.path.normpath(path).split(os.sep) if part)
+
+
+def infer_role(path: str) -> ModuleRole:
+    """Classify a file by its repo-relative location."""
+    parts = _normalise(path)
+    name = parts[-1] if parts else ""
+    if "tests" in parts or "benchmarks" in parts or name == "conftest.py":
+        return ModuleRole.TEST
+    if "tools" in parts or "examples" in parts or name == "setup.py":
+        return ModuleRole.TOOL
+    if "repro" in parts:
+        index = parts.index("repro")
+        sub = parts[index + 1] if index + 1 < len(parts) else ""
+        if sub in SIM_PACKAGES:
+            return ModuleRole.SIM
+        if sub == "telemetry":
+            return ModuleRole.TELEMETRY
+        if sub == "cli.py":
+            return ModuleRole.CLI
+        return ModuleRole.LIB
+    return ModuleRole.UNKNOWN
+
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                found.extend(
+                    os.path.join(root, f) for f in sorted(files) if f.endswith(".py")
+                )
+        else:
+            raise LintError(f"no such file or directory: {path!r}")
+    return sorted(dict.fromkeys(found))
+
+
+def _resolve_select(select: Iterable[str] | None) -> frozenset[str]:
+    _load_rules()
+    if select is None:
+        return frozenset(REGISTRY)
+    chosen = frozenset(select)
+    unknown = chosen - set(REGISTRY)
+    if unknown:
+        known = ", ".join(sorted(REGISTRY))
+        raise LintError(
+            f"unknown rule id(s) {sorted(unknown)}; known rules: {known}"
+        )
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    role: ModuleRole | None = None,
+    select: Iterable[str] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Violation]:
+    """Lint raw source text as if it lived at ``path``."""
+    chosen = _resolve_select(select)
+    file_role = role if role is not None else infer_role(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 0
+        return [
+            Violation(
+                path=path,
+                line=line,
+                col=col,
+                rule=PARSE_RULE_ID,
+                message=f"file does not parse: {exc.args[0] if exc.args else exc}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        role=file_role,
+        source=source,
+        tree=tree,
+        parts=_normalise(path),
+    )
+    violations = [
+        violation
+        for rule in all_rules()
+        if rule.rule_id in chosen and rule.applies(file_role)
+        for violation in rule.check(ctx)
+    ]
+    if respect_suppressions and violations:
+        suppressions = parse_suppressions(source)
+        violations = [v for v in violations if not suppressions.covers(v)]
+    return sorted(violations, key=Violation.sort_key)
+
+
+def lint_file(
+    path: str,
+    *,
+    role: ModuleRole | None = None,
+    select: Iterable[str] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Violation]:
+    """Lint one file from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise LintError(f"cannot read {path!r}: {exc}") from exc
+    return lint_source(
+        source,
+        path,
+        role=role,
+        select=select,
+        respect_suppressions=respect_suppressions,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LintReport:
+    """Outcome of linting a path set."""
+
+    files: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        """Violation count per rule ID, sorted by ID."""
+        tally: dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "counts": self.counts(),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] | None = None,
+    respect_suppressions: bool = True,
+) -> LintReport:
+    """Lint files and directories; the core entry point behind the CLI."""
+    chosen = _resolve_select(select)
+    files = iter_python_files(paths)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(
+            lint_file(
+                path, select=chosen, respect_suppressions=respect_suppressions
+            )
+        )
+    return LintReport(files=len(files), violations=sorted(violations, key=Violation.sort_key))

@@ -1,0 +1,107 @@
+"""API001 — public functions carry complete type annotations.
+
+The strict-typing gate (``mypy --strict`` in CI) only binds when it can
+see types at module boundaries; an unannotated public function turns
+every caller into ``Any`` and the gate into decoration.  This rule is
+the fast, dependency-free half of that gate: every *public* function or
+method in library and tool code must annotate all parameters and its
+return type.
+
+Public means: module-level functions and methods of public classes
+whose name does not start with ``_``, plus ``__init__`` and the other
+dunders (they are the most-called API of all).  Exemptions: nested
+functions, lambdas, anything inside a private class, ``self``/``cls``
+receivers, and functions decorated with ``@overload`` (the
+implementation signature is the annotated one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.model import FileContext, ModuleRole, Violation, register
+
+__all__ = ["check_public_annotations"]
+
+_RULE = "API001"
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_") or (name.startswith("__") and name.endswith("__"))
+
+
+def _has_overload(func: _FuncDef) -> bool:
+    for deco in func.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "overload":
+            return True
+    return False
+
+
+def _missing_bits(func: _FuncDef, *, is_method: bool) -> list[str]:
+    """Human-readable list of unannotated pieces of one signature."""
+    missing: list[str] = []
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if is_method and positional and not any(
+        isinstance(deco, ast.Name) and deco.id == "staticmethod"
+        for deco in func.decorator_list
+    ):
+        positional = positional[1:]  # self / cls
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(f"parameter {arg.arg!r}")
+    for vararg, star in ((args.vararg, "*"), (args.kwarg, "**")):
+        if vararg is not None and vararg.annotation is None:
+            missing.append(f"parameter {star}{vararg.arg}")
+    if func.returns is None:
+        missing.append("return type")
+    return missing
+
+
+def _check_function(
+    ctx: FileContext, func: _FuncDef, *, is_method: bool
+) -> Iterator[Violation]:
+    if not _is_public(func.name) or _has_overload(func):
+        return
+    missing = _missing_bits(func, is_method=is_method)
+    if missing:
+        kind = "method" if is_method else "function"
+        yield Violation(
+            path=ctx.path,
+            line=func.lineno,
+            col=func.col_offset,
+            rule=_RULE,
+            message=(
+                f"public {kind} {func.name!r} missing annotations: "
+                + ", ".join(missing)
+            ),
+        )
+
+
+@register(
+    _RULE,
+    summary="public function or method lacks full type annotations",
+    invariant="the strict typing gate sees real types at every API boundary",
+    roles=(
+        ModuleRole.SIM,
+        ModuleRole.LIB,
+        ModuleRole.CLI,
+        ModuleRole.TELEMETRY,
+        ModuleRole.TOOL,
+    ),
+)
+def check_public_annotations(ctx: FileContext) -> Iterator[Violation]:
+    for node in ctx.tree.body:
+        if isinstance(node, _FuncDef):
+            yield from _check_function(ctx, node, is_method=False)
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            for item in node.body:
+                if isinstance(item, _FuncDef):
+                    yield from _check_function(ctx, item, is_method=True)

@@ -1,0 +1,216 @@
+"""DET001 — simulation modules must be bit-deterministic under a seed.
+
+The reproduction's headline numbers (Figures 9–13) are only meaningful
+if re-running a (workload, system, seed) triple reproduces every stat
+bit-for-bit.  This rule flags the classic ways Python code silently
+loses that property inside simulation modules:
+
+* the process-global ``random`` module (unseeded, shared across call
+  sites) instead of a per-run ``random.Random(seed)`` instance;
+* wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``)
+  feeding simulated state — simulated time must come from cycles;
+* ``PYTHONHASHSEED``-sensitive constructs: iterating a ``set`` or
+  ``frozenset`` directly (element order varies across processes for
+  str/object elements) and ``hash()`` of non-int keys;
+* environment reads (``os.environ``, ``os.getenv``) — configuration
+  must flow through config objects so worker processes and the host
+  agree (telemetry and the CLI are exempt by role).
+
+Named set variables are *not* tracked (that needs type inference); the
+rule intentionally only flags syntactically-obvious sources so it stays
+zero-false-positive on the tree it guards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.model import FileContext, ModuleRole, Violation, register
+
+__all__ = ["check_determinism"]
+
+_RULE = "DET001"
+
+#: Functions on the module-global (unseeded) RNG.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "getrandbits",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+    }
+)
+
+#: Wall-clock reads, as (module, attribute) pairs.
+_WALL_CLOCK = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "process_time"),
+        ("time", "localtime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Builtins whose direct iteration over a set argument is order-sensitive.
+_ITERATING_BUILTINS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...]:
+    """Flatten ``a.b.c`` into ``("a","b","c")``; empty when not a pure chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically-obvious set expression (literal, comp, or set() call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _violation(ctx: FileContext, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=_RULE,
+        message=message,
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.found: list[Violation] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        if len(chain) == 2 and chain[0] == "random" and chain[1] in _GLOBAL_RANDOM_FNS:
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    f"global random.{chain[1]}() is unseeded shared state; "
+                    "use a per-run random.Random(seed) instance",
+                )
+            )
+        elif len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK:
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    f"wall-clock read {'.'.join(chain)}() in a simulation module; "
+                    "simulated time must come from cycle counts",
+                )
+            )
+        elif chain == ("os", "getenv") or chain[-2:] == ("environ", "get"):
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    "environment read in a simulation module; plumb settings "
+                    "through config objects instead",
+                )
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and node.args
+            and not isinstance(node.args[0], ast.Constant)
+        ):
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    "hash() of a non-constant value is PYTHONHASHSEED-sensitive "
+                    "for str/object keys; use an explicit integer fold",
+                )
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ITERATING_BUILTINS
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    f"{node.func.id}() over a set has PYTHONHASHSEED-dependent "
+                    "order; wrap in sorted(...)",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if _dotted(node.value) == ("os", "environ") and isinstance(
+            node.ctx, ast.Load
+        ):
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    "environment read in a simulation module; plumb settings "
+                    "through config objects instead",
+                )
+            )
+        self.generic_visit(node)
+
+    def _check_iter(self, node: ast.expr) -> None:
+        if _is_set_expr(node):
+            self.found.append(
+                _violation(
+                    self.ctx,
+                    node,
+                    "iteration over a set has PYTHONHASHSEED-dependent order; "
+                    "wrap in sorted(...)",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+@register(
+    _RULE,
+    summary="nondeterminism source in a simulation module",
+    invariant="simulations are bit-deterministic under a seed",
+    roles=(ModuleRole.SIM,),
+)
+def check_determinism(ctx: FileContext) -> Iterator[Violation]:
+    visitor = _Visitor(ctx)
+    visitor.visit(ctx.tree)
+    yield from visitor.found

@@ -1,0 +1,140 @@
+"""ERR001 — library failures derive from ReproError; no blind catches.
+
+The public contract (see :mod:`repro.errors`) is that *every* failure
+the library signals on purpose is a :class:`~repro.errors.ReproError`
+subclass, so callers — the CLI, the harness, user scripts — can write
+``except ReproError`` once and let genuine programming errors
+(``TypeError`` from a bad call, ``AttributeError`` from a typo)
+propagate loudly.  Two anti-patterns erode that contract:
+
+* raising a builtin exception (``ValueError``, ``RuntimeError`` ...)
+  for a library-level failure — callers either miss it or are forced
+  into broad catches;
+* bare ``except:`` / ``except Exception:`` without re-raising — which
+  swallows the programming errors the hierarchy exists to let through.
+
+Allowed: ``NotImplementedError`` (abstract-method convention),
+``SystemExit`` in CLI/tool entry points, bare ``raise`` re-raises,
+``raise X from exc`` where ``X`` is a ReproError, and broad handlers
+that re-raise.  Names the checker cannot resolve to a builtin (imported
+exception types, local subclasses) are trusted — the rule is a
+tripwire, not a type system.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.model import FileContext, ModuleRole, Violation, register
+
+__all__ = ["check_error_hygiene"]
+
+_RULE = "ERR001"
+
+#: Builtin exceptions that indicate a library failure when raised on
+#: purpose — exactly what ReproError subclasses are for.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "RuntimeError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "AttributeError",
+        "OSError",
+        "IOError",
+        "EOFError",
+        "StopIteration",
+        "UnicodeDecodeError",
+    }
+)
+
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+def _exception_name(node: ast.expr | None) -> str | None:
+    """Name of the raised/caught exception class, if syntactically plain."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a bare ``raise``?"""
+    return any(
+        isinstance(sub, ast.Raise) and sub.exc is None for sub in ast.walk(handler)
+    )
+
+
+@register(
+    _RULE,
+    summary="non-ReproError raise or blind exception handler",
+    invariant="all intentional library failures derive from ReproError",
+    roles=(
+        ModuleRole.SIM,
+        ModuleRole.LIB,
+        ModuleRole.CLI,
+        ModuleRole.TELEMETRY,
+        ModuleRole.TOOL,
+    ),
+)
+def check_error_hygiene(ctx: FileContext) -> Iterator[Violation]:
+    allow_system_exit = ctx.role in (ModuleRole.CLI, ModuleRole.TOOL)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Raise):
+            name = _exception_name(node.exc)
+            if name is None or name == "NotImplementedError":
+                continue
+            if name == "SystemExit" and allow_system_exit:
+                continue
+            if name in _BUILTIN_EXCEPTIONS or name == "SystemExit":
+                yield Violation(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=_RULE,
+                    message=(
+                        f"raise {name} for a library failure; raise a "
+                        "ReproError subclass (see repro.errors) so callers "
+                        "can catch library errors in one place"
+                    ),
+                )
+        elif isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                yield Violation(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=_RULE,
+                    message="bare except: swallows programming errors; catch "
+                    "ReproError (or a specific builtin) instead",
+                )
+                continue
+            names = [
+                _exception_name(entry)
+                for entry in (
+                    node.type.elts
+                    if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+            ]
+            broad = [name for name in names if name in _BROAD_HANDLERS]
+            if broad and not _reraises(node):
+                yield Violation(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=_RULE,
+                    message=(
+                        f"except {broad[0]} without re-raise swallows "
+                        "programming errors; catch ReproError (or re-raise)"
+                    ),
+                )

@@ -1,0 +1,160 @@
+"""TEL001 — hot-path telemetry must be a plain emit.
+
+PR 1's guarantee is that telemetry is *observationally free*: with
+``REPRO_TELEMETRY=off`` every ``SimStats`` field is bit-identical to an
+uninstrumented build.  That only holds if instrumentation sites are
+fire-and-forget — the moment simulation logic consumes a telemetry
+return value, or an instrument call's arguments mutate simulation
+state, disabling telemetry changes behaviour (the NullRegistry returns
+no-op instruments whose values never advance).
+
+Inside simulation modules, a call reached through a telemetry handle
+(``TELEMETRY``, a local ``tel``, or ``self._tel`` — the idioms blessed
+in ``repro/telemetry/__init__``) is flagged when:
+
+* its result is consumed — assigned, returned, compared, used as a
+  call argument or an ``if`` test (``with tel.registry.timer(...):`` is
+  allowed: the timer context manager is part of the emit idiom);
+* any argument contains a walrus assignment or a call to a known
+  mutating method (``pop``, ``append``, ``next`` ...), which would make
+  the *argument evaluation itself* a simulation side effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.model import FileContext, ModuleRole, Violation, register
+
+__all__ = ["check_telemetry_emits"]
+
+_RULE = "TEL001"
+
+#: Names a telemetry attribute chain may be rooted at.
+_TEL_ROOTS = frozenset({"TELEMETRY", "tel", "_tel"})
+
+#: Method names whose call mutates their receiver (or an iterator).
+_MUTATING_METHODS = frozenset(
+    {
+        "pop",
+        "popleft",
+        "popitem",
+        "append",
+        "appendleft",
+        "add",
+        "remove",
+        "discard",
+        "clear",
+        "update",
+        "setdefault",
+        "extend",
+        "insert",
+        "sort",
+        "reverse",
+        "write",
+        "read",
+        "readline",
+        "__next__",
+    }
+)
+
+
+def _telemetry_root(node: ast.expr) -> bool:
+    """Does this attribute/call chain start at a telemetry handle?"""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            break
+    if isinstance(node, ast.Name):
+        return node.id in _TEL_ROOTS
+    return False
+
+
+def _mutates(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.NamedExpr):
+            return True
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+                return True
+            if isinstance(func, ast.Name) and func.id == "next":
+                return True
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.found: list[Violation] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.found.append(
+            Violation(
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=_RULE,
+                message=message,
+            )
+        )
+
+    def _scan_call(self, call: ast.Call, consumed: bool) -> None:
+        """Check one outermost telemetry call, then its argument trees."""
+        if consumed:
+            self._flag(
+                call,
+                "telemetry call result is consumed; hot-path instrumentation "
+                "must be a plain emit so REPRO_TELEMETRY=off is a no-op",
+            )
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if _mutates(arg):
+                self._flag(
+                    arg,
+                    "telemetry call argument has side effects; argument "
+                    "evaluation must not mutate simulation state",
+                )
+        # Chained lookups (tel.registry.counter("x").inc()) nest calls in
+        # the func position; their own arguments are scanned here too.
+        func = call.func
+        while isinstance(func, ast.Attribute):
+            func = func.value
+            if isinstance(func, ast.Call):
+                self._scan_call(func, consumed=False)
+                return
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for field_name, value in ast.iter_fields(node):
+            entries = value if isinstance(value, list) else [value]
+            for entry in entries:
+                if not isinstance(entry, ast.AST):
+                    continue
+                if isinstance(entry, ast.Call) and _telemetry_root(entry):
+                    consumed = not (
+                        isinstance(node, ast.Expr)
+                        or (isinstance(node, ast.withitem) and field_name == "context_expr")
+                    )
+                    self._scan_call(entry, consumed)
+                    # Arguments may themselves hold telemetry chains; the
+                    # outermost-call treatment above already covered the
+                    # func spine, so only recurse into the arguments.
+                    for arg in list(entry.args) + [kw.value for kw in entry.keywords]:
+                        self.generic_visit(arg)
+                else:
+                    self.generic_visit(entry)
+
+
+@register(
+    _RULE,
+    summary="hot-path telemetry call is not a plain emit",
+    invariant="telemetry off means bit-identical SimStats (no-op fidelity)",
+    roles=(ModuleRole.SIM,),
+)
+def check_telemetry_emits(ctx: FileContext) -> Iterator[Violation]:
+    visitor = _Visitor(ctx)
+    visitor.visit(ctx.tree)
+    yield from visitor.found

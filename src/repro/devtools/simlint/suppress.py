@@ -1,0 +1,76 @@
+"""Suppression comments: opt out of a rule with an audit trail.
+
+Two forms are recognised (rule lists are comma-separated; ``*`` matches
+every rule):
+
+* line suppression — trailing comment on the violating line::
+
+      slot = hash(pc) & mask  # simlint: ignore[DET001] -- pc is an int
+
+* file suppression — a comment anywhere at column 0, typically in the
+  header, silencing a rule for the whole file::
+
+      # simlint: ignore-file[TEL001] -- bench measures telemetry itself
+
+Everything after ``--`` is a free-form justification; the linter does
+not require one, but the project's review convention does (see
+``docs/static-analysis.md``).  Violations whose rule cannot be
+suppressed (:data:`~repro.devtools.simlint.model.PARSE_RULE_ID`) ignore
+both forms.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.devtools.simlint.model import PARSE_RULE_ID, Violation
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>ignore-file|ignore)\[(?P<rules>[A-Z0-9*,\s]+)\]"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    #: Rule IDs silenced for the whole file ("*" = every rule).
+    file_rules: frozenset[str]
+    #: Line number → rule IDs silenced on that line.
+    line_rules: dict[int, frozenset[str]]
+
+    def covers(self, violation: Violation) -> bool:
+        if violation.rule == PARSE_RULE_ID:
+            return False
+        for scope in (self.file_rules, self.line_rules.get(violation.line, frozenset())):
+            if "*" in scope or violation.rule in scope:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from raw source text.
+
+    Scanning is line-based on purpose: suppression comments must stay
+    greppable, and a directive inside a string literal is so unlikely in
+    practice that AST-grade precision is not worth the cost.
+    """
+    file_rules: set[str] = set()
+    line_rules: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        if match.group("kind") == "ignore-file":
+            file_rules |= rules
+        else:
+            line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+    return Suppressions(file_rules=frozenset(file_rules), line_rules=line_rules)

@@ -39,3 +39,7 @@ class ExperimentError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry artifact (metric, trace, manifest) is malformed."""
+
+
+class MetricsError(ReproError):
+    """A metric aggregation was fed values outside its domain."""

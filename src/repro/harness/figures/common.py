@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.errors import ExperimentError
 from repro.harness.runner import RunResult, pair_results, run_matrix, select_workloads
 from repro.harness.scale import Scale, current_scale
 from repro.harness.systems import SystemConfig
@@ -75,7 +76,7 @@ def _metric(summary: CategorySummary, metric: str) -> float:
         return summary.mean_mpki_reduction
     if metric == "ipc":
         return summary.mean_ipc_gain
-    raise ValueError(f"unknown metric {metric!r}")
+    raise ExperimentError(f"unknown metric {metric!r}")
 
 
 def overall_row(paired: Sequence[WorkloadResult], metric: str = "ipc") -> float:

@@ -11,7 +11,7 @@ keeps working.
 
 from __future__ import annotations
 
-from repro.harness.figures.common import BASELINE_SYSTEM, ensure_scale, overall_row, sweep
+from repro.harness.figures.common import ensure_scale, overall_row, sweep
 from repro.harness.report import Figure
 from repro.harness.runner import pair_results, run_matrix, select_workloads
 from repro.harness.scale import Scale

@@ -11,12 +11,17 @@ from repro.core.storage import system_storage
 from repro.harness.figures.common import ensure_scale, overall_row, retained_fraction, sweep
 from repro.harness.report import Figure
 from repro.harness.scale import Scale
-from repro.harness.systems import PAPER_TABLE3, TABLE3_SYSTEMS, build_system
+from repro.harness.systems import (
+    PAPER_TABLE3,
+    TABLE3_SYSTEMS,
+    SystemConfig,
+    build_system,
+)
 
 __all__ = ["run"]
 
 
-def _storage_and_ports(config) -> tuple[float, str]:
+def _storage_and_ports(config: SystemConfig) -> tuple[float, str]:
     baseline, unit = build_system(config)
     breakdown = system_storage(baseline, unit)
     if unit is None:

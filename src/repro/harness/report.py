@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.errors import ConfigError
+
 __all__ = ["format_table", "format_bars", "pct", "Figure"]
 
 
@@ -49,7 +51,7 @@ def format_bars(
 ) -> str:
     """Render a horizontal bar chart of (possibly negative) values."""
     if len(labels) != len(values):
-        raise ValueError("labels and values must have equal length")
+        raise ConfigError("labels and values must have equal length")
     lines: list[str] = []
     if title:
         lines.append(title)
@@ -83,7 +85,12 @@ class Figure:
     ) -> None:
         self.add_section(format_table(headers, rows, title))
 
-    def add_bars(self, labels: Sequence[str], values: Sequence[float], title: str | None = None) -> None:
+    def add_bars(
+        self,
+        labels: Sequence[str],
+        values: Sequence[float],
+        title: str | None = None,
+    ) -> None:
         self.add_section(format_bars(labels, values, title))
 
     def render(self) -> str:

@@ -12,7 +12,7 @@ them to worker processes; construction happens inside the worker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 from repro.core.loop_predictor import LoopPredictor, LoopPredictorConfig
 from repro.core.ports import RepairPortConfig
@@ -78,7 +78,7 @@ class SystemConfig:
         return self.local_entries is None or self.scheme is None
 
 
-def _build_scheme(config: SystemConfig):
+def _build_scheme(config: SystemConfig) -> RepairScheme:
     ports = RepairPortConfig.parse(config.ports)
     scheme_id = config.scheme
     if scheme_id == "perfect":

@@ -9,7 +9,7 @@ hits/misses and returns latencies, it does not move data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 

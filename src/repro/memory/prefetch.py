@@ -7,6 +7,7 @@ benefit for the streaming access patterns our workload generators emit.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
 from repro.memory.cache import Cache
 
 __all__ = ["NextLinePrefetcher"]
@@ -17,7 +18,7 @@ class NextLinePrefetcher:
 
     def __init__(self, cache: Cache, degree: int = 1) -> None:
         if degree < 0:
-            raise ValueError(f"prefetch degree must be >= 0, got {degree}")
+            raise ConfigError(f"prefetch degree must be >= 0, got {degree}")
         self.cache = cache
         self.degree = degree
         self.issued = 0

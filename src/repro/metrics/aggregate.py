@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.metrics.basic import geomean_gain, ipc_gain, mpki_reduction

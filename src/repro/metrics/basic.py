@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sequence
 
+from repro.errors import MetricsError
+
 __all__ = [
     "mpki_reduction",
     "ipc_gain",
@@ -49,7 +51,7 @@ def geomean(values: Sequence[float] | Iterable[float]) -> float:
     if not values:
         return 0.0
     if any(v <= 0.0 for v in values):
-        raise ValueError("geomean requires strictly positive values")
+        raise MetricsError("geomean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
@@ -64,5 +66,5 @@ def geomean_gain(gains: Sequence[float] | Iterable[float]) -> float:
     if not speedups:
         return 0.0
     if any(s <= 0.0 for s in speedups):
-        raise ValueError("gains must stay above -100%")
+        raise MetricsError("gains must stay above -100%")
     return geomean(speedups) - 1.0

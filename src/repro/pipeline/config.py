@@ -8,7 +8,7 @@ makes branch mispredictions expensive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 

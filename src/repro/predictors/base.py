@@ -15,7 +15,7 @@ branch, mirroring the pipeline events of §2.4 of the paper:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.predictors.history import GlobalHistory, HistoryCheckpoint

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 __all__ = [
     "saturating_inc",
     "saturating_dec",
@@ -62,9 +64,9 @@ class SaturatingCounter:
 
     def __post_init__(self) -> None:
         if self.bits < 1:
-            raise ValueError(f"counter width must be >= 1, got {self.bits}")
+            raise ConfigError(f"counter width must be >= 1, got {self.bits}")
         if not 0 <= self.value <= self.max_value:
-            raise ValueError(
+            raise ConfigError(
                 f"initial value {self.value} out of range for {self.bits} bits"
             )
 

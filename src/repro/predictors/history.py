@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 __all__ = ["FoldedHistory", "GlobalHistory", "HistoryCheckpoint"]
 
 
@@ -38,7 +40,7 @@ class FoldedHistory:
 
     def __init__(self, original_length: int, compressed_length: int) -> None:
         if original_length <= 0 or compressed_length <= 0:
-            raise ValueError("history lengths must be positive")
+            raise ConfigError("history lengths must be positive")
         self.comp = 0
         self.compressed_length = compressed_length
         self.original_length = original_length
@@ -85,11 +87,19 @@ class GlobalHistory:
     table) and kept in sync on every push/restore.
     """
 
-    __slots__ = ("ghist", "phist", "max_length", "path_bits", "_folds", "_ghist_mask", "_phist_mask")
+    __slots__ = (
+        "ghist",
+        "phist",
+        "max_length",
+        "path_bits",
+        "_folds",
+        "_ghist_mask",
+        "_phist_mask",
+    )
 
     def __init__(self, max_length: int = 256, path_bits: int = 16) -> None:
         if max_length <= 0:
-            raise ValueError(f"max_length must be positive, got {max_length}")
+            raise ConfigError(f"max_length must be positive, got {max_length}")
         self.ghist = 0
         self.phist = 0
         self.max_length = max_length
@@ -103,7 +113,7 @@ class GlobalHistory:
     def register_fold(self, fold: FoldedHistory) -> FoldedHistory:
         """Attach a folded history; it will track future pushes."""
         if fold.original_length > self.max_length:
-            raise ValueError(
+            raise ConfigError(
                 f"fold window {fold.original_length} exceeds max history "
                 f"{self.max_length}"
             )

@@ -18,7 +18,7 @@ Three storage presets mirror the paper's setups:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.predictors.base import GlobalPredictor, Prediction
@@ -229,7 +229,8 @@ class TagePredictor(GlobalPredictor):
         path = self.history.phist & ((1 << min(cfg.history_length, 16)) - 1)
         path ^= path >> log
         pc_bits = pc >> 2
-        return (pc_bits ^ (pc_bits >> (log - (table % 3) - 1)) ^ folded ^ path) & self._index_masks[table]
+        index = pc_bits ^ (pc_bits >> (log - (table % 3) - 1)) ^ folded ^ path
+        return index & self._index_masks[table]
 
     def _table_tag(self, pc: int, table: int) -> int:
         return (
@@ -268,7 +269,8 @@ class TagePredictor(GlobalPredictor):
             ctr = self._ctr[provider][indices[provider]]
             provider_pred = ctr >= 0
             weak = ctr in (-1, 0) and self._u[provider][indices[provider]] == 0
-            taken = alt_pred if (weak and self._use_alt >= (self._use_alt_max + 1) // 2) else provider_pred
+            use_alt = weak and self._use_alt >= (self._use_alt_max + 1) // 2
+            taken = alt_pred if use_alt else provider_pred
         else:
             provider_pred = bim_pred
             weak = False

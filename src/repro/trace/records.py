@@ -15,7 +15,9 @@ and memory subsystems need.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.errors import TraceError
 
 __all__ = ["BranchKind", "BranchRecord"]
 
@@ -68,13 +70,13 @@ class BranchRecord:
 
     def __post_init__(self) -> None:
         if self.pc < 0:
-            raise ValueError(f"branch pc must be non-negative, got {self.pc}")
+            raise TraceError(f"branch pc must be non-negative, got {self.pc}")
         if self.inst_gap < 0:
-            raise ValueError(
+            raise TraceError(
                 f"inst_gap must be non-negative, got {self.inst_gap}"
             )
         if self.kind is not BranchKind.COND and not self.taken:
-            raise ValueError(f"{self.kind.name} branches are always taken")
+            raise TraceError(f"{self.kind.name} branches are always taken")
 
     @property
     def group_size(self) -> int:

@@ -8,7 +8,7 @@ predictor exploits).
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
 

@@ -1,6 +1,5 @@
 """Unit tests for the CBPw-Loop predictor."""
 
-import pytest
 
 from repro.core.loop_predictor import (
     LoopPredictor,

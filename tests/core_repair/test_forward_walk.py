@@ -2,7 +2,7 @@
 
 from repro.core.ports import RepairPortConfig
 from repro.core.repair.forward_walk import ForwardWalkRepair
-from tests.core_repair.helpers import SchemeHarness, pack_state
+from tests.core_repair.helpers import SchemeHarness
 
 
 def make(entries=32, reads=4, writes=2, coalesce=False, **kwargs):

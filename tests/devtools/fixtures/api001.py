@@ -1,0 +1,36 @@
+"""API001 fixture: public signatures with and without annotations."""
+
+
+def bad_function(trace, branches=100):  # API001 (line 4)
+    return len(trace) + branches
+
+
+def half_annotated(trace: list) -> int:  # fully annotated: not flagged
+    return len(trace)
+
+
+class Predictor:
+    def __init__(self, entries):  # API001: __init__ params + return (line 13)
+        self.entries = entries
+
+    def predict(self, pc):  # API001 (line 16)
+        return pc % self.entries
+
+    def _probe(self, pc):  # private: exempt
+        return pc
+
+    @staticmethod
+    def fold(pc: int) -> int:
+        return pc & 0xFF
+
+
+class _Internal:
+    def visible_but_private_class(self, x):  # private class: exempt
+        return x
+
+
+def annotated(trace: list[int], *, branches: int = 100) -> int:
+    def nested(x):  # nested: exempt
+        return x
+
+    return nested(len(trace) + branches)

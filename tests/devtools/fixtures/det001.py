@@ -1,0 +1,37 @@
+"""DET001 fixture: every nondeterminism source the rule knows."""
+
+import os
+import random
+import time
+
+
+def unseeded():  # line 8
+    return random.randint(0, 7)  # DET001: global RNG (line 9)
+
+
+def wall_clock():
+    return time.perf_counter()  # DET001: wall clock (line 13)
+
+
+def env_reads():
+    a = os.environ["REPRO_SCALE"]  # DET001: environ subscript (line 17)
+    b = os.environ.get("REPRO_SCALE")  # DET001: environ.get (line 18)
+    c = os.getenv("REPRO_SCALE")  # DET001: getenv (line 19)
+    return a, b, c
+
+
+def set_iteration(pcs):
+    total = 0
+    for pc in set(pcs):  # DET001: set() iteration (line 25)
+        total += pc
+    return total + sum(x for x in {1, 2, 3})  # DET001: set literal (line 27)
+
+
+def hash_fold(pc):
+    return hash(pc) & 0xFF  # DET001: hash() of non-constant (line 31)
+
+
+def compliant(pcs, rng):
+    for pc in sorted(set(pcs)):  # sorted() makes the order deterministic
+        rng.random()  # a seeded instance, not the global module
+    return len(pcs)

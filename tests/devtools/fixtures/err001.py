@@ -1,0 +1,34 @@
+"""ERR001 fixture: error-hygiene violations and compliant patterns."""
+
+from repro.errors import ConfigError, ReproError
+
+
+def bad_raise(n):
+    if n < 0:
+        raise ValueError("negative")  # ERR001: builtin raise (line 8)
+
+
+def bad_handlers(run):
+    try:
+        run()
+    except:  # ERR001: bare except (line 14)
+        pass
+    try:
+        run()
+    except Exception:  # ERR001: broad without re-raise (line 18)
+        return None
+    return None
+
+
+def compliant(n, run):
+    if n < 0:
+        raise ConfigError("negative")
+    try:
+        run()
+    except ReproError:
+        pass
+    except Exception:
+        # Broad but re-raising: allowed (cleanup-then-propagate).
+        raise
+    if n == 0:
+        raise NotImplementedError  # abstract-method convention: allowed

@@ -1,0 +1,25 @@
+"""SPEC001 fixture: cross-object speculative-state writes."""
+
+
+def corrupt_bht(unit, slot):
+    unit.bht._state[slot] = 0  # SPEC001: foreign _state write (line 5)
+    unit.bht._valid[slot] = False  # SPEC001: foreign _valid write (line 6)
+    unit.pt._conf[slot] += 1  # SPEC001: foreign _conf write (line 7)
+
+
+def update(unit, slot):
+    # Declared update method: the write is sanctioned.
+    unit.bht._state[slot] = 1
+
+
+class OwnState:
+    def __init__(self):
+        # A class may initialise its own slots anywhere.
+        self._state = [0] * 8
+
+    def poke(self, slot):
+        self._state[slot] = 3  # self-write: the class owns its invariant
+
+
+def read_only(unit, slot):
+    return unit.bht._state[slot]  # reads are always fine

@@ -1,0 +1,13 @@
+"""Suppression fixture: violations silenced by both directive forms."""
+
+# simlint: ignore-file[API001] -- fixture exercises file-level suppression
+
+
+def bad_raise(n):
+    if n < 0:
+        raise ValueError("negative")  # simlint: ignore[ERR001] -- demo
+
+
+def still_bad(n):
+    if n < 0:
+        raise TypeError("negative")  # ERR001: NOT suppressed (line 13)

@@ -1,0 +1,21 @@
+"""TEL001 fixture: telemetry calls that break no-op fidelity."""
+
+
+def consumed_result(tel):
+    count = tel.registry.counter("bht.writes")  # TEL001: assigned (line 5)
+    if tel.emit(count):  # TEL001: used as condition (line 6)
+        return tel.registry.counter("x").value
+    return None
+
+
+def mutating_args(tel, queue, walk):
+    tel.emit(queue.pop())  # TEL001: argument mutates (line 12)
+    tel.registry.counter("obq.drops").inc(len(walk := queue))  # TEL001 (line 13)
+
+
+def compliant(tel, writes):
+    if tel.enabled:
+        tel.registry.counter("bht.writes").inc(writes)
+        tel.registry.histogram("walk.len").observe(writes)
+    with tel.registry.timer("repair.walk"):
+        pass

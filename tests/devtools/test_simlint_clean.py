@@ -1,0 +1,24 @@
+"""Tier-1 guard: the whole tree is simlint-clean.
+
+This is the test that turns simlint's rules into enforced invariants —
+a PR introducing unseeded randomness into a simulation module, a stray
+speculative-state write, a non-ReproError raise or an unannotated
+public function fails the suite here with the exact violation listed.
+"""
+
+from pathlib import Path
+
+from repro.devtools.simlint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Every tree the project lints in CI (`repro lint` over the same set).
+LINTED_TREES = ("src", "tests", "tools", "benchmarks", "examples")
+
+
+def test_tree_is_violation_free():
+    report = lint_paths([str(REPO_ROOT / tree) for tree in LINTED_TREES])
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.clean, f"simlint violations:\n{rendered}"
+    # The guard should never silently lint an empty set.
+    assert report.files > 150

@@ -1,0 +1,35 @@
+"""Run the external gates (mypy --strict, ruff) when they are installed.
+
+The canonical runs live in CI's ``lint`` job; these tests give the same
+signal locally for contributors who have the tools, and skip cleanly in
+minimal environments (the baked-in toolchain ships neither).
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(args: list) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        args, cwd=REPO_ROOT, capture_output=True, text=True, timeout=600
+    )
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict():
+    proc = _run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro", "tools"]
+    )
+    assert proc.returncode == 0, f"mypy --strict failed:\n{proc.stdout}{proc.stderr}"
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_check():
+    proc = _run([sys.executable, "-m", "ruff", "check", "."])
+    assert proc.returncode == 0, f"ruff check failed:\n{proc.stdout}{proc.stderr}"

@@ -1,13 +1,10 @@
 """Unit tests for the experiment harness (scale, systems, runner, report)."""
 
-import os
-
 import pytest
 
 from repro.errors import ConfigError, ExperimentError
 from repro.harness.report import Figure, format_bars, format_table, pct
 from repro.harness.runner import (
-    RunResult,
     load_trace,
     pair_results,
     run_matrix,
@@ -22,7 +19,6 @@ from repro.harness.systems import (
     build_system,
     table3_rows,
 )
-from repro.workloads.spec import WorkloadParams, WorkloadSpec
 
 
 class TestScale:
@@ -162,7 +158,7 @@ class TestReport:
         assert "-" in text
 
     def test_format_bars_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             format_bars(["a"], [1.0, 2.0])
 
     def test_figure_render(self):

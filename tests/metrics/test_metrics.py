@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.errors import MetricsError
 from repro.metrics.aggregate import WorkloadResult, overall, summarize
 from repro.metrics.basic import (
     geomean,
@@ -45,14 +46,14 @@ class TestBasic:
     def test_geomean(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             geomean([1.0, 0.0])
 
     def test_geomean_gain(self):
         value = geomean_gain([0.05, 0.02])
         assert value == pytest.approx(math.sqrt(1.05 * 1.02) - 1.0)
         assert geomean_gain([]) == 0.0
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             geomean_gain([-1.5])
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.predictors.counters import (
     SaturatingCounter,
     center_init,
@@ -80,9 +81,9 @@ class TestSaturatingCounter:
         assert counter.taken
 
     def test_invalid_width(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             SaturatingCounter(bits=0)
 
     def test_invalid_initial_value(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             SaturatingCounter(bits=2, value=4)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.predictors.history import FoldedHistory, GlobalHistory
 
 
@@ -24,9 +25,9 @@ class TestFoldedHistory:
         assert fold.comp == 0b0110 ^ 0b1011
 
     def test_invalid_lengths(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             FoldedHistory(0, 4)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             FoldedHistory(4, 0)
 
 
@@ -71,7 +72,7 @@ class TestGlobalHistory:
 
     def test_fold_longer_than_history_rejected(self):
         history = GlobalHistory(max_length=8)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             history.register_fold(FoldedHistory(16, 4))
 
     def test_ghist_bounded(self):

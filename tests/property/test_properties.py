@@ -1,12 +1,12 @@
 """Property-based tests (hypothesis) for core data structures."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.bht import BhtConfig, BranchHistoryTable
 from repro.core.loop_predictor import LoopPredictor, pack_state, unpack_state
-from repro.core.obq import OutstandingBranchQueue
 from repro.core.local_base import SpecUpdate
+from repro.core.obq import OutstandingBranchQueue
 from repro.core.ports import repair_duration
 from repro.predictors.counters import counter_update
 from repro.predictors.history import FoldedHistory, GlobalHistory

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import TraceError
 from repro.trace.records import BranchKind, BranchRecord
 from tests.conftest import make_branch
 
@@ -33,15 +34,15 @@ class TestBranchRecord:
         assert make_branch(inst_gap=9).group_size == 10
 
     def test_negative_pc_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             BranchRecord(pc=-4, target=0, taken=True)
 
     def test_negative_gap_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             BranchRecord(pc=4, target=0, taken=True, inst_gap=-1)
 
     def test_unconditional_must_be_taken(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             BranchRecord(pc=4, target=8, taken=False, kind=BranchKind.UNCOND)
 
     def test_with_direction_flips_only_direction(self):

@@ -19,18 +19,21 @@ import time
 
 from repro.core import LoopPredictor, LoopPredictorConfig, StandardLocalUnit
 from repro.core.repair import NoRepair, PerfectRepair
+from repro.core.repair.base import RepairScheme
 from repro.memory import CacheHierarchy
 from repro.pipeline import PipelineModel
+from repro.pipeline.stats import SimStats
 from repro.predictors import TagePredictor
+from repro.trace.records import BranchRecord
 from repro.workloads import generate_trace, suite_by_category
 
 
-def run_system(trace, unit):
+def run_system(trace: list[BranchRecord], unit: StandardLocalUnit | None) -> SimStats:
     model = PipelineModel(TagePredictor(), unit=unit, hierarchy=CacheHierarchy())
     return model.run(trace)
 
 
-def loop_unit(scheme):
+def loop_unit(scheme: RepairScheme) -> StandardLocalUnit:
     return StandardLocalUnit(LoopPredictor(LoopPredictorConfig.entries(128)), scheme)
 
 
