@@ -97,11 +97,18 @@ def _print_run(label: str, result: RunResult) -> None:
     )
 
 
+def _cache_override(args: argparse.Namespace) -> bool | None:
+    """--no-result-cache forces the cache off; otherwise env decides."""
+    return False if getattr(args, "no_result_cache", False) else None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     system = _system_by_name(args.system)
     with _telemetry_session(args.telemetry):
-        result = run_single(spec, system, args.branches)
+        result = run_single(
+            spec, system, args.branches, use_result_cache=_cache_override(args)
+        )
     _print_run(system.name, result)
     repair = result.extra.get("repair")
     if repair:
@@ -140,10 +147,19 @@ def _compare_results(
             workloads_per_category=1,
         )
         return run_matrix(
-            [spec], TABLE3_SYSTEMS, scale, workers=args.workers
+            [spec],
+            TABLE3_SYSTEMS,
+            scale,
+            workers=args.workers,
+            use_result_cache=_cache_override(args),
         )
     # Sequential: required for tracing (a sink lives in this process).
-    return [run_single(spec, system, args.branches) for system in TABLE3_SYSTEMS]
+    return [
+        run_single(
+            spec, system, args.branches, use_result_cache=_cache_override(args)
+        )
+        for system in TABLE3_SYSTEMS
+    ]
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -180,6 +196,49 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.harness.perf import (
+        DEFAULT_SYSTEMS,
+        profile_top,
+        resolve_systems,
+        run_perf,
+    )
+    from repro.workloads.suite import get_workload as _get
+
+    systems = (
+        [name.strip() for name in args.systems.split(",") if name.strip()]
+        if args.systems
+        else list(DEFAULT_SYSTEMS)
+    )
+    payload = run_perf(
+        workload=args.workload,
+        branches=args.branches,
+        systems=systems,
+        repeats=args.repeats,
+        out=args.out,
+    )
+    print(f"workload {args.workload}, {args.branches} branches, "
+          f"best of {args.repeats}\n")
+    for name, row in payload["throughput"].items():
+        line = f"{name:24s} {row['branches_per_s']:>12,.0f} branches/s"
+        if "speedup_vs_reference" in row:
+            line += f"   ({row['speedup_vs_reference']:.2f}x vs reference)"
+        print(line)
+    warm = payload["warm_sweep"]
+    print(
+        f"\nwarm sweep: cold {warm['cold_wall_s']:.2f}s -> "
+        f"warm {warm['warm_wall_s']:.2f}s ({warm['speedup']:.0f}x)"
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    if args.profile:
+        spec = _get(args.workload)
+        for config in resolve_systems(systems):
+            print(f"\n--- cProfile: {config.name} ---")
+            print(profile_top(spec, config, args.branches, top=args.profile))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.simlint.cli import run_lint
 
@@ -209,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable telemetry and stream a JSONL event trace to PATH",
     )
+    p_run.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="force a real simulation even when REPRO_RESULT_CACHE is set",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all Table 3 systems on one workload")
@@ -228,7 +292,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and stream a JSONL event trace to PATH "
         "(forces a sequential sweep)",
     )
+    p_cmp.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="force real simulations even when REPRO_RESULT_CACHE is set",
+    )
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_perf = sub.add_parser(
+        "perf", help="measure simulator throughput and write BENCH_perf.json"
+    )
+    p_perf.add_argument("--workload", default="hpc-fft")
+    p_perf.add_argument("--branches", type=int, default=30_000)
+    p_perf.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated system names (default: baseline-tage,"
+        "forward-walk-coalesce)",
+    )
+    p_perf.add_argument("--repeats", type=int, default=3)
+    p_perf.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="output path for the perf report (default: BENCH_perf.json)",
+    )
+    p_perf.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=15,
+        default=None,
+        metavar="N",
+        help="also print each system's top-N cProfile hotspots",
+    )
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_tel = sub.add_parser(
         "telemetry", help="summarize a JSONL telemetry trace"

@@ -79,6 +79,9 @@ class BranchHistoryTable:
         self._valid: list[bool] = [False] * total
         self._repair: list[bool] = [False] * total
         self._lru: list[int] = [0] * total
+        #: pc -> slot index, kept in lockstep with ``_pcs`` so lookups
+        #: are one dict probe instead of an associative way scan.
+        self._slot_by_pc: dict[int, int] = {}
         self._tick = 0
         self.allocations = 0
         self.evictions = 0
@@ -95,13 +98,7 @@ class BranchHistoryTable:
 
     def find(self, pc: int) -> int:
         """Slot index of ``pc``, or -1 when absent."""
-        base = self._set_base(pc)
-        pcs = self._pcs
-        for way in range(self._ways):
-            slot = base + way
-            if pcs[slot] == pc:
-                return slot
-        return -1
+        return self._slot_by_pc.get(pc, -1)
 
     def touch(self, slot: int) -> None:
         """Mark a slot most-recently-used."""
@@ -126,10 +123,13 @@ class BranchHistoryTable:
             if lru[slot] < victim_tick:
                 victim = slot
                 victim_tick = lru[slot]
-        if self._pcs[victim] != _NO_PC:
+        evicted = self._pcs[victim]
+        if evicted != _NO_PC:
             self.evictions += 1
+            del self._slot_by_pc[evicted]
         self.allocations += 1
         self._pcs[victim] = pc
+        self._slot_by_pc[pc] = victim
         self._state[victim] = state
         self._valid[victim] = True
         self._repair[victim] = False
@@ -164,7 +164,7 @@ class BranchHistoryTable:
 
     def remove_pc(self, pc: int) -> bool:
         """Deallocate ``pc``'s entry entirely (undo of a fresh allocation)."""
-        slot = self.find(pc)
+        slot = self._slot_by_pc.pop(pc, -1)
         if slot < 0:
             return False
         self._pcs[slot] = _NO_PC
@@ -210,6 +210,9 @@ class BranchHistoryTable:
         self._pcs = pcs.copy()
         self._state = states.copy()
         self._valid = valid.copy()
+        self._slot_by_pc = {
+            pc: slot for slot, pc in enumerate(pcs) if pc != _NO_PC
+        }
         return dirty
 
     # ------------------------------------------------------------- #

@@ -93,6 +93,9 @@ class LoopPatternTable:
         self._trip: list[int] = [0] * total
         self._conf: list[int] = [0] * total
         self._lru: list[int] = [0] * total
+        #: pc -> slot index, kept in lockstep with ``_pcs`` so lookups
+        #: are one dict probe instead of an associative way scan.
+        self._slot_by_pc: dict[int, int] = {}
         self._tick = 0
         self.allocations = 0
         self.evictions = 0
@@ -102,13 +105,7 @@ class LoopPatternTable:
         return ((bits ^ (bits >> self._set_bits)) & self._set_mask) * self._ways
 
     def _find(self, pc: int) -> int:
-        base = self._set_base(pc)
-        pcs = self._pcs
-        for way in range(self._ways):
-            slot = base + way
-            if pcs[slot] == pc:
-                return slot
-        return -1
+        return self._slot_by_pc.get(pc, -1)
 
     def lookup(self, pc: int) -> PtEntryView | None:
         """Trip/confidence for ``pc``, or None on a miss.
@@ -181,10 +178,13 @@ class LoopPatternTable:
             if key < victim_key:
                 victim = slot
                 victim_key = key
-        if self._pcs[victim] != _NO_PC:
+        evicted = self._pcs[victim]
+        if evicted != _NO_PC:
             self.evictions += 1
+            del self._slot_by_pc[evicted]
         self.allocations += 1
         self._pcs[victim] = pc
+        self._slot_by_pc[pc] = victim
         self._trip[victim] = trip
         self._conf[victim] = 1
         self._tick += 1

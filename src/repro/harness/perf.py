@@ -1,0 +1,244 @@
+"""Simulator throughput measurement: the repo's tracked perf baseline.
+
+Model fidelity is checked by the test suite; *throughput* — simulated
+branches per second, and how fast a repeated sweep returns — is what
+bounds the workload coverage every figure can afford.  This module
+measures both on fixed workloads and writes ``BENCH_perf.json`` so each
+PR leaves a perf trajectory the next one can be compared against:
+
+* :func:`measure_throughput` — cold single-run branches/sec per system
+  (trace pre-decoded, result cache off: pure simulation speed);
+* :func:`measure_warm_sweep` — wall-clock of an identical repeated
+  :func:`~repro.harness.runner.run_matrix` sweep with the persistent
+  result cache enabled (cold fill vs warm reuse);
+* :func:`profile_top` — cProfile hotspots of one run, for digging into
+  a regression the numbers surface.
+
+Entry points: ``repro perf`` (CLI) and ``benchmarks/bench_perf.py``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import platform
+import pstats
+import sys
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterator, Sequence
+
+import repro
+from repro.errors import ExperimentError
+from repro.harness.result_cache import code_fingerprint
+from repro.harness.runner import load_trace, run_matrix, run_single
+from repro.harness.scale import Scale
+from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import get_workload
+
+__all__ = [
+    "ThroughputSample",
+    "DEFAULT_SYSTEMS",
+    "REFERENCE_BRANCHES_PER_S",
+    "resolve_systems",
+    "measure_throughput",
+    "measure_warm_sweep",
+    "profile_top",
+    "run_perf",
+]
+
+_RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
+_SCHEMA_VERSION = 1
+
+#: Systems the default perf run covers: the pure-TAGE hot loop, and the
+#: paper's headline local-unit configuration (TAGE + loop predictor +
+#: forward-walk-coalesce repair), whose per-branch work is the largest.
+DEFAULT_SYSTEMS: tuple[str, ...] = ("baseline-tage", "forward-walk-coalesce")
+
+#: Pre-overhaul throughput (branches/sec) measured on the development
+#: container (hpc-fft, 30k branches, CPython 3.12) before the hot-loop
+#: optimization pass — time zero of the perf trajectory.  Ratios
+#: against these are only meaningful on comparable hardware; absolute
+#: numbers in ``BENCH_perf.json`` are what CI trends.
+REFERENCE_BRANCHES_PER_S: dict[str, float] = {
+    "baseline-tage": 23_526.0,
+    "forward-walk-coalesce": 16_628.0,
+}
+
+_PERF_WORKLOAD = "hpc-fft"
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """Best-of-N cold single-run measurement for one system."""
+
+    system: str
+    workload: str
+    branches: int
+    wall_s: float
+    branches_per_s: float
+
+
+def resolve_systems(names: Sequence[str]) -> list[SystemConfig]:
+    """Map system names to their Table 3 configs (ExperimentError on unknown)."""
+    by_name = {cfg.name: cfg for cfg in TABLE3_SYSTEMS}
+    configs: list[SystemConfig] = []
+    for name in names:
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise ExperimentError(f"unknown system {name!r}; choose from: {known}")
+        configs.append(by_name[name])
+    return configs
+
+
+@contextmanager
+def _result_cache_env(value: str) -> Iterator[None]:
+    """Temporarily point ``REPRO_RESULT_CACHE`` at ``value``."""
+    old = os.environ.get(_RESULT_CACHE_ENV)
+    os.environ[_RESULT_CACHE_ENV] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(_RESULT_CACHE_ENV, None)
+        else:
+            os.environ[_RESULT_CACHE_ENV] = old
+
+
+def measure_throughput(
+    spec: WorkloadSpec,
+    systems: Sequence[SystemConfig],
+    n_branches: int,
+    repeats: int = 3,
+) -> list[ThroughputSample]:
+    """Cold single-run branches/sec per system (best of ``repeats``).
+
+    "Cold" means no persistent result cache — every repeat simulates
+    for real.  The trace is decoded once up front so the number
+    isolates the simulation loop, which is what the hot-loop work
+    targets.
+    """
+    load_trace(spec, n_branches)
+    samples: list[ThroughputSample] = []
+    for system in systems:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = perf_counter()
+            run_single(spec, system, n_branches, use_result_cache=False)
+            best = min(best, perf_counter() - t0)
+        samples.append(
+            ThroughputSample(
+                system=system.name,
+                workload=spec.name,
+                branches=n_branches,
+                wall_s=best,
+                branches_per_s=n_branches / best if best else 0.0,
+            )
+        )
+    return samples
+
+
+def measure_warm_sweep(
+    spec: WorkloadSpec,
+    systems: Sequence[SystemConfig],
+    n_branches: int,
+    cache_dir: str | Path | None = None,
+) -> dict[str, float]:
+    """Cold-fill vs warm-reuse wall-clock of one repeated sweep.
+
+    Runs the same sequential :func:`run_matrix` twice against a fresh
+    result-cache directory: the first pass simulates and fills the
+    cache, the second is served from it.  Returns ``cold_wall_s``,
+    ``warm_wall_s`` and their ratio ``speedup``.
+    """
+    scale = Scale(
+        name="perf", branches_per_workload=n_branches, workloads_per_category=1
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        root = Path(cache_dir) if cache_dir is not None else Path(tmp) / "results"
+        with _result_cache_env(str(root)):
+            t0 = perf_counter()
+            run_matrix([spec], systems, scale, workers=1)
+            cold = perf_counter() - t0
+            t0 = perf_counter()
+            run_matrix([spec], systems, scale, workers=1)
+            warm = perf_counter() - t0
+    return {
+        "cold_wall_s": cold,
+        "warm_wall_s": warm,
+        "speedup": cold / warm if warm else 0.0,
+    }
+
+
+def profile_top(
+    spec: WorkloadSpec,
+    system: SystemConfig,
+    n_branches: int,
+    top: int = 15,
+) -> str:
+    """cProfile one cold run; return the top functions by total time."""
+    load_trace(spec, n_branches)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_single(spec, system, n_branches, use_result_cache=False)
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("tottime").print_stats(top)
+    return out.getvalue()
+
+
+def run_perf(
+    workload: str = _PERF_WORKLOAD,
+    branches: int = 30_000,
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    repeats: int = 3,
+    out: str | Path | None = "BENCH_perf.json",
+) -> dict[str, Any]:
+    """Measure throughput + warm-sweep reuse and write ``BENCH_perf.json``.
+
+    Returns the written payload.  ``out=None`` skips the file write
+    (used by the CI smoke path's dry invocations and by tests).
+    """
+    spec = get_workload(workload)
+    configs = resolve_systems(systems)
+    samples = measure_throughput(spec, configs, branches, repeats=repeats)
+    warm = measure_warm_sweep(spec, configs, branches)
+    throughput: dict[str, Any] = {}
+    for sample in samples:
+        row: dict[str, Any] = {
+            "wall_s": round(sample.wall_s, 6),
+            "branches_per_s": round(sample.branches_per_s, 1),
+        }
+        reference = REFERENCE_BRANCHES_PER_S.get(sample.system)
+        if reference:
+            row["reference_branches_per_s"] = reference
+            row["speedup_vs_reference"] = round(sample.branches_per_s / reference, 3)
+        throughput[sample.system] = row
+    payload: dict[str, Any] = {
+        "bench": "perf",
+        "schema_version": _SCHEMA_VERSION,
+        "workload": workload,
+        "branches": branches,
+        "repeats": repeats,
+        "throughput": throughput,
+        "warm_sweep": {key: round(value, 6) for key, value in warm.items()},
+        "env": {
+            "python": platform.python_version(),
+            "platform": f"{sys.platform}-{platform.machine()}",
+            "repro_version": repro.__version__,
+            "code_fingerprint": code_fingerprint(),
+        },
+    }
+    if out is not None:
+        target = Path(out)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        tmp.replace(target)
+    return payload

@@ -9,12 +9,15 @@ more than a handful of runs are requested.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Sequence
 
+from repro.errors import ConfigError
+from repro.harness.result_cache import active_cache
 from repro.harness.scale import Scale
 from repro.harness.systems import SystemConfig, build_system
 from repro.memory.hierarchy import CacheHierarchy
@@ -62,19 +65,56 @@ def _cache_dir() -> Path | None:
     return Path(value)
 
 
+#: Worker-local memo of decoded traces.  A sweep hands each worker all
+#: systems of one workload back to back (see the ``chunksize`` grouping
+#: in :func:`run_matrix`), so a tiny LRU means each process decodes a
+#: given trace once instead of once per system.  Entries are shared
+#: lists of frozen records — callers must treat them as immutable.
+_TRACE_MEMO: OrderedDict[tuple[str, int, int], list[BranchRecord]] = OrderedDict()
+_TRACE_MEMO_MAX = 8
+
+
+def _memo_put(key: tuple[str, int, int], records: list[BranchRecord]) -> None:
+    _TRACE_MEMO[key] = records
+    if len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+        _TRACE_MEMO.popitem(last=False)
+
+
 def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
-    """Generate (or load from cache) the trace for ``spec``."""
+    """Generate (or load from cache) the trace for ``spec``.
+
+    Returns a memoized list shared across calls in this process — do
+    not mutate it.  The disk cache is still populated on memo hits, so
+    enabling ``REPRO_TRACE_CACHE`` mid-process behaves as if the memo
+    did not exist.
+    """
+    key = (spec.name, spec.seed, n_branches)
+    records = _TRACE_MEMO.get(key)
+    if records is not None:
+        _TRACE_MEMO.move_to_end(key)
     cache = _cache_dir()
     if cache is None:
-        return generate_trace(spec, n_branches)
+        if records is None:
+            records = generate_trace(spec, n_branches)
+            _memo_put(key, records)
+        return records
     path = cache / f"{spec.name}-{spec.seed}-{n_branches}.trace"
-    if path.exists():
-        return read_trace(path)
-    records = generate_trace(spec, n_branches)
-    cache.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp")
-    write_trace(tmp, records)
-    tmp.replace(path)
+    if records is None:
+        if path.exists():
+            records = read_trace(path)
+            _memo_put(key, records)
+            return records
+        records = generate_trace(spec, n_branches)
+        _memo_put(key, records)
+    if not path.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        # PID-unique tmp name: two uncoordinated processes generating
+        # the same workload must not interleave writes into one tmp
+        # file; the final rename stays atomic and the contents are
+        # identical either way.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        write_trace(tmp, records)
+        tmp.replace(path)
     return records
 
 
@@ -83,18 +123,30 @@ def run_single(
     system: SystemConfig,
     n_branches: int,
     pipeline: PipelineConfig | None = None,
+    use_result_cache: bool | None = None,
 ) -> RunResult:
-    """Simulate one system on one workload."""
+    """Simulate one system on one workload.
+
+    When the persistent result cache is active (``REPRO_RESULT_CACHE``,
+    or ``use_result_cache=True``) and holds a result for this exact
+    (system, pipeline, workload recipe, trace length, code version),
+    that result is returned without loading the trace or simulating.
+    """
+    pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
+    manifest = build_manifest(spec, system, n_branches, pipeline_cfg).as_dict()
+    result_cache = active_cache(use_result_cache)
+    if result_cache is not None:
+        cached = result_cache.load(manifest)
+        if cached is not None:
+            return cached
     records = load_trace(spec, n_branches)
     baseline, unit = build_system(system)
-    pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
     model = PipelineModel(
         baseline,
         unit=unit,
         config=pipeline_cfg,
         hierarchy=CacheHierarchy(),
     )
-    manifest = build_manifest(spec, system, n_branches, pipeline_cfg).as_dict()
     tel = TELEMETRY
     if tel.enabled:
         tel.begin_run(spec.name, system.name, n_branches, manifest)
@@ -103,7 +155,7 @@ def run_single(
     manifest["wall_s"] = perf_counter() - t0
     if tel.enabled:
         tel.end_run(stats)
-    return RunResult(
+    result = RunResult(
         workload=spec.name,
         category=spec.category,
         system=system.name,
@@ -115,10 +167,13 @@ def run_single(
         extra=stats.extra,
         manifest=manifest,
     )
+    if result_cache is not None:
+        result_cache.store(result)
+    return result
 
 
 def _run_job(
-    job: tuple[WorkloadSpec, SystemConfig, int, PipelineConfig | None],
+    job: tuple[WorkloadSpec, SystemConfig, int, PipelineConfig | None, bool | None],
 ) -> RunResult:
     return run_single(*job)
 
@@ -129,7 +184,12 @@ def _worker_count(n_jobs: int, override: int | None = None) -> int:
         return max(1, override)
     env = os.environ.get(_WORKERS_ENV)
     if env is not None:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ConfigError(
+                f"{_WORKERS_ENV} must be an integer worker count, got {env!r}"
+            ) from None
     cpus = os.cpu_count() or 1
     return max(1, min(cpus, n_jobs, 16))
 
@@ -149,6 +209,7 @@ def run_matrix(
     pipeline: PipelineConfig | None = None,
     parallel: bool | None = None,
     workers: int | None = None,
+    use_result_cache: bool | None = None,
 ) -> list[RunResult]:
     """Run every system against every workload.
 
@@ -156,9 +217,12 @@ def run_matrix(
     ``parallel=None`` auto-enables process fan-out for larger sweeps;
     ``workers`` pins the process count (overriding ``REPRO_WORKERS``),
     with ``workers=1`` forcing a sequential in-process sweep.
+    ``use_result_cache`` is the tri-state persistent-cache override
+    passed through to every :func:`run_single`.
     """
+    n_branches = scale.branches_per_workload
     jobs = [
-        (spec, system, scale.branches_per_workload, pipeline)
+        (spec, system, n_branches, pipeline, use_result_cache)
         for spec in workloads
         for system in systems
     ]
@@ -170,12 +234,25 @@ def run_matrix(
         return [_run_job(job) for job in jobs]
     # Pre-populate the trace cache serially so workers don't race on
     # generation (they would all produce identical files, but the work
-    # would be duplicated).
+    # would be duplicated).  Workloads whose every job will be served
+    # from the persistent result cache skip this entirely.
+    result_cache = active_cache(use_result_cache)
+    pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
     for spec in workloads:
-        load_trace(spec, scale.branches_per_workload)
+        if result_cache is not None and all(
+            result_cache.has(
+                build_manifest(spec, system, n_branches, pipeline_cfg).as_dict()
+            )
+            for system in systems
+        ):
+            continue
+        load_trace(spec, n_branches)
     n_workers = _worker_count(len(jobs), override=workers)
+    # Chunk so one worker handles all systems of a workload in sequence:
+    # its worker-local trace memo then decodes each trace exactly once.
+    chunksize = max(1, min(len(systems), -(-len(jobs) // n_workers)))
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_run_job, jobs, chunksize=1))
+        return list(pool.map(_run_job, jobs, chunksize=chunksize))
 
 
 def pair_results(

@@ -86,6 +86,35 @@ class PipelineModel:
         #: Telemetry handle; the disabled path costs one attribute check
         #: per instrumentation site (see repro.telemetry).
         self._tel = TELEMETRY
+        # Hot-path bindings: the baseline and BTB never change after
+        # construction, so the per-branch calls in _issue/_predict go
+        # through pre-bound methods instead of two-level attribute
+        # lookups.  Bound at init so subclass overrides still apply;
+        # checkpoint/spec_push skip the GlobalPredictor delegation layer
+        # only when the predictor has not overridden them.
+        self._base_lookup = baseline.lookup
+        base_type = type(baseline)
+        if base_type.checkpoint is GlobalPredictor.checkpoint:
+            self._base_checkpoint = baseline.history.checkpoint
+        else:
+            self._base_checkpoint = baseline.checkpoint
+        if base_type.spec_push is GlobalPredictor.spec_push:
+            self._base_spec_push = baseline.history.push
+        else:
+            self._base_spec_push = baseline.spec_push
+        self._btb_lookup = self.btb.lookup
+        self._btb_install = self.btb.install
+        # Immutable timing parameters hoisted out of the per-branch path
+        # (PipelineConfig is frozen, so these can never drift).
+        cfg = self.config
+        self._fetch_width = cfg.fetch_width
+        self._frontend_depth = cfg.frontend_depth
+        self._sched_to_exec = cfg.sched_to_exec
+        self._branch_exec_latency = cfg.branch_exec_latency
+        self._nonbranch_base_latency = cfg.nonbranch_base_latency
+        self._exec_jitter = cfg.exec_jitter
+        self._retire_width = cfg.retire_width
+        self._btb_miss_penalty = cfg.btb_miss_penalty
 
     # ------------------------------------------------------------- #
     # public API
@@ -94,16 +123,20 @@ class PipelineModel:
         """Simulate the committed branch stream; returns the statistics."""
         cfg = self.config
         stream = TraceStream(records, window=cfg.wrong_path_window)
+        next_record = stream.next_record
+        retire_up_to = self._retire_up_to
+        issue = self._issue
+        resolve_correct = self._resolve_correct
         while not stream.exhausted:
-            record = stream.next_record()
-            self._retire_up_to(self._fe_cycle)
-            branch = self._issue(record, wrong_path=False)
+            record = next_record()
+            retire_up_to(self._fe_cycle)
+            branch = issue(record, wrong_path=False)
             if branch is None:
                 continue
-            if branch.mispredicted:
+            if branch.predicted_taken != branch.record.taken:
                 self._mispredict_episode(branch, stream)
             else:
-                self._resolve_correct(branch)
+                resolve_correct(branch)
         self._drain()
         return self.stats
 
@@ -116,22 +149,21 @@ class PipelineModel:
         Returns the InflightBranch for conditional branches, None for
         other control flow (which only consumes bandwidth and BTB slots).
         """
-        cfg = self.config
         stats = self.stats
-        group = record.group_size
-        fetch_cycles = -(-group // cfg.fetch_width)
+        group = record.inst_gap + 1
+        fetch_cycles = -(-group // self._fetch_width)
         fetch_cycle = self._fe_cycle + fetch_cycles - 1
 
         # Taken control flow needs a BTB target; a miss stalls fetch.
         btb_bubble = 0
         if record.taken and not wrong_path:
-            if self.btb.lookup(record.pc) is None:
-                self.btb.install(record.pc, record.target)
-                btb_bubble = cfg.btb_miss_penalty
+            if self._btb_lookup(record.pc) is None:
+                self._btb_install(record.pc, record.target)
+                btb_bubble = self._btb_miss_penalty
                 stats.btb_misses += 1
 
         if wrong_path:
-            alloc_cycle = fetch_cycle + cfg.frontend_depth
+            alloc_cycle = fetch_cycle + self._frontend_depth
         else:
             alloc_cycle = self._allocate(fetch_cycle, group)
 
@@ -143,17 +175,20 @@ class PipelineModel:
                 load_latency = 5
 
         uid = self._next_uid
-        self._next_uid += 1
-        jitter = ((uid * 2654435761) >> 13) % cfg.exec_jitter if cfg.exec_jitter else 0
+        self._next_uid = uid + 1
+        exec_jitter = self._exec_jitter
+        jitter = ((uid * 2654435761) >> 13) % exec_jitter if exec_jitter else 0
+        sched_to_exec = self._sched_to_exec
         resolve_cycle = (
             alloc_cycle
-            + cfg.sched_to_exec
-            + cfg.branch_exec_latency
+            + sched_to_exec
+            + self._branch_exec_latency
             + jitter
             + (load_latency if record.depends_on_load else 0)
         )
-        completion = alloc_cycle + cfg.sched_to_exec + max(
-            load_latency, cfg.nonbranch_base_latency
+        base_latency = self._nonbranch_base_latency
+        completion = alloc_cycle + sched_to_exec + (
+            load_latency if load_latency > base_latency else base_latency
         )
 
         branch: InflightBranch | None = None
@@ -178,6 +213,8 @@ class PipelineModel:
             else:
                 stats.wrong_path_branches += 1
 
+        # Single boolean check on the (default) disabled-telemetry path;
+        # everything telemetry-related lives behind it.
         tel = self._tel
         if tel.enabled:
             reg = tel.registry
@@ -202,7 +239,7 @@ class PipelineModel:
             retire_cycle = max(
                 completion,
                 resolve_cycle,
-                self._last_retire + -(-group // cfg.retire_width),
+                self._last_retire + -(-group // self._retire_width),
             )
             self._last_retire = retire_cycle
             if branch is not None:
@@ -217,19 +254,20 @@ class PipelineModel:
 
     def _predict(self, branch: InflightBranch, fetch_cycle: int, alloc_cycle: int) -> None:
         """Fetch-stage prediction plus alloc-stage (deferred) hook."""
-        pc = branch.pc
-        base_pred = self.baseline.lookup(pc)
+        pc = branch.record.pc
+        base_pred = self._base_lookup(pc)
         branch.tage_pred = base_pred
-        branch.hist_ckpt = self.baseline.checkpoint()
+        branch.hist_ckpt = self._base_checkpoint()
 
         final = base_pred.taken
-        if self.unit is not None:
-            final = self.unit.predict(branch, base_pred.taken, fetch_cycle)
+        unit = self.unit
+        if unit is not None:
+            final = unit.predict(branch, base_pred.taken, fetch_cycle)
         branch.predicted_taken = final
-        self.baseline.spec_push(pc, final)
+        self._base_spec_push(pc, final)
 
-        if self.unit is not None:
-            final = self.unit.at_alloc(branch, alloc_cycle)
+        if unit is not None:
+            final = unit.at_alloc(branch, alloc_cycle)
             if branch.early_resteer and not branch.wrong_path:
                 # Deferred override: squash the younger front-end
                 # contents and restart fetch behind this branch.
@@ -289,7 +327,7 @@ class PipelineModel:
                 self._retire_up_to(self._fe_cycle)
                 record = replay[index % len(replay)]
                 index += 1
-                group_cycles = -(-record.group_size // cfg.fetch_width)
+                group_cycles = -(-(record.inst_gap + 1) // cfg.fetch_width)
                 if self._fe_cycle + group_cycles - 1 >= resolve:
                     break
                 wp_branch = self._issue(record, wrong_path=True)
@@ -361,15 +399,22 @@ class PipelineModel:
     def _retire_up_to(self, cycle: int) -> None:
         """Release ROB groups whose retirement time has passed."""
         rob = self._rob
+        if not rob or rob[0][0] > cycle:
+            return
         tel = self._tel
+        tracing = tel.tracing
+        unit = self.unit
+        popleft = rob.popleft
+        freed = 0
         while rob and rob[0][0] <= cycle:
-            retire_cycle, size, branch = rob.popleft()
-            self._rob_occupancy -= size
+            retire_cycle, size, branch = popleft()
+            freed += size
             if branch is not None:
-                if self.unit is not None:
-                    self.unit.retire(branch, retire_cycle)
-                if tel.tracing:
+                if unit is not None:
+                    unit.retire(branch, retire_cycle)
+                if tracing:
                     tel.emit(RetireEvent(cycle=retire_cycle, pc=branch.pc))
+        self._rob_occupancy -= freed
 
     def _drain(self) -> None:
         """Retire everything left in flight and close the run."""

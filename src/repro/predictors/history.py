@@ -34,18 +34,48 @@ class FoldedHistory:
     The fold is the XOR of consecutive ``compressed_length``-bit chunks of
     the youngest ``original_length`` bits of GHIST, maintained in O(1) per
     inserted bit.
+
+    A standalone fold stores its own value; once registered on a
+    :class:`GlobalHistory` the value lives in the owner's flat
+    ``fold_comps`` list (so push/checkpoint/restore touch one list
+    instead of N objects) and :attr:`comp` becomes a view onto that
+    slot.  Either way ``fold.comp`` reads and writes stay correct.
     """
 
-    __slots__ = ("comp", "compressed_length", "original_length", "_outpoint", "_mask")
+    __slots__ = (
+        "_comp",
+        "compressed_length",
+        "original_length",
+        "_outpoint",
+        "_mask",
+        "_owner",
+        "_slot",
+    )
 
     def __init__(self, original_length: int, compressed_length: int) -> None:
         if original_length <= 0 or compressed_length <= 0:
             raise ConfigError("history lengths must be positive")
-        self.comp = 0
+        self._comp = 0
         self.compressed_length = compressed_length
         self.original_length = original_length
         self._outpoint = original_length % compressed_length
         self._mask = (1 << compressed_length) - 1
+        self._owner: list[int] | None = None
+        self._slot = 0
+
+    @property
+    def comp(self) -> int:
+        """Current folded value (live view once registered)."""
+        owner = self._owner
+        return self._comp if owner is None else owner[self._slot]
+
+    @comp.setter
+    def comp(self, value: int) -> None:
+        owner = self._owner
+        if owner is None:
+            self._comp = value
+        else:
+            owner[self._slot] = value
 
     def update(self, ghist_after_insert: int, new_bit: int) -> None:
         """Fold in ``new_bit`` and fold out the bit leaving the window.
@@ -73,18 +103,27 @@ class FoldedHistory:
 
 @dataclass(frozen=True, slots=True)
 class HistoryCheckpoint:
-    """Pre-update snapshot carried by each in-flight branch."""
+    """Pre-update snapshot carried by each in-flight branch.
+
+    ``folds`` is a flat list (one entry per registered fold, in
+    registration order) copied straight from the owner's live fold
+    state — a single C-level ``list.copy`` per branch instead of a
+    per-fold generator walk.
+    """
 
     ghist: int
     phist: int
-    folds: tuple[int, ...]
+    folds: list[int]
 
 
 class GlobalHistory:
     """Speculative GHIST/PHIST with per-branch checkpoint/restore.
 
     Folded histories are registered by predictors (one or more per TAGE
-    table) and kept in sync on every push/restore.
+    table) and kept in sync on every push/restore.  The live fold values
+    are mirrored in :attr:`fold_comps`, a flat list indexed by
+    registration order, so the per-branch checkpoint is one list copy
+    and predictors can read fold state by slot without attribute chains.
     """
 
     __slots__ = (
@@ -92,7 +131,9 @@ class GlobalHistory:
         "phist",
         "max_length",
         "path_bits",
+        "fold_comps",
         "_folds",
+        "_fold_params",
         "_ghist_mask",
         "_phist_mask",
     )
@@ -105,13 +146,23 @@ class GlobalHistory:
         self.max_length = max_length
         self.path_bits = path_bits
         self._folds: list[FoldedHistory] = []
+        #: Live fold values, one per registered fold in registration
+        #: order (registered folds' ``comp`` views read this list).
+        self.fold_comps: list[int] = []
+        #: Per-fold constants (slot, original_length, outpoint,
+        #: compressed_length, mask) unpacked in the push loop.
+        self._fold_params: list[tuple[int, int, int, int, int]] = []
         # Keep one spare bit above max_length so folds can observe the
         # evicted bit before truncation.
         self._ghist_mask = (1 << (max_length + 1)) - 1
         self._phist_mask = (1 << path_bits) - 1
 
     def register_fold(self, fold: FoldedHistory) -> FoldedHistory:
-        """Attach a folded history; it will track future pushes."""
+        """Attach a folded history; it will track future pushes.
+
+        Returns the fold; its slot in :attr:`fold_comps` is
+        ``len(fold_comps) - 1`` at return time.
+        """
         if fold.original_length > self.max_length:
             raise ConfigError(
                 f"fold window {fold.original_length} exceeds max history "
@@ -119,6 +170,20 @@ class GlobalHistory:
             )
         self._folds.append(fold)
         fold.rebuild(self.ghist)
+        comps = self.fold_comps
+        slot = len(comps)
+        comps.append(fold.comp)
+        fold._owner = comps
+        fold._slot = slot
+        self._fold_params.append(
+            (
+                slot,
+                fold.original_length,
+                fold._outpoint,
+                fold.compressed_length,
+                fold._mask,
+            )
+        )
         return fold
 
     def checkpoint(self) -> HistoryCheckpoint:
@@ -126,24 +191,33 @@ class GlobalHistory:
         return HistoryCheckpoint(
             ghist=self.ghist,
             phist=self.phist,
-            folds=tuple(f.comp for f in self._folds),
+            folds=self.fold_comps.copy(),
         )
 
     def push(self, pc: int, taken: bool) -> None:
-        """Speculatively insert one branch outcome."""
-        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) & self._ghist_mask
+        """Speculatively insert one branch outcome.
+
+        The per-fold update is inlined (same arithmetic as
+        :meth:`FoldedHistory.update`) so the hottest loop in the whole
+        simulator pays tuple unpacks and list stores instead of method
+        calls and attribute chains.
+        """
+        ghist = ((self.ghist << 1) | (1 if taken else 0)) & self._ghist_mask
+        self.ghist = ghist
         self.phist = ((self.phist << 1) | (pc & 1)) & self._phist_mask
-        ghist = self.ghist
         bit = ghist & 1
-        for fold in self._folds:
-            fold.update(ghist, bit)
+        comps = self.fold_comps
+        for slot, olen, outpoint, clen, cmask in self._fold_params:
+            comp = (comps[slot] << 1) | bit
+            comp ^= ((ghist >> olen) & 1) << outpoint
+            comp ^= comp >> clen
+            comps[slot] = comp & cmask
 
     def restore(self, ckpt: HistoryCheckpoint) -> None:
         """Rewind to a carried checkpoint (misprediction recovery)."""
         self.ghist = ckpt.ghist
         self.phist = ckpt.phist
-        for fold, comp in zip(self._folds, ckpt.folds):
-            fold.comp = comp
+        self.fold_comps[:] = ckpt.folds
 
     def restore_and_push(self, ckpt: HistoryCheckpoint, pc: int, taken: bool) -> None:
         """Standard misprediction repair: rewind then insert the truth."""

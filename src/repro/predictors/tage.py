@@ -142,10 +142,16 @@ class TageConfig:
 
 @dataclass(slots=True)
 class TageLookup:
-    """Private lookup payload threaded from ``lookup`` to ``train``."""
+    """Private lookup payload threaded from ``lookup`` to ``train``.
 
-    indices: tuple[int, ...]
-    tags: tuple[int, ...]
+    ``indices``/``tags`` are the per-table values computed once at
+    lookup time; ``train``/``_allocate`` reuse them instead of
+    re-hashing (the history has moved on by train time, so re-hashing
+    would also be *wrong*, not merely slow).
+    """
+
+    indices: list[int]
+    tags: list[int]
     provider: int  # table index, or -1 for bimodal
     provider_pred: bool
     alt_pred: bool
@@ -182,7 +188,15 @@ class TagePredictor(GlobalPredictor):
         self._tag_folds1: list[FoldedHistory] = []
         self._index_masks: list[int] = []
         self._tag_masks: list[int] = []
-        for table in config.tables:
+        #: Flat per-table constants consumed by the lookup loop:
+        #: (log, path_mask, pc_shift, index_slot, tag0_slot, tag1_slot,
+        #: index_mask, tag_mask), where the slots index the history's
+        #: ``fold_comps`` flat list.
+        self._lookup_params: list[
+            tuple[int, int, int, int, int, int, int, int]
+        ] = []
+        fold_comps = self.history.fold_comps
+        for t, table in enumerate(config.tables):
             entries = table.entries
             self._ctr.append([0] * entries)  # signed: -4..3 (3-bit)
             self._tag.append([0] * entries)
@@ -194,6 +208,7 @@ class TagePredictor(GlobalPredictor):
                     FoldedHistory(table.history_length, table.log_entries)
                 )
             )
+            index_slot = len(fold_comps) - 1
             self._tag_folds0.append(
                 self.history.register_fold(
                     FoldedHistory(table.history_length, table.tag_bits)
@@ -204,6 +219,19 @@ class TagePredictor(GlobalPredictor):
                     FoldedHistory(table.history_length, max(table.tag_bits - 1, 1))
                 )
             )
+            self._lookup_params.append(
+                (
+                    table.log_entries,
+                    (1 << min(table.history_length, 16)) - 1,
+                    table.log_entries - (t % 3) - 1,
+                    index_slot,
+                    index_slot + 1,
+                    index_slot + 2,
+                    entries - 1,
+                    (1 << table.tag_bits) - 1,
+                )
+            )
+        self._fold_comps = fold_comps
 
         self._ctr_max = (1 << (config.counter_bits - 1)) - 1
         self._ctr_min = -(1 << (config.counter_bits - 1))
@@ -244,21 +272,38 @@ class TagePredictor(GlobalPredictor):
 
     def lookup(self, pc: int) -> Prediction:
         n = self._n_tables
-        indices = tuple(self._table_index(pc, t) for t in range(n))
-        tags = tuple(self._table_tag(pc, t) for t in range(n))
-
-        bim_index = (pc >> 2) & self._bim_mask
-        bim_pred = self._bimodal[bim_index] >= 2
-
+        # Inlined _table_index/_table_tag fused with the provider scan:
+        # one top-down pass over flat per-table constants, reading fold
+        # state by slot from the history's flat list.  Hashing stops as
+        # soon as the alternate provider is found — entries below it are
+        # never consulted by prediction, training, or allocation, so
+        # their slots legitimately stay zero.
+        comps = self._fold_comps
+        phist = self.history.phist
+        pc_bits = pc >> 2
+        indices = [0] * n
+        tags = [0] * n
+        table_tags = self._tag
+        params = self._lookup_params
         provider = -1
         alt_table = -1
         for t in range(n - 1, -1, -1):
-            if self._tag[t][indices[t]] == tags[t]:
+            log, path_mask, pc_shift, islot, s0, s1, imask, tmask = params[t]
+            path = phist & path_mask
+            path ^= path >> log
+            index = (pc_bits ^ (pc_bits >> pc_shift) ^ comps[islot] ^ path) & imask
+            tag = (pc_bits ^ comps[s0] ^ (comps[s1] << 1)) & tmask
+            indices[t] = index
+            tags[t] = tag
+            if table_tags[t][index] == tag:
                 if provider < 0:
                     provider = t
                 else:
                     alt_table = t
                     break
+
+        bim_index = pc_bits & self._bim_mask
+        bim_pred = self._bimodal[bim_index] >= 2
 
         alt_pred = (
             self._ctr[alt_table][indices[alt_table]] >= 0

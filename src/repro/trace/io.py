@@ -29,6 +29,7 @@ _MAGIC = b"RPTR"
 _VERSION = 1
 _HEADER = struct.Struct("<4sHQ")
 _RECORD = struct.Struct("<QQBBHQ")
+_KIND_BY_VALUE = {int(kind): kind for kind in BranchKind}
 
 
 def dumps_trace(records: Sequence[BranchRecord] | Iterable[BranchRecord]) -> bytes:
@@ -59,27 +60,34 @@ def loads_trace(data: bytes) -> list[BranchRecord]:
         raise TraceError(
             f"trace data truncated: expected {expected} bytes, got {len(data)}"
         )
+    # Hot deserialization path: iter_unpack over the packed body, and
+    # records built through __new__ + object.__setattr__ rather than the
+    # (frozen, validating) dataclass __init__.  The format itself
+    # guarantees what __post_init__ would re-check — u64/u16 fields are
+    # non-negative by construction — except the direction invariant,
+    # which is enforced explicitly below.
+    body = memoryview(data)[_HEADER.size : expected]
+    kinds = _KIND_BY_VALUE
     records: list[BranchRecord] = []
-    offset = _HEADER.size
-    unpack = _RECORD.unpack_from
-    for _ in range(count):
-        pc, target, flags, kind, inst_gap, load_addr = unpack(data, offset)
-        offset += _RECORD.size
-        try:
-            branch_kind = BranchKind(kind)
-        except ValueError as exc:
-            raise TraceError(f"unknown branch kind {kind}") from exc
-        records.append(
-            BranchRecord(
-                pc=pc,
-                target=target,
-                taken=bool(flags & 1),
-                kind=branch_kind,
-                inst_gap=inst_gap,
-                load_addr=load_addr,
-                depends_on_load=bool(flags & 2),
-            )
-        )
+    append = records.append
+    new = BranchRecord.__new__
+    set_field = object.__setattr__
+    for pc, target, flags, kind, inst_gap, load_addr in _RECORD.iter_unpack(body):
+        branch_kind = kinds.get(kind)
+        if branch_kind is None:
+            raise TraceError(f"unknown branch kind {kind}")
+        taken = flags & 1
+        if not taken and kind != 0:
+            raise TraceError(f"{branch_kind.name} branches are always taken")
+        record = new(BranchRecord)
+        set_field(record, "pc", pc)
+        set_field(record, "target", target)
+        set_field(record, "taken", bool(taken))
+        set_field(record, "kind", branch_kind)
+        set_field(record, "inst_gap", inst_gap)
+        set_field(record, "load_addr", load_addr)
+        set_field(record, "depends_on_load", bool(flags & 2))
+        append(record)
     return records
 
 

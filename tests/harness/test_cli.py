@@ -21,6 +21,44 @@ class TestParsing:
         assert args.branches == 20_000
 
 
+class TestPerfCommand:
+    def test_perf_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_perf.json"
+        code = main(
+            ["perf", "--branches", "800", "--repeats", "1",
+             "--systems", "baseline-tage", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "branches/s" in out and "warm sweep" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["throughput"]["baseline-tage"]["branches_per_s"] > 0
+        assert payload["warm_sweep"]["speedup"] > 1.0
+        assert payload["env"]["code_fingerprint"]
+
+    def test_perf_profile_flag(self, capsys, tmp_path):
+        code = main(
+            ["perf", "--branches", "600", "--repeats", "1",
+             "--systems", "baseline-tage",
+             "--out", str(tmp_path / "b.json"), "--profile", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cProfile: baseline-tage" in out
+        assert "tottime" in out
+
+    def test_run_no_result_cache_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "results"))
+        code = main(
+            ["run", "--workload", "hpc-fft", "--branches", "900",
+             "--no-result-cache"]
+        )
+        assert code == 0
+        assert not (tmp_path / "results").exists()
+
+
 class TestCommands:
     def test_list_workloads(self, capsys):
         assert main(["list-workloads"]) == 0

@@ -73,6 +73,32 @@ def test_repaired_unit_never_crashes_and_is_deterministic(records):
 
 @settings(max_examples=10, deadline=None)
 @given(_traces)
+def test_same_trace_twice_is_bit_identical(records):
+    """Fresh models fed the *same* trace list produce identical SimStats.
+
+    Guards the hot-loop refactor and the runner's worker-local trace
+    memoization: models share one records list across runs, so any
+    mutation of the trace (or predictor state leaking between
+    instances) shows up as diverging stats on the second pass.
+    """
+    from dataclasses import asdict
+
+    from repro.predictors.tage import TagePredictor
+
+    def run_once():
+        unit = StandardLocalUnit(
+            LoopPredictor(LoopPredictorConfig.entries(16, confidence_threshold=2)),
+            ForwardWalkRepair(),
+        )
+        return PipelineModel(TagePredictor(), unit=unit).run(records)
+
+    first = asdict(run_once())
+    second = asdict(run_once())
+    assert first == second
+
+
+@settings(max_examples=10, deadline=None)
+@given(_traces)
 def test_mispredictions_never_exceed_baseline_plus_overrides(records):
     """Sanity link between override counts and MPKI movement."""
     unit = StandardLocalUnit(
