@@ -25,19 +25,25 @@ import json
 import sys
 from pathlib import Path
 
-from repro.harness.perf import DEFAULT_SYSTEMS, run_perf
+from repro.harness.perf import DEFAULT_SYSTEMS, SAMPLING_BRANCHES, run_perf
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_bench_perf(benchmark, scale):
-    """pytest-benchmark entry: one full perf measurement at ``scale``."""
+    """pytest-benchmark entry: one full perf measurement at ``scale``.
+
+    Skips the sampled-vs-exact section — its locked accuracy config
+    needs a 200k-branch trace, far past any pytest scale tier.  The
+    standalone ``main`` below (and ``repro perf``) measure it.
+    """
     payload = benchmark.pedantic(
         run_perf,
         kwargs={
             "branches": scale.branches_per_workload,
             "repeats": 1,
             "out": _REPO_ROOT / "BENCH_perf.json",
+            "sampling_branches": None,
         },
         iterations=1,
         rounds=1,
@@ -60,12 +66,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=str(_REPO_ROOT / "BENCH_perf.json"), help="report path"
     )
+    parser.add_argument(
+        "--sampling-branches",
+        type=int,
+        default=None,
+        help="trace length for the sampled-vs-exact section "
+        "(default: the locked benchmark length)",
+    )
+    parser.add_argument(
+        "--no-sampling",
+        action="store_true",
+        help="skip the sampled-vs-exact section (CI smoke scale)",
+    )
     args = parser.parse_args(argv)
+    sampling_branches: int | None
+    if args.no_sampling:
+        sampling_branches = None
+    elif args.sampling_branches is not None:
+        sampling_branches = args.sampling_branches
+    else:
+        sampling_branches = SAMPLING_BRANCHES
     payload = run_perf(
         workload=args.workload,
         branches=args.branches,
         repeats=args.repeats,
         out=args.out,
+        sampling_branches=sampling_branches,
     )
     print(json.dumps(payload, indent=1, sort_keys=True))
     return 0

@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from repro.errors import ReproError
 from repro.harness.report import format_table
 from repro.harness.runner import RunResult, run_single
+from repro.harness.sampling import SamplingConfig
 from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
 from repro.workloads.categories import CATEGORIES
 from repro.workloads.spec import WorkloadSpec
@@ -102,14 +103,88 @@ def _cache_override(args: argparse.Namespace) -> bool | None:
     return False if getattr(args, "no_result_cache", False) else None
 
 
+def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --sample* flag group (run, compare, sweep)."""
+    parser.add_argument(
+        "--sample",
+        action="store_true",
+        help="sampled two-speed simulation (shortcut for "
+        "--sample-mode periodic)",
+    )
+    parser.add_argument(
+        "--sample-mode",
+        choices=("off", "periodic", "simpoint"),
+        default=None,
+        help="interval selection: off (exact), periodic (SMARTS) or "
+        "simpoint (phase clustering)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="detailed-interval length in trace records (default 4000)",
+    )
+    parser.add_argument(
+        "--sample-coverage",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="fraction of records simulated in detail (default 0.1)",
+    )
+    parser.add_argument(
+        "--sample-warmup",
+        type=int,
+        default=6000,
+        metavar="N",
+        help="full-functional warmup records before each interval "
+        "(default 6000)",
+    )
+
+
+def _sampling_config(args: argparse.Namespace) -> SamplingConfig | None:
+    """SamplingConfig from the --sample* flags, or None when exact."""
+    mode = args.sample_mode
+    if mode is None:
+        mode = "periodic" if args.sample else "off"
+    if mode == "off":
+        return None
+    return SamplingConfig(
+        mode=mode,
+        interval=args.sample_interval,
+        coverage=args.sample_coverage,
+        warmup=args.sample_warmup,
+    )
+
+
+def _print_sampling_note(result: RunResult) -> None:
+    info = result.extra.get("sampling")
+    if not info:
+        return
+    ci_mpki = info.get("ci95_mpki")
+    ci_ipc = info.get("ci95_ipc")
+    note = (
+        f"{'':24s} sampled: {info['mode']}, {info['intervals']} intervals, "
+        f"{info['detailed_fraction']:.1%} detailed"
+    )
+    if ci_mpki is not None and ci_ipc is not None:
+        note += f", 95% CI ±{ci_mpki:.2f} MPKI / ±{ci_ipc:.3f} IPC"
+    print(note)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     system = _system_by_name(args.system)
     with _telemetry_session(args.telemetry):
         result = run_single(
-            spec, system, args.branches, use_result_cache=_cache_override(args)
+            spec,
+            system,
+            args.branches,
+            use_result_cache=_cache_override(args),
+            sampling=_sampling_config(args),
         )
     _print_run(system.name, result)
+    _print_sampling_note(result)
     repair = result.extra.get("repair")
     if repair:
         print(
@@ -134,6 +209,7 @@ def _compare_results(
     args: argparse.Namespace, spec: WorkloadSpec
 ) -> list[RunResult]:
     """One run per Table 3 system, fanning out when --workers asks."""
+    sampling = _sampling_config(args)
     if args.workers is not None and args.workers > 1 and not args.telemetry:
         # Plumb the request through the runner's REPRO_WORKERS contract
         # so nested sweeps (and worker processes) see the same setting.
@@ -152,11 +228,16 @@ def _compare_results(
             scale,
             workers=args.workers,
             use_result_cache=_cache_override(args),
+            sampling=sampling,
         )
     # Sequential: required for tracing (a sink lives in this process).
     return [
         run_single(
-            spec, system, args.branches, use_result_cache=_cache_override(args)
+            spec,
+            system,
+            args.branches,
+            use_result_cache=_cache_override(args),
+            sampling=sampling,
         )
         for system in TABLE3_SYSTEMS
     ]
@@ -179,6 +260,50 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"{system.name:24s} IPC {result.ipc:7.3f} ({gain:+6.2%})   "
             f"MPKI {result.mpki:7.2f} ({red:+6.1%})"
         )
+    return 0
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``K/N`` → (k, n); bounds are validated by the runner."""
+    parts = text.split("/")
+    if len(parts) == 2 and all(p.strip().lstrip("-").isdigit() for p in parts):
+        return int(parts[0]), int(parts[1])
+    raise SystemExit(f"--shard must be K/N (e.g. 2/8), got {text!r}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.runner import run_matrix, select_workloads
+    from repro.harness.scale import Scale
+
+    if args.workers is not None and args.workers > 1:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    scale = Scale(
+        name="cli-sweep",
+        branches_per_workload=args.branches,
+        workloads_per_category=args.per_category,
+    )
+    workloads = select_workloads(scale)
+    systems = (
+        [_system_by_name(name.strip()) for name in args.systems.split(",")]
+        if args.systems
+        else list(TABLE3_SYSTEMS)
+    )
+    shard = _parse_shard(args.shard) if args.shard else None
+    results = run_matrix(
+        workloads,
+        systems,
+        scale,
+        workers=args.workers,
+        use_result_cache=_cache_override(args),
+        sampling=_sampling_config(args),
+        shard=shard,
+    )
+    rows = [
+        (r.workload, r.system, f"{r.ipc:.3f}", f"{r.mpki:.2f}") for r in results
+    ]
+    print(format_table(["workload", "system", "IPC", "MPKI"], rows))
+    label = f"shard {args.shard} of " if shard else ""
+    print(f"\n{len(results)} runs ({label}{len(workloads)}x{len(systems)} matrix)")
     return 0
 
 
@@ -216,6 +341,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         systems=systems,
         repeats=args.repeats,
         out=args.out,
+        sampling_branches=None if args.no_sampling else args.sampling_branches,
     )
     print(f"workload {args.workload}, {args.branches} branches, "
           f"best of {args.repeats}\n")
@@ -229,6 +355,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         f"\nwarm sweep: cold {warm['cold_wall_s']:.2f}s -> "
         f"warm {warm['warm_wall_s']:.2f}s ({warm['speedup']:.0f}x)"
     )
+    sampling = payload.get("sampling")
+    if sampling:
+        print(f"\nsampling ({sampling['branches']} branches, "
+              f"{sampling['config']['coverage']:.0%} detailed):")
+        for name, row in sampling["systems"].items():
+            print(
+                f"{name:24s} {row['speedup']:.2f}x   "
+                f"MPKI err {row['mpki_rel_err']:+.2%}   "
+                f"IPC err {row['ipc_rel_err']:+.2%}"
+            )
     if args.out is not None:
         print(f"wrote {args.out}")
     if args.profile:
@@ -273,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force a real simulation even when REPRO_RESULT_CACHE is set",
     )
+    _add_sampling_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all Table 3 systems on one workload")
@@ -297,7 +434,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force real simulations even when REPRO_RESULT_CACHE is set",
     )
+    _add_sampling_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a (workload x system) matrix, optionally sharded"
+    )
+    p_sweep.add_argument("--branches", type=int, default=15_000)
+    p_sweep.add_argument(
+        "--per-category",
+        type=int,
+        default=1,
+        metavar="N",
+        help="workloads simulated per category (default 1)",
+    )
+    p_sweep.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated system names (default: all Table 3 systems)",
+    )
+    p_sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only the K-th of N deterministic partitions of the "
+        "job matrix; the N shards are disjoint and cover it exactly",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process fan-out for the sweep (sets REPRO_WORKERS; "
+        "1 = sequential)",
+    )
+    p_sweep.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="force real simulations even when REPRO_RESULT_CACHE is set",
+    )
+    _add_sampling_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_perf = sub.add_parser(
         "perf", help="measure simulator throughput and write BENCH_perf.json"
@@ -311,6 +487,19 @@ def build_parser() -> argparse.ArgumentParser:
         "forward-walk-coalesce)",
     )
     p_perf.add_argument("--repeats", type=int, default=3)
+    p_perf.add_argument(
+        "--sampling-branches",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="trace length for the sampled-vs-exact section "
+        "(default 200000)",
+    )
+    p_perf.add_argument(
+        "--no-sampling",
+        action="store_true",
+        help="skip the sampled-vs-exact benchmark section",
+    )
     p_perf.add_argument(
         "--out",
         default="BENCH_perf.json",

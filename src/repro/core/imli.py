@@ -25,11 +25,14 @@ directly comparable in the harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.inflight import CarriedRepair, InflightBranch
 from repro.core.unit import LocalBranchUnit
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.records import BranchRecord
 
 __all__ = ["ImliConfig", "ImliUnit"]
 
@@ -161,6 +164,24 @@ class ImliUnit(LocalBranchUnit):
             count, last = self._carried_state(branch)
             self._count, self._last_backward = count, last
             self._advance(branch.pc, branch.actual_taken, branch.record.target)
+
+    def warm(self, record: "BranchRecord") -> None:
+        """Train the counter table and advance the IMLI registers.
+
+        With every outcome known, the speculative and architectural
+        IMLI states coincide, so the table index uses the live count —
+        the same value the carried-state dance in ``resolve`` restores.
+        """
+        pc = record.pc
+        taken = record.taken
+        index = self._index(pc)
+        ctr = self._table[index]
+        if taken:
+            if ctr < self._ctr_max:
+                self._table[index] = ctr + 1
+        elif ctr > 0:
+            self._table[index] = ctr - 1
+        self._advance(pc, taken, record.target)
 
     def retire(self, branch: InflightBranch, cycle: int) -> None:
         """Nothing to release: there is no checkpoint structure."""

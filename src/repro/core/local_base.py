@@ -108,6 +108,30 @@ class LocalPredictorCore(abc.ABC):
     def storage_bits(self) -> int:
         """BHT + PT storage in bits."""
 
+    def spec_advance(self, pc: int, taken: bool) -> int | None:
+        """Architectural BHT advance for functional fast-forward.
+
+        Semantically :meth:`spec_update` minus the repair receipt: the
+        same table writes, but nothing to undo — fast-forwarded spans
+        never roll back.  Returns the pre-update state (None for a
+        fresh allocation) so the caller can train with it.  Predictors
+        override with fused implementations that skip the
+        :class:`SpecUpdate` allocation entirely.
+        """
+        return self.spec_update(pc, taken).pre_state
+
+    def warm(self, pc: int, taken: bool) -> int | None:
+        """Fused BHT advance + PT train with a known committed outcome.
+
+        The per-branch unit of work in fast-forwarded spans (see
+        :meth:`repro.core.unit.LocalBranchUnit.warm`).  Returns the
+        pre-update BHT state, which multi-stage wrappers reuse to train
+        a second pattern table without re-reading the BHT.
+        """
+        pre_state = self.spec_advance(pc, taken)
+        self.train(pc, pre_state, taken, None)
+        return pre_state
+
     def repair_write(self, pc: int, state: int, valid: bool = True) -> bool:
         """One repair write: restore ``pc``'s BHT state.
 

@@ -148,6 +148,23 @@ class LoopPredictor(LocalPredictorCore):
             post_state=post_state,
         )
 
+    def spec_advance(self, pc: int, taken: bool) -> int | None:
+        # Fused fast-forward advance: same writes as spec_update, no
+        # SpecUpdate receipt (fast-forwarded spans never roll back).
+        bht = self.bht
+        slot = bht.find(pc)
+        if slot < 0:
+            bht.allocate(pc, pack_state(1, taken))
+            return None
+        pre_state = bht.state_at(slot)
+        post_state = self.next_state(pre_state, taken)
+        bht.set_state(slot, post_state)
+        count, dominant = unpack_state(post_state)
+        if taken != dominant or count <= 1:
+            bht.set_valid(slot, True)
+        bht.touch(slot)
+        return pre_state
+
     # ------------------------------------------------------------- #
     # training
 

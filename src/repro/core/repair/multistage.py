@@ -26,7 +26,7 @@ The PT is either shared between the two stages or split in half
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.bht import BhtConfig
 from repro.core.inflight import InflightBranch
@@ -35,6 +35,9 @@ from repro.core.pattern_table import LoopPatternTable, PatternTableConfig
 from repro.core.ports import RepairPortConfig
 from repro.core.repair.forward_walk import ForwardWalkRepair
 from repro.core.unit import LocalBranchUnit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.records import BranchRecord
 
 __all__ = ["MultiStageConfig", "MultiStageUnit"]
 
@@ -205,6 +208,18 @@ class MultiStageUnit(LocalBranchUnit):
             writes += 1
         copy_cycles = -(-writes // self.config.prediction_write_ports) if writes else 0
         self._front_busy_until = defer_done + copy_cycles
+
+    def warm(self, record: "BranchRecord") -> None:
+        """Advance both stage BHTs and train the PT(s) architecturally."""
+        pc = record.pc
+        taken = record.taken
+        self.front.spec_advance(pc, taken)
+        # warm() returns the defer stage's pre-update state — the same
+        # value both PT trains used historically (the front PT learns
+        # from the deferred, repaired view of the pattern).
+        pre_state = self.defer.warm(pc, taken)
+        if self.config.split_pt:
+            self.front.train(pc, pre_state, taken, None)
 
     def retire(self, branch: InflightBranch, cycle: int) -> None:
         self.scheme.on_retire(branch, cycle)

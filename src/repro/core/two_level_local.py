@@ -142,6 +142,21 @@ class TwoLevelLocalPredictor(LocalPredictorCore):
             post_state=post_state,
         )
 
+    def spec_advance(self, pc: int, taken: bool) -> int | None:
+        # Fused fast-forward advance: the same writes as spec_update
+        # without building the SpecUpdate receipt (nothing undoes a
+        # fast-forwarded span).
+        bht = self.bht
+        slot = bht.find(pc)
+        if slot < 0:
+            bht.allocate(pc, 1 if taken else 0)
+            return None
+        pre_state = bht.state_at(slot)
+        bht.set_state(slot, ((pre_state << 1) | (1 if taken else 0)) & self._state_mask)
+        bht.touch(slot)
+        bht.set_valid(slot, True)
+        return pre_state
+
     def train(
         self,
         pc: int,

@@ -24,6 +24,7 @@ from repro.core.local_base import LocalPredictorCore
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a unit <-> repair cycle
     from repro.core.repair.base import RepairScheme
+    from repro.trace.records import BranchRecord
 
 __all__ = ["UnitStats", "LocalBranchUnit", "StandardLocalUnit"]
 
@@ -84,6 +85,19 @@ class LocalBranchUnit(abc.ABC):
     @abc.abstractmethod
     def predict(self, branch: InflightBranch, base_taken: bool, cycle: int) -> bool:
         """Fetch-stage prediction; returns the final direction."""
+
+    def warm(self, record: "BranchRecord") -> None:
+        """Architectural warmup with one committed conditional outcome.
+
+        Functional fast-forward (``repro.pipeline.fastforward``) calls
+        this instead of the predict/resolve/retire sequence: advance
+        the BHT state and train the PT with the *actual* direction,
+        bypassing timing, checkpoints, override bookkeeping, and
+        repair (no mispredictions exist when every outcome is known).
+        The default is a no-op — a unit that does not override simply
+        enters detailed intervals colder, which the detailed warmup
+        window then compensates for.
+        """
 
     def at_alloc(self, branch: InflightBranch, cycle: int) -> bool:
         """Allocation-stage hook; may revise the direction (multi-stage)."""
@@ -169,6 +183,10 @@ class StandardLocalUnit(LocalBranchUnit):
                 branch.spec = None
                 branch.checkpointed = False
         return final
+
+    def warm(self, record: "BranchRecord") -> None:
+        """One architectural BHT advance + PT train with the outcome."""
+        self.local.warm(record.pc, record.taken)
 
     def resolve(
         self, branch: InflightBranch, flushed: Sequence[InflightBranch], cycle: int

@@ -37,6 +37,7 @@ import repro
 from repro.errors import ExperimentError
 from repro.harness.result_cache import code_fingerprint
 from repro.harness.runner import load_trace, run_matrix, run_single
+from repro.harness.sampling import SamplingConfig
 from repro.harness.scale import Scale
 from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
 from repro.workloads.spec import WorkloadSpec
@@ -46,15 +47,17 @@ __all__ = [
     "ThroughputSample",
     "DEFAULT_SYSTEMS",
     "REFERENCE_BRANCHES_PER_S",
+    "SAMPLING_BRANCHES",
     "resolve_systems",
     "measure_throughput",
     "measure_warm_sweep",
+    "measure_sampling",
     "profile_top",
     "run_perf",
 ]
 
 _RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 #: Systems the default perf run covers: the pure-TAGE hot loop, and the
 #: paper's headline local-unit configuration (TAGE + loop predictor +
@@ -176,6 +179,73 @@ def measure_warm_sweep(
     }
 
 
+#: Trace length for the sampling benchmark.  Long enough that the
+#: sampled engine's fixed costs (proxy pass, warmup windows) amortise
+#: to their steady-state share, matching how sampling is used in
+#: practice; the acceptance bar (≥5x at 10% coverage, MPKI within 2%,
+#: IPC within 1%) is measured at this length.
+SAMPLING_BRANCHES = 200_000
+
+
+def measure_sampling(
+    spec: WorkloadSpec,
+    systems: Sequence[SystemConfig],
+    n_branches: int = SAMPLING_BRANCHES,
+    repeats: int = 3,
+    config: SamplingConfig | None = None,
+) -> dict[str, Any]:
+    """Exact vs sampled wall-clock and accuracy per system.
+
+    Runs each system both ways (cold, best of ``repeats``) and reports
+    the speedup alongside the sampled estimate's relative MPKI/IPC
+    error against the exact run — speed claims about sampling are
+    meaningless without the accuracy they were bought at.
+    """
+    sampling = config if config is not None else SamplingConfig(mode="periodic")
+    load_trace(spec, n_branches)
+    rows: dict[str, Any] = {}
+    for system in systems:
+        exact_wall = sampled_wall = float("inf")
+        exact = sampled = None
+        for _ in range(max(1, repeats)):
+            t0 = perf_counter()
+            exact = run_single(spec, system, n_branches, use_result_cache=False)
+            exact_wall = min(exact_wall, perf_counter() - t0)
+            t0 = perf_counter()
+            sampled = run_single(
+                spec, system, n_branches, use_result_cache=False, sampling=sampling
+            )
+            sampled_wall = min(sampled_wall, perf_counter() - t0)
+        assert exact is not None and sampled is not None
+        info = sampled.extra.get("sampling", {})
+        rows[system.name] = {
+            "exact_wall_s": round(exact_wall, 6),
+            "sampled_wall_s": round(sampled_wall, 6),
+            "speedup": round(exact_wall / sampled_wall, 3) if sampled_wall else 0.0,
+            "exact_branches_per_s": round(n_branches / exact_wall, 1),
+            "sampled_branches_per_s": round(n_branches / sampled_wall, 1),
+            "mpki_exact": round(exact.mpki, 6),
+            "mpki_sampled": round(sampled.mpki, 6),
+            "mpki_rel_err": round(sampled.mpki / exact.mpki - 1.0, 6)
+            if exact.mpki
+            else 0.0,
+            "ipc_exact": round(exact.ipc, 6),
+            "ipc_sampled": round(sampled.ipc, 6),
+            "ipc_rel_err": round(sampled.ipc / exact.ipc - 1.0, 6)
+            if exact.ipc
+            else 0.0,
+            "detailed_fraction": info.get("detailed_fraction"),
+            "ci95_mpki": info.get("ci95_mpki"),
+            "ci95_ipc": info.get("ci95_ipc"),
+        }
+    return {
+        "workload": spec.name,
+        "branches": n_branches,
+        "config": dict(sampling.to_payload()),
+        "systems": rows,
+    }
+
+
 def profile_top(
     spec: WorkloadSpec,
     system: SystemConfig,
@@ -200,16 +270,24 @@ def run_perf(
     systems: Sequence[str] = DEFAULT_SYSTEMS,
     repeats: int = 3,
     out: str | Path | None = "BENCH_perf.json",
+    sampling_branches: int | None = SAMPLING_BRANCHES,
 ) -> dict[str, Any]:
     """Measure throughput + warm-sweep reuse and write ``BENCH_perf.json``.
 
     Returns the written payload.  ``out=None`` skips the file write
-    (used by the CI smoke path's dry invocations and by tests).
+    (used by the CI smoke path's dry invocations and by tests);
+    ``sampling_branches=None`` skips the (comparatively slow) sampled
+    vs exact section.
     """
     spec = get_workload(workload)
     configs = resolve_systems(systems)
     samples = measure_throughput(spec, configs, branches, repeats=repeats)
     warm = measure_warm_sweep(spec, configs, branches)
+    sampling = (
+        measure_sampling(spec, configs, sampling_branches, repeats=repeats)
+        if sampling_branches is not None
+        else None
+    )
     throughput: dict[str, Any] = {}
     for sample in samples:
         row: dict[str, Any] = {
@@ -229,6 +307,7 @@ def run_perf(
         "repeats": repeats,
         "throughput": throughput,
         "warm_sweep": {key: round(value, 6) for key, value in warm.items()},
+        "sampling": sampling,
         "env": {
             "python": platform.python_version(),
             "platform": f"{sys.platform}-{platform.machine()}",

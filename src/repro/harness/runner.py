@@ -16,8 +16,9 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceError
 from repro.harness.result_cache import active_cache
+from repro.harness.sampling import SamplingConfig, run_sampled
 from repro.harness.scale import Scale
 from repro.harness.systems import SystemConfig, build_system
 from repro.memory.hierarchy import CacheHierarchy
@@ -26,16 +27,27 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import PipelineModel
 from repro.telemetry import TELEMETRY
 from repro.telemetry.manifest import build_manifest
+from repro.trace.columns import ColumnarTrace, SharedTrace
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import BranchRecord
 from repro.workloads.generators.engine import generate_trace
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suite import suite_by_category
 
-__all__ = ["RunResult", "run_single", "run_matrix", "select_workloads", "pair_results"]
+__all__ = [
+    "RunResult",
+    "run_single",
+    "run_matrix",
+    "select_workloads",
+    "shard_bounds",
+    "pair_results",
+]
 
 _CACHE_ENV = "REPRO_TRACE_CACHE"
 _WORKERS_ENV = "REPRO_WORKERS"
+#: Gate for the shared-memory trace transport used by parallel sweeps.
+#: Any of ``off``/``0``/``none``/``false`` disables it; default is on.
+_SHM_ENV = "REPRO_TRACE_SHM"
 
 
 @dataclass(frozen=True)
@@ -63,6 +75,46 @@ def _cache_dir() -> Path | None:
     if value in ("", "off", "none"):
         return None
     return Path(value)
+
+
+def _shm_enabled() -> bool:
+    """Whether parallel sweeps ship traces over shared memory."""
+    value = os.environ.get(_SHM_ENV, "on").lower()
+    return value not in ("", "off", "0", "none", "false")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a writer PID on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - pid out of range etc.
+        return False
+    return True
+
+
+def _sweep_stale_tmp(cache: Path) -> None:
+    """Remove ``*.<pid>.tmp`` files whose writer process is gone.
+
+    Crashed or killed sweeps leave their PID-unique temp files behind;
+    because the PID is embedded in the name, any tmp file whose writer
+    no longer exists is garbage by construction and safe to delete.
+    Files of live writers (including our own) are left alone.
+    """
+    for tmp in cache.glob("*.tmp"):
+        parts = tmp.name.split(".")
+        if len(parts) < 3 or not parts[-2].isdigit():
+            continue
+        pid = int(parts[-2])
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - already gone / perms
+            pass
 
 
 #: Worker-local memo of decoded traces.  A sweep hands each worker all
@@ -95,19 +147,29 @@ def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
     cache = _cache_dir()
     if cache is None:
         if records is None:
+            TELEMETRY.registry.counter("trace.decodes").inc()
             records = generate_trace(spec, n_branches)
             _memo_put(key, records)
         return records
     path = cache / f"{spec.name}-{spec.seed}-{n_branches}.trace"
     if records is None:
+        TELEMETRY.registry.counter("trace.decodes").inc()
         if path.exists():
-            records = read_trace(path)
-            _memo_put(key, records)
-            return records
+            try:
+                records = read_trace(path)
+            except TraceError:
+                # A truncated or corrupt cache file (interrupted writer,
+                # disk trouble) is a cache miss, not a fatal error: drop
+                # it and regenerate below.
+                path.unlink(missing_ok=True)
+            else:
+                _memo_put(key, records)
+                return records
         records = generate_trace(spec, n_branches)
         _memo_put(key, records)
     if not path.exists():
         cache.mkdir(parents=True, exist_ok=True)
+        _sweep_stale_tmp(cache)
         # PID-unique tmp name: two uncoordinated processes generating
         # the same workload must not interleave writes into one tmp
         # file; the final rename stays atomic and the contents are
@@ -124,16 +186,25 @@ def run_single(
     n_branches: int,
     pipeline: PipelineConfig | None = None,
     use_result_cache: bool | None = None,
+    sampling: SamplingConfig | None = None,
 ) -> RunResult:
     """Simulate one system on one workload.
 
     When the persistent result cache is active (``REPRO_RESULT_CACHE``,
     or ``use_result_cache=True``) and holds a result for this exact
-    (system, pipeline, workload recipe, trace length, code version),
-    that result is returned without loading the trace or simulating.
+    (system, pipeline, workload recipe, trace length, code version,
+    sampling configuration), that result is returned without loading
+    the trace or simulating.
+
+    ``sampling`` selects the sampled two-speed engine
+    (:func:`repro.harness.sampling.run_sampled`); ``None`` or a config
+    with ``mode="off"`` runs the exact simulation, bit-identically to
+    runs made before sampling existed.
     """
     pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
-    manifest = build_manifest(spec, system, n_branches, pipeline_cfg).as_dict()
+    manifest = build_manifest(
+        spec, system, n_branches, pipeline_cfg, sampling=sampling
+    ).as_dict()
     result_cache = active_cache(use_result_cache)
     if result_cache is not None:
         cached = result_cache.load(manifest)
@@ -151,7 +222,10 @@ def run_single(
     if tel.enabled:
         tel.begin_run(spec.name, system.name, n_branches, manifest)
     t0 = perf_counter()
-    stats = model.run(records)
+    if sampling is not None and sampling.enabled:
+        stats = run_sampled(model, records, sampling)
+    else:
+        stats = model.run(records)
     manifest["wall_s"] = perf_counter() - t0
     if tel.enabled:
         tel.end_run(stats)
@@ -172,10 +246,51 @@ def run_single(
     return result
 
 
-def _run_job(
-    job: tuple[WorkloadSpec, SystemConfig, int, PipelineConfig | None, bool | None],
-) -> RunResult:
-    return run_single(*job)
+#: One sweep job: (spec, system, n_branches, pipeline, use_result_cache,
+#: sampling, shared-trace ref).  The ref is ``(segment name, record
+#: count)`` when the parent published the workload's trace to shared
+#: memory, else None.
+_Job = tuple[
+    WorkloadSpec,
+    SystemConfig,
+    int,
+    PipelineConfig | None,
+    bool | None,
+    SamplingConfig | None,
+    tuple[str, int] | None,
+]
+
+
+def _seed_memo_from_shm(
+    spec: WorkloadSpec, n_branches: int, ref: tuple[str, int]
+) -> None:
+    """Materialise a worker's trace from the parent's shared segment.
+
+    Attaches at most once per (workload, length) per process — the
+    worker-local memo serves every later system of the same workload —
+    and never touches the trace file or generator, so workers do zero
+    trace decodes (counted by the ``trace.decodes`` /
+    ``trace.shm_attaches`` telemetry counters).
+    """
+    key = (spec.name, spec.seed, n_branches)
+    if key in _TRACE_MEMO:
+        _TRACE_MEMO.move_to_end(key)
+        return
+    name, count = ref
+    shared = SharedTrace.attach(name, count)
+    try:
+        records = shared.to_records()
+    finally:
+        shared.close()
+    TELEMETRY.registry.counter("trace.shm_attaches").inc()
+    _memo_put(key, records)
+
+
+def _run_job(job: _Job) -> RunResult:
+    spec, system, n_branches, pipeline, use_result_cache, sampling, shm_ref = job
+    if shm_ref is not None:
+        _seed_memo_from_shm(spec, n_branches, shm_ref)
+    return run_single(spec, system, n_branches, pipeline, use_result_cache, sampling)
 
 
 def _worker_count(n_jobs: int, override: int | None = None) -> int:
@@ -202,6 +317,24 @@ def select_workloads(scale: Scale) -> list[WorkloadSpec]:
     return selected
 
 
+def shard_bounds(count: int, shard: tuple[int, int]) -> tuple[int, int]:
+    """[start, end) of 1-based shard ``(k, n)`` over ``count`` items.
+
+    Contiguous balanced partition: sizes differ by at most one, every
+    item lands in exactly one shard, and the split depends only on
+    ``count`` and ``(k, n)`` — so N uncoordinated processes running
+    ``--shard 1/N .. N/N`` cover the matrix exactly once.  Contiguity
+    preserves the workload-major job order, keeping each workload's
+    systems (and therefore its trace) on as few shards as possible.
+    """
+    k, n = shard
+    if n <= 0 or not 1 <= k <= n:
+        raise ConfigError(f"shard must be K/N with 1 <= K <= N, got {k}/{n}")
+    base, rem = divmod(count, n)
+    start = (k - 1) * base + min(k - 1, rem)
+    return start, start + base + (1 if k - 1 < rem else 0)
+
+
 def run_matrix(
     workloads: Sequence[WorkloadSpec],
     systems: Sequence[SystemConfig],
@@ -210,6 +343,8 @@ def run_matrix(
     parallel: bool | None = None,
     workers: int | None = None,
     use_result_cache: bool | None = None,
+    sampling: SamplingConfig | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> list[RunResult]:
     """Run every system against every workload.
 
@@ -217,42 +352,84 @@ def run_matrix(
     ``parallel=None`` auto-enables process fan-out for larger sweeps;
     ``workers`` pins the process count (overriding ``REPRO_WORKERS``),
     with ``workers=1`` forcing a sequential in-process sweep.
-    ``use_result_cache`` is the tri-state persistent-cache override
-    passed through to every :func:`run_single`.
+    ``use_result_cache`` is the tri-state persistent-cache override and
+    ``sampling`` the interval-sampling configuration, both passed
+    through to every :func:`run_single`.  ``shard=(k, n)`` runs only
+    the k-th of n contiguous balanced partitions of the job list (see
+    :func:`shard_bounds`).
+
+    Parallel sweeps ship each workload's trace to the workers through
+    one shared-memory segment (columnar layout, see
+    :mod:`repro.trace.columns`) instead of having every worker re-read
+    and decode the trace file; set ``REPRO_TRACE_SHM=off`` to fall back
+    to per-worker decoding.  Segments are unlinked on the way out even
+    when a worker dies mid-sweep.
     """
     n_branches = scale.branches_per_workload
-    jobs = [
-        (spec, system, n_branches, pipeline, use_result_cache)
-        for spec in workloads
-        for system in systems
-    ]
+    pairs = [(spec, system) for spec in workloads for system in systems]
+    if shard is not None:
+        start, end = shard_bounds(len(pairs), shard)
+        pairs = pairs[start:end]
     if workers is not None:
         parallel = workers > 1
     elif parallel is None:
-        parallel = len(jobs) >= 8
-    if not parallel or len(jobs) <= 1:
-        return [_run_job(job) for job in jobs]
-    # Pre-populate the trace cache serially so workers don't race on
-    # generation (they would all produce identical files, but the work
-    # would be duplicated).  Workloads whose every job will be served
-    # from the persistent result cache skip this entirely.
+        parallel = len(pairs) >= 8
+    if not parallel or len(pairs) <= 1:
+        return [
+            run_single(spec, system, n_branches, pipeline, use_result_cache, sampling)
+            for spec, system in pairs
+        ]
     result_cache = active_cache(use_result_cache)
     pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
-    for spec in workloads:
-        if result_cache is not None and all(
-            result_cache.has(
-                build_manifest(spec, system, n_branches, pipeline_cfg).as_dict()
+    by_spec: OrderedDict[str, tuple[WorkloadSpec, list[SystemConfig]]] = OrderedDict()
+    for spec, system in pairs:
+        by_spec.setdefault(spec.name, (spec, []))[1].append(system)
+    shm_refs: dict[str, tuple[str, int]] = {}
+    segments: list[SharedTrace] = []
+    use_shm = _shm_enabled()
+    try:
+        # Pre-populate the trace cache serially so workers don't race
+        # on generation (they would all produce identical files, but
+        # the work would be duplicated), publishing each trace to
+        # shared memory as it materialises.  Workloads whose every job
+        # will be served from the persistent result cache skip both.
+        for spec, spec_systems in by_spec.values():
+            if result_cache is not None and all(
+                result_cache.has(
+                    build_manifest(
+                        spec, system, n_branches, pipeline_cfg, sampling=sampling
+                    ).as_dict()
+                )
+                for system in spec_systems
+            ):
+                continue
+            records = load_trace(spec, n_branches)
+            if use_shm:
+                shared = ColumnarTrace.from_records(records).publish()
+                segments.append(shared)
+                shm_refs[spec.name] = (shared.name, len(records))
+        jobs: list[_Job] = [
+            (
+                spec,
+                system,
+                n_branches,
+                pipeline,
+                use_result_cache,
+                sampling,
+                shm_refs.get(spec.name),
             )
-            for system in systems
-        ):
-            continue
-        load_trace(spec, n_branches)
-    n_workers = _worker_count(len(jobs), override=workers)
-    # Chunk so one worker handles all systems of a workload in sequence:
-    # its worker-local trace memo then decodes each trace exactly once.
-    chunksize = max(1, min(len(systems), -(-len(jobs) // n_workers)))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+            for spec, system in pairs
+        ]
+        n_workers = _worker_count(len(jobs), override=workers)
+        # Chunk so one worker handles all systems of a workload in
+        # sequence: its worker-local trace memo then materialises each
+        # trace exactly once.
+        chunksize = max(1, min(len(systems), -(-len(jobs) // n_workers)))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(_run_job, jobs, chunksize=chunksize))
+    finally:
+        for shared in segments:
+            shared.unlink()
 
 
 def pair_results(

@@ -1,0 +1,443 @@
+"""Sampled simulation: detailed intervals + functional fast-forward.
+
+The full pipeline model costs tens of microseconds per branch; traces
+long enough to show steady-state MPKI cost minutes per system.  This
+module implements SMARTS/SimPoint-style interval sampling on top of the
+two-speed engine:
+
+* the trace is partitioned into **detailed intervals** (measured with
+  the full :class:`~repro.pipeline.core.PipelineModel`) and
+  **fast-forwarded spans** (streamed through predictor/BHT/PT state
+  updates only, via
+  :class:`~repro.pipeline.fastforward.FastForwardEngine`);
+* immediately before each detailed interval a **warmup window** runs
+  the full functional predictor (history-correct TAGE lookups, BTB and
+  cache touches) so the measured interval starts with warm
+  history-indexed state;
+* whole-trace statistics are reconstructed with estimators matched to
+  each counter class (see below), and the dispersion of the
+  per-interval rates yields a CLT confidence band reported alongside
+  the estimate.
+
+Counter reconstruction uses three estimators, in decreasing order of
+exactness:
+
+* **trace-exact** — instructions, branches, conditional branches and
+  taken conditionals are pure functions of the trace, so they are
+  counted exactly in a single cheap pass (no sampling error at all);
+* **ratio** — mispredictions are estimated as
+  ``detailed_misp / detailed_proxy × total_proxy`` where the proxy is
+  a tiny 2-bit bimodal predictor streamed over the *whole* trace in
+  the same cheap pass.  The proxy absorbs the positional variance of
+  systematic sampling (which interval positions happen to be hard) and
+  leaves only the state-bias component, which warmup controls;
+* **regression** — cycles are fit per run as
+  ``cycles ≈ a·instructions + b·mispredictions`` over the detailed
+  intervals (ordinary least squares through the origin), then applied
+  to the trace-exact instruction count and the ratio-estimated
+  misprediction count.  This transfers the positional-variance
+  cancellation from the ratio estimator to IPC; when the fit is
+  degenerate (one interval, or unphysical coefficients) it falls back
+  to mean CPI × exact instructions;
+* everything else (BTB misses, resteers, wrong-path counters, ROB
+  stalls) uses plain Horvitz–Thompson scaling of per-interval deltas.
+
+Two interval-selection modes:
+
+``periodic``
+    Systematic sampling (SMARTS): one detailed interval of ``interval``
+    records per block of ``interval / coverage`` records, positioned at
+    the *end* of its block so fast-forward has warmed state by
+    measurement time.  Robust, assumption-free, and the mode the
+    acceptance benchmark uses.
+
+``simpoint``
+    Phase sampling: :func:`repro.workloads.simpoint.select_phases`
+    clusters interval branch-PC vectors and simulates one
+    representative per phase, weighted by cluster population.  Far
+    fewer detailed records on phase-stable traces, but inherits
+    SimPoint's assumption that the clustering captures behaviour.
+
+The estimate is exact in the limit ``coverage → 1`` and the default
+configuration stays well inside the paper's reporting precision (see
+``docs/performance.md`` for the error model and when *not* to sample).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.pipeline.core import PipelineModel
+from repro.pipeline.fastforward import FastForwardEngine
+from repro.pipeline.stats import SimStats
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = [
+    "SamplingConfig",
+    "DetailedInterval",
+    "plan_intervals",
+    "run_sampled",
+]
+
+_MODES = ("off", "periodic", "simpoint")
+
+#: SimStats integer counters extrapolated per interval.  ``cycles`` is
+#: handled separately through :meth:`PipelineModel.current_cycle`.
+_COUNTERS = (
+    "instructions",
+    "branches",
+    "cond_branches",
+    "taken_branches",
+    "mispredictions",
+    "base_wrong",
+    "btb_misses",
+    "early_resteers",
+    "wrong_path_branches",
+    "wrong_path_mispredicts",
+    "rob_stall_cycles",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SamplingConfig:
+    """Interval-sampling parameters; hashed into the result-cache key."""
+
+    #: ``off`` (exact simulation), ``periodic`` (SMARTS) or ``simpoint``.
+    mode: str = "off"
+    #: Detailed-interval length in trace records.  Longer intervals
+    #: amortise the interval-start transient (cold tagged-table bias)
+    #: at the cost of fewer sample positions.
+    interval: int = 4000
+    #: Target fraction of records simulated in detail (periodic mode).
+    coverage: float = 0.1
+    #: Records of full functional warmup before each detailed interval.
+    #: Sized so history-indexed TAGE tables are hot by measurement time.
+    warmup: int = 6000
+    #: Cluster budget for simpoint mode.
+    max_phases: int = 8
+    #: Clustering seed for simpoint mode.
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigError(f"unknown sampling mode: {self.mode!r}")
+        if self.interval <= 0:
+            raise ConfigError(f"interval must be positive: {self.interval}")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ConfigError(f"coverage must be in (0, 1]: {self.coverage}")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be non-negative: {self.warmup}")
+        if self.max_phases <= 0:
+            raise ConfigError(f"max_phases must be positive: {self.max_phases}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    def to_payload(self) -> dict[str, object]:
+        """Stable mapping for manifests and cache keys."""
+        return {
+            "mode": self.mode,
+            "interval": self.interval,
+            "coverage": self.coverage,
+            "warmup": self.warmup,
+            "max_phases": self.max_phases,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class DetailedInterval:
+    """One span measured in detail, representing ``scale``× its records."""
+
+    #: First record index simulated in detail.
+    start: int
+    #: One-past-last record index.
+    end: int
+    #: Whole-trace records represented per detailed record.
+    scale: float
+
+
+def _plan_periodic(n_records: int, config: SamplingConfig) -> list[DetailedInterval]:
+    """Systematic plan: last ``interval`` records of each block."""
+    stride = max(1, round(1.0 / config.coverage))
+    block = config.interval * stride
+    plan: list[DetailedInterval] = []
+    for block_start in range(0, n_records, block):
+        block_end = min(block_start + block, n_records)
+        start = max(block_start, block_end - config.interval)
+        plan.append(
+            DetailedInterval(
+                start=start,
+                end=block_end,
+                scale=(block_end - block_start) / (block_end - start),
+            )
+        )
+    return plan
+
+
+def _plan_simpoint(
+    records: Sequence[BranchRecord], config: SamplingConfig
+) -> list[DetailedInterval]:
+    """Phase plan: one representative interval per cluster."""
+    from repro.workloads.simpoint import select_phases
+
+    phases = select_phases(
+        list(records),
+        interval_size=config.interval,
+        max_phases=config.max_phases,
+        seed=config.seed,
+    )
+    n = len(records)
+    plan = [
+        DetailedInterval(
+            start=phase.start,
+            end=phase.end,
+            scale=phase.weight * n / (phase.end - phase.start),
+        )
+        for phase in phases
+    ]
+    plan.sort(key=lambda iv: iv.start)
+    return plan
+
+
+def plan_intervals(
+    records: Sequence[BranchRecord], config: SamplingConfig
+) -> list[DetailedInterval]:
+    """Detailed-interval plan for ``records``, sorted by position.
+
+    The plan is non-overlapping, and the scales weight each interval by
+    the fraction of the trace it represents (so the scaled detailed
+    record counts sum to the trace length).
+    """
+    if not config.enabled:
+        raise ConfigError("plan_intervals called with sampling off")
+    if not records:
+        return []
+    if config.mode == "periodic":
+        return _plan_periodic(len(records), config)
+    return _plan_simpoint(records, config)
+
+
+#: Size of the 2-bit bimodal proxy predictor (entries).
+_PROXY_ENTRIES = 4096
+
+
+def _proxy_pass(
+    records: Sequence[BranchRecord], plan: Sequence[DetailedInterval]
+) -> tuple[list[int], int, dict[str, int]]:
+    """One cheap stream over the whole trace: proxy + exact counters.
+
+    Runs a 4096-entry 2-bit bimodal predictor over every conditional
+    branch, returning its misprediction count inside each planned
+    interval and over the full trace (the ratio-estimator inputs), plus
+    the trace-exact totals for the counters that need no sampling at
+    all.  Costs ~0.15 µs per record — noise next to one detailed
+    interval.
+    """
+    mask = _PROXY_ENTRIES - 1
+    table = [2] * _PROXY_ENTRIES
+    per_interval = [0] * len(plan)
+    bounds = [(iv.start, iv.end) for iv in plan]
+    bi = 0
+    n_bounds = len(bounds)
+    total = 0
+    instructions = 0
+    cond_n = 0
+    taken_n = 0
+    cond = BranchKind.COND
+    for i, record in enumerate(records):
+        instructions += record.inst_gap + 1
+        if record.kind is not cond:
+            continue
+        cond_n += 1
+        taken = record.taken
+        if taken:
+            taken_n += 1
+        idx = (record.pc >> 2) & mask
+        ctr = table[idx]
+        if (ctr >= 2) != taken:
+            total += 1
+            while bi < n_bounds and i >= bounds[bi][1]:
+                bi += 1
+            if bi < n_bounds and bounds[bi][0] <= i:
+                per_interval[bi] += 1
+        if taken:
+            if ctr < 3:
+                table[idx] = ctr + 1
+        elif ctr > 0:
+            table[idx] = ctr - 1
+    exact = {
+        "instructions": instructions,
+        "branches": len(records),
+        "cond_branches": cond_n,
+        # The pipeline counts taken *conditionals* here.
+        "taken_branches": taken_n,
+    }
+    return per_interval, total, exact
+
+
+def _fit_cycles(rows: Sequence[tuple[int, int, int]]) -> tuple[float, float]:
+    """Least-squares ``cycles ≈ a·inst + b·misp`` over sampled intervals.
+
+    Through-the-origin normal equations; falls back to mean CPI
+    (``b = 0``) when the system is degenerate or the fit is unphysical
+    (negative misprediction penalty or non-positive CPI).
+    """
+    s_ii = s_im = s_mm = s_ic = s_mc = 0.0
+    for inst, misp, cyc in rows:
+        s_ii += float(inst) * inst
+        s_im += float(inst) * misp
+        s_mm += float(misp) * misp
+        s_ic += float(inst) * cyc
+        s_mc += float(misp) * cyc
+    det = s_ii * s_mm - s_im * s_im
+    a = b = 0.0
+    if det > 1e-12 * max(s_ii * s_mm, 1.0):
+        a = (s_mm * s_ic - s_im * s_mc) / det
+        b = (s_ii * s_mc - s_im * s_ic) / det
+    if a <= 0.0 or b < 0.0:
+        total_inst = sum(r[0] for r in rows)
+        total_cyc = sum(r[2] for r in rows)
+        a = total_cyc / total_inst if total_inst > 0 else 1.0
+        b = 0.0
+    return a, b
+
+
+def _weighted_ci95(samples: list[tuple[float, float]]) -> float | None:
+    """1.96 × the weighted standard error, or None under two samples."""
+    if len(samples) < 2:
+        return None
+    total = sum(w for _, w in samples)
+    if total <= 0.0:
+        return None
+    mean = sum(x * w for x, w in samples) / total
+    var = sum(w * (x - mean) ** 2 for x, w in samples) / total
+    return 1.96 * math.sqrt(var / len(samples))
+
+
+def run_sampled(
+    model: PipelineModel,
+    records: Sequence[BranchRecord],
+    config: SamplingConfig,
+) -> SimStats:
+    """Sampled simulation of ``records`` on a freshly built ``model``.
+
+    Runs the plan's detailed intervals through the full pipeline with
+    functional fast-forward (plus a ``config.warmup`` full-functional
+    window) between them, then reconstructs whole-trace counters with
+    the estimators described in the module docstring: trace-exact
+    occupancy counts, ratio-estimated mispredictions, regression-fit
+    cycles, and Horvitz–Thompson scaling for the rest.
+    ``stats.extra["sampling"]`` carries the plan summary and the CLT
+    95% confidence half-widths for MPKI and IPC.
+
+    With sampling off the model simply runs exactly.
+    """
+    if not config.enabled:
+        return model.run(records)
+    plan = plan_intervals(records, config)
+    if not plan:
+        return model.run(records)
+
+    proxy_per_iv, proxy_total, exact_totals = _proxy_pass(records, plan)
+
+    ff = FastForwardEngine(
+        model.baseline, model.unit, model.btb, model.hierarchy
+    )
+    stats = model.stats
+    totals = {name: 0.0 for name in _COUNTERS}
+    detailed_records = 0
+    misp_detail = 0.0
+    proxy_detail = 0.0
+    cycle_rows: list[tuple[int, int, int]] = []
+    mpki_samples: list[tuple[float, float]] = []
+    ipc_samples: list[tuple[float, float]] = []
+    last = len(plan) - 1
+    cursor = 0
+    final: SimStats | None = None
+
+    for index, iv in enumerate(plan):
+        warm_start = max(cursor, iv.start - config.warmup)
+        ff.skip(records, cursor, warm_start)
+        ff.warm(records, warm_start, iv.start)
+
+        before = [getattr(stats, name) for name in _COUNTERS]
+        cycle_before = model.current_cycle()
+        model.run_segment(records[iv.start : iv.end])
+        if index == last:
+            # finalize() drains the ROB, so the closing cycle count
+            # credits the last interval with its in-flight tail.
+            final = model.finalize()
+            cycle_after = final.cycles
+        else:
+            cycle_after = model.current_cycle()
+
+        span = iv.end - iv.start
+        detailed_records += span
+        weight = iv.scale * span
+        deltas = {
+            name: getattr(stats, name) - prev
+            for name, prev in zip(_COUNTERS, before)
+        }
+        cycle_delta = cycle_after - cycle_before
+        for name, delta in deltas.items():
+            totals[name] += delta * iv.scale
+        misp_detail += deltas["mispredictions"] * iv.scale
+        proxy_detail += proxy_per_iv[index] * iv.scale
+        cycle_rows.append(
+            (deltas["instructions"], deltas["mispredictions"], cycle_delta)
+        )
+        if deltas["instructions"] > 0:
+            mpki_samples.append(
+                (deltas["mispredictions"] * 1000.0 / deltas["instructions"], weight)
+            )
+            if cycle_delta > 0:
+                ipc_samples.append(
+                    (deltas["instructions"] / cycle_delta, weight)
+                )
+        cursor = iv.end
+
+    if final is None:  # pragma: no cover - plan is non-empty here
+        final = model.finalize()
+
+    # Mispredictions: ratio against the whole-trace proxy when the
+    # detailed spans saw any proxy misses; Horvitz–Thompson otherwise.
+    if proxy_detail > 0.0 and proxy_total > 0:
+        misp_est = misp_detail / proxy_detail * proxy_total
+    else:
+        misp_est = totals["mispredictions"]
+
+    # Cycles: per-run linear model applied to the exact instruction
+    # count and the estimated misprediction count.
+    coef_inst, coef_misp = _fit_cycles(cycle_rows)
+    cycles_est = coef_inst * exact_totals["instructions"] + coef_misp * misp_est
+
+    result = SimStats()
+    for name, value in totals.items():
+        setattr(result, name, int(round(value)))
+    for name, exact_value in exact_totals.items():
+        setattr(result, name, exact_value)
+    result.mispredictions = int(round(misp_est))
+    result.cycles = max(int(round(cycles_est)), 1)
+    # Component extras (BTB rate, memory, unit, repair) describe the
+    # detailed + warmed stream, not the whole trace — still useful for
+    # qualitative comparisons, labelled by the sampling block below.
+    result.extra = dict(final.extra)
+    result.extra["sampling"] = {
+        "mode": config.mode,
+        "interval": config.interval,
+        "coverage": config.coverage,
+        "warmup": config.warmup,
+        "intervals": len(plan),
+        "detailed_records": detailed_records,
+        "detailed_fraction": detailed_records / len(records),
+        "proxy_mispredictions": proxy_total,
+        "cycle_fit": {"per_instruction": coef_inst, "per_misprediction": coef_misp},
+        "ci95_mpki": _weighted_ci95(mpki_samples),
+        "ci95_ipc": _weighted_ci95(ipc_samples),
+    }
+    return result

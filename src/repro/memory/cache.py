@@ -9,6 +9,7 @@ hits/misses and returns latencies, it does not move data.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -107,6 +108,67 @@ class Cache:
             victim = min(ways, key=ways.get)  # type: ignore[arg-type]
             del ways[victim]
         ways[line] = self._tick
+
+    def touch(self, addr: int) -> None:
+        """Warm insert for fast-forward: fill *and* refresh LRU on a hit.
+
+        Unlike :meth:`access` it allocates no result object and counts
+        nothing (skip-span touches must not pollute hit/miss rates);
+        unlike :meth:`fill` it keeps the LRU stack current so the line
+        ordering detailed intervals inherit stays realistic.
+        """
+        self._tick += 1
+        line, ways = self._locate(addr)
+        if line not in ways and len(ways) >= self.config.ways:
+            victim = min(ways, key=ways.get)  # type: ignore[arg-type]
+            del ways[victim]
+        ways[line] = self._tick
+
+    def touch_batch(self, addrs: Sequence[int]) -> None:
+        """Apply a sequence of :meth:`touch` calls in one pass.
+
+        Produces *bit-identical* final state (set contents, LRU
+        timestamps, ``_tick``) to calling ``touch(addr)`` once per
+        address in order, but without the per-touch victim scan: each
+        line keeps only its last-touch position, and each set keeps the
+        ``ways`` most recently touched lines.  Touch-only streams never
+        read the interleaved state, which is what makes the reordering
+        legal — fast-forward skip spans batch their load addresses
+        through here.
+        """
+        if not addrs:
+            return
+        shift = self._line_shift
+        mask = self._set_mask
+        base = self._tick + 1
+        self._tick += len(addrs)
+        last: dict[int, int] = {}
+        for pos, addr in enumerate(addrs):
+            last[addr >> shift] = pos
+        per_set: dict[int, list[tuple[int, int]]] = {}
+        for line, pos in last.items():
+            per_set.setdefault(line & mask, []).append((pos, line))
+        w = self.config.ways
+        sets = self._sets
+        for set_index, pairs in per_set.items():
+            ways = sets[set_index]
+            if len(pairs) >= w:
+                pairs.sort()
+                del pairs[:-w]
+                ways.clear()
+            else:
+                pairs.sort()
+                for _, line in pairs:
+                    ways.pop(line, None)
+                overflow = len(ways) + len(pairs) - w
+                if overflow > 0:
+                    # Batch ticks are all newer than pre-existing ones,
+                    # so sequential LRU would evict exactly the oldest
+                    # pre-existing lines first.
+                    for victim in sorted(ways, key=ways.get)[:overflow]:  # type: ignore[arg-type]
+                        del ways[victim]
+            for pos, line in pairs:
+                ways[line] = base + pos
 
     def invalidate_line(self, line: int) -> None:
         """Back-invalidate a line (inclusive-LLC eviction)."""

@@ -121,6 +121,21 @@ class PipelineModel:
 
     def run(self, records: Sequence[BranchRecord]) -> SimStats:
         """Simulate the committed branch stream; returns the statistics."""
+        self.run_segment(records)
+        return self.finalize()
+
+    def run_segment(self, records: Sequence[BranchRecord]) -> None:
+        """Simulate one contiguous span, accumulating into ``stats``.
+
+        The sampled two-speed engine (``repro.harness.sampling``) calls
+        this once per detailed interval, with predictor state warmed by
+        functional fast-forward between calls; timing state (cycles,
+        ROB, retirement) carries over from segment to segment.  Call
+        :meth:`finalize` once after the last segment.  The wrong-path
+        replay window starts empty at each segment boundary, so the
+        first few mispredictions of a segment replay a shorter wrong
+        path — a boundary effect sampling accepts by design.
+        """
         cfg = self.config
         stream = TraceStream(records, window=cfg.wrong_path_window)
         next_record = stream.next_record
@@ -137,6 +152,18 @@ class PipelineModel:
                 self._mispredict_episode(branch, stream)
             else:
                 resolve_correct(branch)
+
+    def current_cycle(self) -> int:
+        """Front-end/retirement high-water mark, for per-segment deltas.
+
+        Work still in the ROB has not retired yet, so consecutive
+        readings slightly undercount each segment's cycles — uniformly,
+        which is what the sampling extrapolation needs.
+        """
+        return max(self._fe_cycle, self._last_retire)
+
+    def finalize(self) -> SimStats:
+        """Drain in-flight work and close the run; returns the stats."""
         self._drain()
         return self.stats
 

@@ -67,6 +67,32 @@ class GlobalPredictor(abc.ABC):
         """Speculatively insert a predicted outcome into the history."""
         self.history.push(pc, taken)
 
+    def fast_update(self, pc: int, taken: bool) -> None:
+        """Cheap architectural table touch for functional fast-forward.
+
+        Called once per committed conditional branch on non-sampled
+        intervals (``repro.pipeline.fastforward``).  The default trains
+        through a full lookup — exact but slow; predictors override
+        with a cheaper approximation (TAGE updates only its bimodal
+        base, leaving tagged tables to the detailed warmup window).
+        This never feeds back into ``SimStats``; it only keeps state
+        warm between detailed intervals.
+        """
+        self.train(self.lookup(pc), taken)
+
+    def warm_update(self, pc: int, taken: bool) -> None:
+        """Full functional update for the fast-forward warm window.
+
+        Equivalent to the committed-stream sequence lookup → history
+        push of the actual outcome → train, with no timing model in
+        between.  Predictors may override with a fused implementation
+        (TAGE does) — the semantics must stay identical, only the
+        per-branch object traffic may go.
+        """
+        prediction = self.lookup(pc)
+        self.history.push(pc, taken)
+        self.train(prediction, taken)
+
     def recover(self, ckpt: HistoryCheckpoint, pc: int, taken: bool) -> None:
         """Misprediction repair: rewind history, insert the truth.
 

@@ -412,6 +412,125 @@ class TagePredictor(GlobalPredictor):
         if final_pred != taken:
             self._allocate(meta, taken)
 
+    def warm_update(self, pc: int, taken: bool) -> None:
+        """Fused warm-window update: lookup + push + train in one pass.
+
+        Bit-identical in effect to ``train(lookup(pc), taken)`` with the
+        actual outcome pushed into the history in between (the committed
+        state any exact run converges to), but with the Prediction and
+        TageLookup payloads elided — the fast-forward warm window calls
+        this once per conditional branch, where the allocation traffic
+        of the generic path costs more than the table work itself.
+        """
+        n = self._n_tables
+        comps = self._fold_comps
+        phist = self.history.phist
+        pc_bits = pc >> 2
+        indices = [0] * n
+        tags = [0] * n
+        table_tags = self._tag
+        params = self._lookup_params
+        provider = -1
+        alt_table = -1
+        for t in range(n - 1, -1, -1):
+            log, path_mask, pc_shift, islot, s0, s1, imask, tmask = params[t]
+            path = phist & path_mask
+            path ^= path >> log
+            index = (pc_bits ^ (pc_bits >> pc_shift) ^ comps[islot] ^ path) & imask
+            tag = (pc_bits ^ comps[s0] ^ (comps[s1] << 1)) & tmask
+            indices[t] = index
+            tags[t] = tag
+            if table_tags[t][index] == tag:
+                if provider < 0:
+                    provider = t
+                else:
+                    alt_table = t
+                    break
+
+        bim_index = pc_bits & self._bim_mask
+        bim_pred = self._bimodal[bim_index] >= 2
+        alt_pred = (
+            self._ctr[alt_table][indices[alt_table]] >= 0
+            if alt_table >= 0
+            else bim_pred
+        )
+        if provider >= 0:
+            ctr = self._ctr[provider][indices[provider]]
+            provider_pred = ctr >= 0
+            weak = ctr in (-1, 0) and self._u[provider][indices[provider]] == 0
+            use_alt = weak and self._use_alt >= (self._use_alt_max + 1) // 2
+            final_pred = alt_pred if use_alt else provider_pred
+        else:
+            provider_pred = bim_pred
+            weak = False
+            final_pred = bim_pred
+
+        self.history.push(pc, taken)
+
+        self._updates_since_reset += 1
+        if self._updates_since_reset >= self.config.u_reset_period:
+            self._updates_since_reset = 0
+            self._age_useful()
+
+        if provider >= 0:
+            index = indices[provider]
+            if weak and provider_pred != alt_pred:
+                if alt_pred == taken:
+                    if self._use_alt < self._use_alt_max:
+                        self._use_alt += 1
+                elif self._use_alt > 0:
+                    self._use_alt -= 1
+            ctr_row = self._ctr[provider]
+            ctr = ctr_row[index]
+            if taken:
+                if ctr < self._ctr_max:
+                    ctr_row[index] = ctr + 1
+            elif ctr > self._ctr_min:
+                ctr_row[index] = ctr - 1
+            if alt_table < 0:
+                self._update_bimodal(bim_index, taken)
+            if provider_pred != alt_pred:
+                u_row = self._u[provider]
+                u = u_row[index]
+                if provider_pred == taken:
+                    if u < self._u_max:
+                        u_row[index] = u + 1
+                elif u > 0:
+                    u_row[index] = u - 1
+        else:
+            self._update_bimodal(bim_index, taken)
+
+        if final_pred != taken:
+            start = provider + 1
+            if start >= n:
+                return
+            if n - start > 1 and (self._rand() & 3) == 0:
+                start += 1
+                if start >= n:
+                    return
+            u_tables = self._u
+            for t in range(start, n):
+                index = indices[t]
+                if u_tables[t][index] == 0:
+                    self._ctr[t][index] = 0 if taken else -1
+                    self._tag[t][index] = tags[t]
+                    return
+            for t in range(start, n):
+                index = indices[t]
+                if u_tables[t][index] > 0:
+                    u_tables[t][index] -= 1
+
+    def fast_update(self, pc: int, taken: bool) -> None:
+        """Fast-forward touch: bimodal only, no tagged-table work.
+
+        The tagged tables are indexed by folded history, which the
+        fast-forward engine does not maintain per branch (it replays
+        the history tail just before the next detailed interval), so
+        training them here would write to wrong slots.  The bimodal
+        base is history-free and cheap — one mask and one counter.
+        """
+        self._update_bimodal((pc >> 2) & self._bim_mask, taken)
+
     def _age_useful(self) -> None:
         """Periodic graceful reset: halve every usefulness counter."""
         for table in self._u:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any
 import repro
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.sampling import SamplingConfig
     from repro.harness.systems import SystemConfig
     from repro.pipeline.config import PipelineConfig
     from repro.workloads.spec import WorkloadSpec
@@ -62,11 +63,18 @@ class RunManifest:
     python: str = ""
     platform: str = ""
     env: dict[str, str] = field(default_factory=dict)
+    #: Sampled-simulation parameters, present only when sampling is
+    #: enabled — exact runs keep their historical manifest shape (and
+    #: therefore their result-cache keys).
+    sampling: dict[str, Any] | None = None
     #: Filled in by the runner after the simulation finishes.
     wall_s: float | None = None
 
     def as_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        payload = asdict(self)
+        if payload.get("sampling") is None:
+            del payload["sampling"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
@@ -88,12 +96,24 @@ def build_manifest(
     n_branches: int,
     pipeline: "PipelineConfig",
     scale: str | None = None,
+    sampling: "SamplingConfig | None" = None,
 ) -> RunManifest:
-    """Assemble the provenance record for one (workload, system) run."""
-    config_payload = {
+    """Assemble the provenance record for one (workload, system) run.
+
+    An *enabled* sampling configuration is folded into ``config_hash``
+    (a sampled estimate must never alias an exact result, or a cache
+    hit could silently swap one for the other) and recorded verbatim in
+    the ``sampling`` field.  Sampling off is indistinguishable from the
+    pre-sampling manifest — same payload, same hash.
+    """
+    config_payload: dict[str, Any] = {
         "system": asdict(system),
         "pipeline": asdict(pipeline),
     }
+    sampling_payload: dict[str, Any] | None = None
+    if sampling is not None and sampling.enabled:
+        sampling_payload = sampling.to_payload()
+        config_payload["sampling"] = sampling_payload
     workload_payload = {
         "spec": asdict(spec),
         "branches": n_branches,
@@ -109,4 +129,5 @@ def build_manifest(
         python=platform.python_version(),
         platform=f"{sys.platform}-{platform.machine()}",
         env=_captured_env(),
+        sampling=sampling_payload,
     )

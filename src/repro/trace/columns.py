@@ -1,0 +1,319 @@
+"""Columnar (structure-of-arrays) trace storage and zero-copy sharing.
+
+:mod:`repro.trace.io` decodes a trace by iterating ``struct`` records —
+fine for one process reading one file, but a sweep fans a trace out to
+many worker processes, and re-decoding ~28 bytes/record Python-side in
+every worker dominates small-sweep wall time.  This module keeps the
+trace as a single NumPy structured array over the *exact* RPTR record
+layout, which buys three things:
+
+* **vectorised decode** — ``ColumnarTrace.decode`` maps the packed
+  record body straight into a structured array (one ``frombuffer``, no
+  per-record Python), and validation of the format invariants runs as
+  whole-column predicates;
+* **zero-copy fan-out** — the array's bytes live in a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment published
+  once by the parent; workers attach by name and view the same pages
+  rather than regenerating or re-reading the trace;
+* **columnar analysis** — the ``pc``/``taken``/... column views feed
+  NumPy consumers (interval vectors, proxy models) without building
+  record objects at all.
+
+The pipeline itself still consumes :class:`~repro.trace.records.
+BranchRecord` objects; :meth:`ColumnarTrace.to_records` materialises
+them once per attached process via the same fast path the binary reader
+uses.
+
+Nothing here reads the environment — policy (whether a sweep uses
+shared memory at all) belongs to the harness, see
+:mod:`repro.harness.runner`.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Sequence
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.io import dumps_trace
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = ["TRACE_DTYPE", "ColumnarTrace", "SharedTrace"]
+
+_HEADER = struct.Struct("<4sHQ")
+_MAGIC = b"RPTR"
+_VERSION = 1
+
+#: The RPTR record layout as an unaligned little-endian structured
+#: dtype.  Field order, widths, and the 28-byte stride match
+#: ``repro.trace.io._RECORD`` (``<QQBBHQ``) exactly, so the packed
+#: record body of a trace file *is* a valid buffer for this dtype.
+TRACE_DTYPE = np.dtype(
+    [
+        ("pc", "<u8"),
+        ("target", "<u8"),
+        ("flags", "u1"),
+        ("kind", "u1"),
+        ("inst_gap", "<u2"),
+        ("load_addr", "<u8"),
+    ]
+)
+
+_MAX_KIND = max(int(kind) for kind in BranchKind)
+_KIND_BY_VALUE = {int(kind): kind for kind in BranchKind}
+
+
+class ColumnarTrace:
+    """A branch trace as one structured NumPy array.
+
+    Construct via :meth:`from_records`, :meth:`decode` (RPTR bytes), or
+    :meth:`from_buffer` (a bare record-body buffer, e.g. a shared-memory
+    view).  The backing array may be a view into memory owned by someone
+    else — callers that need the trace to outlive the owner must
+    ``copy()`` it.
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: "np.ndarray[Any, Any]") -> None:
+        if array.dtype != TRACE_DTYPE:
+            raise TraceError(f"expected {TRACE_DTYPE}, got {array.dtype}")
+        self.array = array
+
+    # ------------------------------------------------------------- #
+    # construction
+
+    @classmethod
+    def from_records(cls, records: Sequence[BranchRecord]) -> "ColumnarTrace":
+        """Pack record objects into a freshly owned columnar array."""
+        data = dumps_trace(records)
+        array = np.frombuffer(data, dtype=TRACE_DTYPE, offset=_HEADER.size).copy()
+        return cls(array)
+
+    @classmethod
+    def decode(cls, data: bytes | memoryview) -> "ColumnarTrace":
+        """Vectorised decode of RPTR bytes (header + packed records).
+
+        The returned trace *views* ``data`` — no per-record copies are
+        made.  Raises :class:`TraceError` on a bad header, truncation,
+        or column contents that violate the format invariants.
+        """
+        if len(data) < _HEADER.size:
+            raise TraceError("trace data truncated: missing header")
+        magic, version, count = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise TraceError(f"bad trace magic {magic!r}")
+        if version != _VERSION:
+            raise TraceError(f"unsupported trace version {version}")
+        expected = _HEADER.size + count * TRACE_DTYPE.itemsize
+        if len(data) < expected:
+            raise TraceError(
+                f"trace data truncated: expected {expected} bytes, got {len(data)}"
+            )
+        array = np.frombuffer(data, dtype=TRACE_DTYPE, count=count, offset=_HEADER.size)
+        trace = cls(array)
+        trace.validate()
+        return trace
+
+    @classmethod
+    def from_buffer(
+        cls, buffer: Any, count: int, offset: int = 0
+    ) -> "ColumnarTrace":
+        """View ``count`` packed records inside a raw buffer (no copy)."""
+        array = np.frombuffer(buffer, dtype=TRACE_DTYPE, count=count, offset=offset)
+        return cls(array)
+
+    # ------------------------------------------------------------- #
+    # columns
+
+    def __len__(self) -> int:
+        return int(self.array.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the packed record body in bytes."""
+        return int(self.array.nbytes)
+
+    @property
+    def pc(self) -> "np.ndarray[Any, Any]":
+        return self.array["pc"]
+
+    @property
+    def target(self) -> "np.ndarray[Any, Any]":
+        return self.array["target"]
+
+    @property
+    def taken(self) -> "np.ndarray[Any, Any]":
+        return (self.array["flags"] & 1).astype(bool)
+
+    @property
+    def depends_on_load(self) -> "np.ndarray[Any, Any]":
+        return (self.array["flags"] & 2).astype(bool)
+
+    @property
+    def kind(self) -> "np.ndarray[Any, Any]":
+        return self.array["kind"]
+
+    @property
+    def inst_gap(self) -> "np.ndarray[Any, Any]":
+        return self.array["inst_gap"]
+
+    @property
+    def load_addr(self) -> "np.ndarray[Any, Any]":
+        return self.array["load_addr"]
+
+    # ------------------------------------------------------------- #
+    # validation / conversion
+
+    def validate(self) -> None:
+        """Whole-column checks of the RPTR format invariants.
+
+        Mirrors what the scalar reader enforces per record: known kind
+        codes, no undefined flag bits, and the always-taken rule for
+        non-conditional kinds.
+        """
+        array = self.array
+        if len(array) == 0:
+            return
+        kinds = array["kind"]
+        if int(kinds.max()) > _MAX_KIND:
+            bad = int(kinds[kinds > _MAX_KIND][0])
+            raise TraceError(f"unknown branch kind {bad}")
+        flags = array["flags"]
+        if int(flags.max()) > 3:
+            bad = int(flags[flags > 3][0])
+            raise TraceError(f"undefined flag bits 0x{bad:02x}")
+        not_taken_noncond = (kinds != int(BranchKind.COND)) & ((flags & 1) == 0)
+        if bool(not_taken_noncond.any()):
+            bad = int(kinds[not_taken_noncond][0])
+            raise TraceError(
+                f"{BranchKind(bad).name} branches are always taken"
+            )
+
+    def to_records(self) -> list[BranchRecord]:
+        """Materialise :class:`BranchRecord` objects for the pipeline.
+
+        One pass over ``tolist()`` rows through the same ``__new__``
+        fast path the binary reader uses; :meth:`validate` is assumed
+        to have run (``decode`` always does).
+        """
+        kinds = _KIND_BY_VALUE
+        records: list[BranchRecord] = []
+        append = records.append
+        new = BranchRecord.__new__
+        set_field = object.__setattr__
+        for pc, target, flags, kind, inst_gap, load_addr in self.array.tolist():
+            record = new(BranchRecord)
+            set_field(record, "pc", pc)
+            set_field(record, "target", target)
+            set_field(record, "taken", bool(flags & 1))
+            set_field(record, "kind", kinds[kind])
+            set_field(record, "inst_gap", inst_gap)
+            set_field(record, "load_addr", load_addr)
+            set_field(record, "depends_on_load", bool(flags & 2))
+            append(record)
+        return records
+
+    # ------------------------------------------------------------- #
+    # shared memory
+
+    def publish(self) -> "SharedTrace":
+        """Copy the packed records into a new shared-memory segment.
+
+        The caller owns the returned handle and must ``unlink()`` it
+        exactly once (typically in a ``finally``); every attached
+        process must ``close()`` its own handle.
+        """
+        shm = shared_memory.SharedMemory(create=True, size=max(self.nbytes, 1))
+        view = np.frombuffer(shm.buf, dtype=TRACE_DTYPE, count=len(self))
+        view[:] = self.array
+        del view  # views into shm.buf must die before shm can close
+        return SharedTrace(shm=shm, count=len(self), owner=True)
+
+
+def _tracker_register(name: str) -> None:
+    """Re-register ``name`` with this process's resource tracker.
+
+    Registration is a set-add, so this is idempotent; it rebalances the
+    tracker before an owner unlink when attached processes sharing the
+    same tracker (fork start method) have already unregistered the
+    name, which would otherwise leave the tracker's final unregister
+    unmatched.
+    """
+    try:  # pragma: no cover - tracker internals vary by platform
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(name, "shared_memory")
+    except (ImportError, AttributeError, ValueError):
+        pass
+
+
+class SharedTrace:
+    """A columnar trace living in a named shared-memory segment."""
+
+    __slots__ = ("shm", "count", "owner", "_closed", "_unlinked")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, count: int, owner: bool
+    ) -> None:
+        self.shm = shm
+        self.count = count
+        self.owner = owner
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        """Segment name another process passes to :meth:`attach`."""
+        return str(self.shm.name)
+
+    @classmethod
+    def attach(cls, name: str, count: int) -> "SharedTrace":
+        """Open an existing segment published by another process.
+
+        The attaching process does not own the segment: its
+        ``resource_tracker`` registration is dropped so that this
+        process exiting (cleanly or not) never unlinks pages the
+        publisher is still handing to other workers.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        try:  # pragma: no cover - tracker internals vary by platform
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except (ImportError, AttributeError, KeyError, ValueError):
+            pass
+        return cls(shm=shm, count=count, owner=False)
+
+    def trace(self) -> ColumnarTrace:
+        """Zero-copy columnar view of the shared records."""
+        return ColumnarTrace.from_buffer(self.shm.buf, self.count)
+
+    def to_records(self) -> list[BranchRecord]:
+        """Materialise records without holding views into the segment."""
+        trace = self.trace()
+        try:
+            return trace.to_records()
+        finally:
+            del trace
+
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only, once; implies :meth:`close`)."""
+        self.close()
+        if self.owner and not self._unlinked:
+            self._unlinked = True
+            _tracker_register(self.shm._name)  # type: ignore[attr-defined]
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

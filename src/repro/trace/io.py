@@ -16,6 +16,7 @@ runs.  The format is deliberately simple:
 from __future__ import annotations
 
 import io
+import mmap
 import struct
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -46,8 +47,13 @@ def dumps_trace(records: Sequence[BranchRecord] | Iterable[BranchRecord]) -> byt
     return buf.getvalue()
 
 
-def loads_trace(data: bytes) -> list[BranchRecord]:
-    """Deserialize a branch trace produced by :func:`dumps_trace`."""
+def loads_trace(data: bytes | bytearray | memoryview | mmap.mmap) -> list[BranchRecord]:
+    """Deserialize a branch trace produced by :func:`dumps_trace`.
+
+    Accepts any readable buffer — plain bytes or a memory-mapped file —
+    and parses it without copying the payload (``iter_unpack`` walks a
+    memoryview over the buffer).
+    """
     if len(data) < _HEADER.size:
         raise TraceError("trace data truncated: missing header")
     magic, version, count = _HEADER.unpack_from(data, 0)
@@ -97,5 +103,19 @@ def write_trace(path: str | Path, records: Sequence[BranchRecord]) -> None:
 
 
 def read_trace(path: str | Path) -> list[BranchRecord]:
-    """Read a branch trace previously written by :func:`write_trace`."""
-    return loads_trace(Path(path).read_bytes())
+    """Read a branch trace previously written by :func:`write_trace`.
+
+    The file is memory-mapped and parsed in place: the kernel pages the
+    trace straight into the parser with no intermediate ``read()`` copy
+    of the whole payload, which matters for the multi-megabyte traces
+    larger sweep scales cache on disk.  Files too small to hold a
+    header (mmap rejects empty files) fall back to a plain read.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(0, io.SEEK_END)
+        size = fh.tell()
+        if size < _HEADER.size:
+            fh.seek(0)
+            return loads_trace(fh.read())
+        with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
+            return loads_trace(mapped)

@@ -26,7 +26,8 @@ class TestPerfCommand:
         out_path = tmp_path / "BENCH_perf.json"
         code = main(
             ["perf", "--branches", "800", "--repeats", "1",
-             "--systems", "baseline-tage", "--out", str(out_path)]
+             "--systems", "baseline-tage", "--no-sampling",
+             "--out", str(out_path)]
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -41,7 +42,7 @@ class TestPerfCommand:
     def test_perf_profile_flag(self, capsys, tmp_path):
         code = main(
             ["perf", "--branches", "600", "--repeats", "1",
-             "--systems", "baseline-tage",
+             "--systems", "baseline-tage", "--no-sampling",
              "--out", str(tmp_path / "b.json"), "--profile", "5"]
         )
         assert code == 0
@@ -169,3 +170,92 @@ class TestTelemetryCommands:
               "--telemetry", str(tmp_path / "t.jsonl")])
         assert TELEMETRY.enabled == was_enabled
         assert not TELEMETRY.tracing
+
+
+class TestSamplingFlags:
+    def test_run_defaults_to_exact(self):
+        from repro.cli import _sampling_config
+
+        args = build_parser().parse_args(["run", "--workload", "hpc-fft"])
+        assert _sampling_config(args) is None
+
+    def test_sample_shortcut_means_periodic(self):
+        from repro.cli import _sampling_config
+
+        args = build_parser().parse_args(
+            ["run", "--workload", "hpc-fft", "--sample"]
+        )
+        config = _sampling_config(args)
+        assert config is not None and config.mode == "periodic"
+        assert config.interval == 4000 and config.warmup == 6000
+
+    def test_explicit_mode_and_knobs(self):
+        from repro.cli import _sampling_config
+
+        args = build_parser().parse_args(
+            ["compare", "--workload", "hpc-fft", "--sample-mode", "simpoint",
+             "--sample-interval", "512", "--sample-coverage", "0.25",
+             "--sample-warmup", "1024"]
+        )
+        config = _sampling_config(args)
+        assert config is not None
+        assert config.mode == "simpoint"
+        assert config.interval == 512
+        assert config.coverage == 0.25
+        assert config.warmup == 1024
+
+    def test_mode_off_beats_sample_flag(self):
+        from repro.cli import _sampling_config
+
+        args = build_parser().parse_args(
+            ["run", "--workload", "hpc-fft", "--sample", "--sample-mode", "off"]
+        )
+        assert _sampling_config(args) is None
+
+    def test_sampled_run_prints_confidence(self, capsys):
+        code = main(
+            ["run", "--workload", "hpc-fft", "--branches", "2500",
+             "--sample", "--sample-interval", "200", "--sample-warmup", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled" in out
+        assert "detailed" in out
+
+
+class TestSweepCommand:
+    def test_parse_shard(self):
+        from repro.cli import _parse_shard
+
+        assert _parse_shard("2/8") == (2, 8)
+        for bad in ("2", "a/b", "1/2/3", ""):
+            with pytest.raises(SystemExit):
+                _parse_shard(bad)
+
+    def test_sweep_sharded(self, capsys):
+        code = main(
+            ["sweep", "--branches", "700", "--per-category", "1",
+             "--systems", "baseline-tage,no-repair", "--shard", "1/4",
+             "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard 1/4" in out
+        assert "IPC" in out and "MPKI" in out
+
+    def test_sweep_shards_partition_matrix(self, capsys):
+        argv = ["sweep", "--branches", "700", "--per-category", "1",
+                "--systems", "baseline-tage", "--workers", "1"]
+        assert main(argv) == 0
+        full = capsys.readouterr().out
+        total = int(full.rsplit("\n", 2)[-2].split()[0])
+        sharded = 0
+        for k in (1, 2, 3):
+            assert main(argv + ["--shard", f"{k}/3"]) == 0
+            out = capsys.readouterr().out
+            sharded += int(out.rsplit("\n", 2)[-2].split()[0])
+        assert sharded == total
+
+    def test_sweep_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--systems", "nope", "--branches", "500"])

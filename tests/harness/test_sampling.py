@@ -1,0 +1,241 @@
+"""Unit tests for the sampled two-speed simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.runner import run_single
+from repro.harness.sampling import (
+    DetailedInterval,
+    SamplingConfig,
+    plan_intervals,
+    run_sampled,
+)
+from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig, build_system
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelineModel
+from repro.telemetry.manifest import build_manifest
+from tests.conftest import loop_trace
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+
+
+def _model(system: SystemConfig) -> PipelineModel:
+    baseline, unit = build_system(system)
+    return PipelineModel(baseline, unit=unit, hierarchy=CacheHierarchy())
+
+
+_BY_NAME = {cfg.name: cfg for cfg in TABLE3_SYSTEMS}
+TAGE = _BY_NAME["baseline-tage"]
+FWC = _BY_NAME["forward-walk-coalesce"]
+
+
+class TestSamplingConfig:
+    def test_defaults_off(self):
+        config = SamplingConfig()
+        assert config.mode == "off"
+        assert not config.enabled
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(mode="random")
+        with pytest.raises(ConfigError):
+            SamplingConfig(interval=0)
+        with pytest.raises(ConfigError):
+            SamplingConfig(coverage=0.0)
+        with pytest.raises(ConfigError):
+            SamplingConfig(coverage=1.5)
+        with pytest.raises(ConfigError):
+            SamplingConfig(warmup=-1)
+        with pytest.raises(ConfigError):
+            SamplingConfig(max_phases=0)
+
+    def test_payload_round_trip(self):
+        config = SamplingConfig(mode="periodic", interval=100, coverage=0.25)
+        payload = config.to_payload()
+        assert payload["mode"] == "periodic"
+        assert SamplingConfig(**payload) == config  # type: ignore[arg-type]
+
+
+class TestPlanIntervals:
+    def _config(self, **kwargs):
+        defaults = {"mode": "periodic", "interval": 100, "coverage": 0.25}
+        defaults.update(kwargs)
+        return SamplingConfig(**defaults)
+
+    def test_off_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_intervals([], SamplingConfig())
+
+    def test_empty_trace(self):
+        assert plan_intervals([], self._config()) == []
+
+    def test_periodic_structure(self):
+        trace = loop_trace(pc=0x1000, trip=4, executions=400)  # 2000 records
+        config = self._config()
+        plan = plan_intervals(trace, config)
+        # One interval at the end of each stride-sized block.
+        stride = round(1.0 / config.coverage)
+        assert len(plan) == -(-len(trace) // (config.interval * stride))
+        for prev, cur in zip(plan, plan[1:]):
+            assert prev.end <= cur.start  # sorted, non-overlapping
+        for iv in plan:
+            assert 0 <= iv.start < iv.end <= len(trace)
+            assert iv.end - iv.start <= config.interval
+
+    def test_scaled_records_cover_trace(self):
+        trace = loop_trace(pc=0x1000, trip=4, executions=410)  # 2050: ragged tail
+        for config in (self._config(), self._config(interval=64, coverage=0.5)):
+            plan = plan_intervals(trace, config)
+            covered = sum(iv.scale * (iv.end - iv.start) for iv in plan)
+            assert covered == pytest.approx(len(trace))
+
+    def test_tail_shorter_than_interval(self):
+        trace = loop_trace(pc=0x1000, trip=4, executions=9)  # 45 records
+        plan = plan_intervals(trace, self._config(interval=100))
+        assert plan == [DetailedInterval(start=0, end=45, scale=1.0)]
+
+    def test_simpoint_structure(self):
+        trace = loop_trace(pc=0x1000, trip=4, executions=100) + loop_trace(
+            pc=0x9000, trip=4, executions=100
+        )
+        plan = plan_intervals(
+            trace, self._config(mode="simpoint", interval=100, max_phases=3)
+        )
+        assert 1 <= len(plan) <= 3
+        for prev, cur in zip(plan, plan[1:]):
+            assert prev.end <= cur.start
+        covered = sum(iv.scale * (iv.end - iv.start) for iv in plan)
+        assert covered == pytest.approx(len(trace))
+
+
+class TestRunSampled:
+    def test_off_is_exact(self, tiny_trace):
+        exact = _model(TAGE).run(tiny_trace)
+        sampled = run_sampled(_model(TAGE), tiny_trace, SamplingConfig())
+        assert sampled == exact
+
+    @pytest.mark.parametrize("system", [TAGE, FWC], ids=lambda s: s.name)
+    def test_trace_counts_are_exact(self, tiny_trace, system):
+        """Occupancy counters come from the trace, not the sample."""
+        config = SamplingConfig(mode="periodic", interval=200, warmup=300)
+        exact = _model(system).run(tiny_trace)
+        sampled = run_sampled(_model(system), tiny_trace, config)
+        assert sampled.instructions == exact.instructions
+        assert sampled.branches == exact.branches
+        assert sampled.cond_branches == exact.cond_branches
+        assert sampled.taken_branches == exact.taken_branches
+
+    def test_estimates_in_the_ballpark(self, tiny_trace):
+        """Small-scale sanity: the estimators track the exact run.
+
+        The tight accuracy bounds (MPKI within 2%, IPC within 1%) hold
+        at the locked 200k-branch benchmark config and are recorded in
+        ``BENCH_perf.json``; at unit-test scale we only assert the
+        estimates are the right order of magnitude and deterministic.
+        """
+        config = SamplingConfig(mode="periodic", interval=200, warmup=300)
+        exact = _model(TAGE).run(tiny_trace)
+        sampled = run_sampled(_model(TAGE), tiny_trace, config)
+        again = run_sampled(_model(TAGE), tiny_trace, config)
+        assert sampled == again  # deterministic
+        assert sampled.mpki == pytest.approx(exact.mpki, rel=0.5)
+        assert sampled.ipc == pytest.approx(exact.ipc, rel=0.25)
+
+    def test_extra_reports_plan_and_confidence(self, tiny_trace):
+        config = SamplingConfig(mode="periodic", interval=200, warmup=300)
+        sampled = run_sampled(_model(TAGE), tiny_trace, config)
+        info = sampled.extra["sampling"]
+        assert info["mode"] == "periodic"
+        assert info["intervals"] > 1
+        assert 0.0 < info["detailed_fraction"] < 1.0
+        assert info["detailed_records"] == pytest.approx(
+            len(tiny_trace) * config.coverage, rel=0.35
+        )
+        assert info["ci95_mpki"] is None or info["ci95_mpki"] >= 0.0
+        assert info["ci95_ipc"] is None or info["ci95_ipc"] >= 0.0
+
+
+class TestRunSingleSampling:
+    def test_default_has_no_sampling_manifest(self, tiny_spec):
+        result = run_single(tiny_spec, TAGE, 1500)
+        assert result.manifest is not None
+        assert "sampling" not in result.manifest
+        assert "sampling" not in result.extra
+
+    def test_off_config_matches_default(self, tiny_spec):
+        """mode="off" is indistinguishable from sampling=None."""
+        default = run_single(tiny_spec, TAGE, 1500)
+        off = run_single(tiny_spec, TAGE, 1500, sampling=SamplingConfig())
+        assert off == default
+        assert off.manifest is not None and default.manifest is not None
+        assert off.manifest["config_hash"] == default.manifest["config_hash"]
+
+    def test_enabled_records_config_in_manifest(self, tiny_spec):
+        config = SamplingConfig(mode="periodic", interval=200, warmup=300)
+        result = run_single(tiny_spec, TAGE, 1500, sampling=config)
+        assert result.manifest is not None
+        assert result.manifest["sampling"] == config.to_payload()
+        assert result.extra["sampling"]["mode"] == "periodic"
+
+
+class TestCacheKeying:
+    """Sampling must be part of the result-cache identity."""
+
+    def test_enabled_changes_config_hash(self, tiny_spec):
+        pipeline = PipelineConfig()
+        exact = build_manifest(tiny_spec, TAGE, 1500, pipeline)
+        sampled = build_manifest(
+            tiny_spec,
+            TAGE,
+            1500,
+            pipeline,
+            sampling=SamplingConfig(mode="periodic"),
+        )
+        assert exact.config_hash != sampled.config_hash
+
+    def test_off_is_hash_stable(self, tiny_spec):
+        """Sampling off must not perturb pre-sampling cache keys."""
+        pipeline = PipelineConfig()
+        bare = build_manifest(tiny_spec, TAGE, 1500, pipeline)
+        explicit_none = build_manifest(
+            tiny_spec, TAGE, 1500, pipeline, sampling=None
+        )
+        explicit_off = build_manifest(
+            tiny_spec, TAGE, 1500, pipeline, sampling=SamplingConfig()
+        )
+        assert bare.config_hash == explicit_none.config_hash
+        assert bare.config_hash == explicit_off.config_hash
+        assert "sampling" not in bare.as_dict()
+
+    def test_distinct_configs_get_distinct_hashes(self, tiny_spec):
+        pipeline = PipelineConfig()
+        hashes = {
+            build_manifest(
+                tiny_spec, TAGE, 1500, pipeline, sampling=config
+            ).config_hash
+            for config in (
+                SamplingConfig(mode="periodic"),
+                SamplingConfig(mode="periodic", coverage=0.2),
+                SamplingConfig(mode="periodic", interval=2000),
+                SamplingConfig(mode="simpoint"),
+            )
+        }
+        assert len(hashes) == 4
+
+    def test_no_aliasing_through_the_cache(self, tiny_spec, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "results"))
+        config = SamplingConfig(mode="periodic", interval=200, warmup=300)
+        exact = run_single(tiny_spec, TAGE, 1500)
+        sampled = run_single(tiny_spec, TAGE, 1500, sampling=config)
+        # The sampled run must not have been served the cached exact row.
+        assert "sampling" in sampled.extra
+        assert "sampling" not in exact.extra
+        # And both hit their own entry on rerun.
+        assert run_single(tiny_spec, TAGE, 1500) == exact
+        assert run_single(tiny_spec, TAGE, 1500, sampling=config) == sampled

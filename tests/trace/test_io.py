@@ -79,3 +79,35 @@ class TestMalformedInput:
         data[14 + 17] = 99
         with pytest.raises(TraceError, match="kind"):
             loads_trace(bytes(data))
+
+
+class TestReadTraceMmap:
+    """read_trace parses through a read-only memory map of the file."""
+
+    def test_mmap_round_trip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        recs = sample_records()
+        write_trace(path, recs)
+        assert read_trace(path) == recs
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError, match="missing header"):
+            read_trace(path)
+
+    def test_sub_header_file_rejected(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_bytes(b"RPTR\x01")
+        with pytest.raises(TraceError, match="missing header"):
+            read_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "cut.trace"
+        path.write_bytes(dumps_trace(sample_records())[:-9])
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+
+    def test_loads_accepts_memoryview(self):
+        recs = sample_records()
+        assert loads_trace(memoryview(dumps_trace(recs))) == recs

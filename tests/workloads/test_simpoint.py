@@ -56,3 +56,56 @@ class TestSelectPhases:
         trace = loop_trace(pc=0x1000, trip=4, executions=200)
         phases = select_phases(trace, interval_size=100, max_phases=4)
         assert 1 <= len(phases) <= 4
+
+
+class TestTailIntervals:
+    """Traces whose length is not a multiple of the interval size."""
+
+    def test_tail_interval_included(self):
+        trace = two_phase_trace()[:937]  # ragged final interval
+        matrix, bounds = interval_vectors(trace, interval_size=100)
+        assert len(bounds) == 10
+        assert bounds[-1] == (900, 937)
+        assert matrix.shape[0] == 10
+
+    def test_bounds_contiguous_and_covering(self):
+        trace = two_phase_trace()[:777]
+        _, bounds = interval_vectors(trace, interval_size=128)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == len(trace)
+        for (_, prev_end), (start, _) in zip(bounds, bounds[1:]):
+            assert start == prev_end
+
+    def test_tail_row_normalised(self):
+        trace = two_phase_trace()[:937]
+        matrix, _ = interval_vectors(trace, interval_size=100)
+        assert abs(matrix[-1].sum() - 1.0) < 1e-9
+
+    def test_tail_phase_weights_still_sum_to_one(self):
+        trace = two_phase_trace()[:937]
+        phases = select_phases(trace, interval_size=100, max_phases=4)
+        assert abs(sum(p.weight for p in phases) - 1.0) < 1e-9
+        for phase in phases:
+            assert 0 <= phase.start < phase.end <= len(trace)
+
+
+class TestDegenerateTraces:
+    def test_single_pc_trace(self):
+        trace = [make_branch(pc=0x5000, taken=True) for _ in range(250)]
+        matrix, bounds = interval_vectors(trace, interval_size=100)
+        assert matrix.shape == (3, 1)
+        assert all(abs(row.sum() - 1.0) < 1e-9 for row in matrix)
+        phases = select_phases(trace, interval_size=100, max_phases=4)
+        assert abs(sum(p.weight for p in phases) - 1.0) < 1e-9
+
+    def test_trace_shorter_than_interval(self):
+        trace = [make_branch(pc=0x5000)] * 7
+        matrix, bounds = interval_vectors(trace, interval_size=100)
+        assert matrix.shape[0] == 1
+        assert bounds == [(0, 7)]
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(WorkloadError):
+            interval_vectors([], 64)
+        with pytest.raises(WorkloadError):
+            select_phases([], interval_size=64)
