@@ -9,6 +9,7 @@ with direct, single-run access:
     repro run --workload hpc-fft --telemetry out.jsonl
     repro compare --workload hpc-fft --branches 20000 --workers 4
     repro telemetry out.jsonl
+    repro serve --port 8321 --workers 2
 """
 
 from __future__ import annotations
@@ -264,10 +265,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _parse_shard(text: str) -> tuple[int, int]:
-    """``K/N`` → (k, n); bounds are validated by the runner."""
+    """``K/N`` → (k, n), validated before any trace work starts.
+
+    Range checking happens here (via the runner's
+    :func:`~repro.harness.runner.validate_shard`) rather than deep in
+    the sweep, so ``K > N``, ``K < 1`` and ``N < 1`` fail immediately
+    with a clear :class:`~repro.errors.ConfigError` instead of running
+    an empty or wrong partition.
+    """
+    from repro.harness.runner import validate_shard
+
     parts = text.split("/")
     if len(parts) == 2 and all(p.strip().lstrip("-").isdigit() for p in parts):
-        return int(parts[0]), int(parts[1])
+        return validate_shard((int(parts[0]), int(parts[1])))
     raise SystemExit(f"--shard must be K/N (e.g. 2/8), got {text!r}")
 
 
@@ -379,6 +389,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.simlint.cli import run_lint
 
     return run_lint(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        rate=args.rate,
+        burst=args.burst,
+        executor=args.executor,
+        state_dir=args.state_dir,
+        drain_timeout=args.drain_timeout,
+        use_result_cache=not args.no_result_cache,
+    )
+    return serve(config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -539,6 +567,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--no-suppress", action="store_true")
     p_lint.add_argument("--list-rules", action="store_true")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation-as-a-service HTTP job server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 picks an ephemeral port; default 8321)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads executing queued jobs (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="queued-job cap before 429 backpressure (default 64)",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        help="per-client submissions/second refill rate (default 20)",
+    )
+    p_serve.add_argument(
+        "--burst",
+        type=int,
+        default=40,
+        help="per-client burst allowance (default 40)",
+    )
+    p_serve.add_argument(
+        "--executor",
+        choices=("inline", "pool", "sharded"),
+        default="inline",
+        help="execution strategy for fresh simulations (default inline)",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=".repro-cache/service",
+        help="where SIGTERM persists the still-queued backlog "
+        "(default .repro-cache/service)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight jobs on shutdown (default 30)",
+    )
+    p_serve.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the persistent result cache (disables completed-"
+        "request dedup)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_diag = sub.add_parser(
         "diagnose", help="explain one (workload, system) run's behaviour"

@@ -63,6 +63,8 @@ def infer_role(path: str) -> ModuleRole:
             return ModuleRole.SIM
         if sub == "telemetry":
             return ModuleRole.TELEMETRY
+        if sub == "service":
+            return ModuleRole.SERVICE
         if sub == "cli.py":
             return ModuleRole.CLI
         return ModuleRole.LIB

@@ -51,6 +51,7 @@ class ModuleRole(enum.Enum):
     LIB = "lib"  #: library infrastructure inside src/repro
     CLI = "cli"  #: user-facing entry points
     TELEMETRY = "telemetry"  #: observability subsystem (may read env/clock)
+    SERVICE = "service"  #: the repro serve HTTP layer (threads/clock OK)
     TOOL = "tool"  #: developer scripts (tools/, examples/, setup.py)
     TEST = "test"  #: tests/ and benchmarks/ — white-box by design
     UNKNOWN = "unknown"

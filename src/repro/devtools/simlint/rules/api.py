@@ -94,6 +94,7 @@ def _check_function(
         ModuleRole.LIB,
         ModuleRole.CLI,
         ModuleRole.TELEMETRY,
+        ModuleRole.SERVICE,
         ModuleRole.TOOL,
     ),
 )

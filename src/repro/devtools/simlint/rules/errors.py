@@ -83,6 +83,7 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
         ModuleRole.LIB,
         ModuleRole.CLI,
         ModuleRole.TELEMETRY,
+        ModuleRole.SERVICE,
         ModuleRole.TOOL,
     ),
 )

@@ -137,7 +137,13 @@ class _Visitor(ast.NodeVisitor):
     _RULE,
     summary="speculative BHT/PT/OBQ state written from untrusted code",
     invariant="speculative state changes only via update and repair paths",
-    roles=(ModuleRole.SIM, ModuleRole.LIB, ModuleRole.CLI, ModuleRole.TELEMETRY),
+    roles=(
+        ModuleRole.SIM,
+        ModuleRole.LIB,
+        ModuleRole.CLI,
+        ModuleRole.TELEMETRY,
+        ModuleRole.SERVICE,
+    ),
 )
 def check_speculative_writes(ctx: FileContext) -> Iterator[Violation]:
     if any(ctx.under(*prefix) for prefix in _TRUSTED_PREFIXES):

@@ -43,3 +43,13 @@ class TelemetryError(ReproError):
 
 class MetricsError(ReproError):
     """A metric aggregation was fed values outside its domain."""
+
+
+class ServiceError(ReproError):
+    """A simulation-service request or server state is invalid.
+
+    Raised by :mod:`repro.service` for malformed submissions, unknown
+    job ids, and illegal lifecycle transitions (e.g. cancelling a job
+    that already finished).  Transport-level concerns (rate limiting,
+    backpressure) are expressed as HTTP statuses, not exceptions.
+    """

@@ -23,8 +23,11 @@ and event traces must come from an actual execution, not a disk read.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -44,6 +47,18 @@ _ON_VALUES = frozenset({"1", "on", "true"})
 _FORMAT_VERSION = 1
 
 _FINGERPRINT: str | None = None
+
+#: Per-process sequence for temp-file names.  Concurrent *processes*
+#: are already distinguished by PID, and concurrent *threads* (the
+#: ``repro serve`` worker pool) by thread id — the counter closes the
+#: remaining hole where one thread writes the same entry twice before
+#: the first rename lands.
+_TMP_SEQ = itertools.count()
+
+#: Atomic-replace retry schedule (seconds).  POSIX renames don't fail
+#: transiently, but network filesystems and Windows can; retrying a
+#: few times beats surfacing a spurious error for a cache write.
+_REPLACE_RETRIES = (0.01, 0.05, 0.2)
 
 
 def code_fingerprint() -> str:
@@ -122,9 +137,14 @@ class ResultCache:
     def store(self, result: "RunResult") -> None:
         """Persist a freshly simulated result (atomic, race-safe).
 
-        The tmp name embeds the PID so concurrent workers writing the
-        same entry never collide; the final rename is atomic and
-        last-writer-wins over identical content.
+        Writers never touch the final path directly: each writes a
+        uniquely named temp file (PID + thread id + per-process
+        sequence number, so concurrent CLI processes *and* the
+        server's worker threads never collide) and atomically renames
+        it into place with a short retry schedule.  Readers therefore
+        only ever see absent or complete entries — partial writes
+        cannot be interleaved — and concurrent writers of the same key
+        are last-writer-wins over identical content.
         """
         manifest = result.manifest
         if manifest is None:
@@ -147,9 +167,20 @@ class ResultCache:
             },
         }
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(path)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.{next(_TMP_SEQ)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            for delay in _REPLACE_RETRIES:
+                try:
+                    tmp.replace(path)
+                    return
+                except OSError:
+                    time.sleep(delay)
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
 
 def cache_dir_from_env() -> Path | None:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -27,7 +26,7 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import PipelineModel
 from repro.telemetry import TELEMETRY
 from repro.telemetry.manifest import build_manifest
-from repro.trace.columns import ColumnarTrace, SharedTrace
+from repro.trace.columns import SharedTrace
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import BranchRecord
 from repro.workloads.generators.engine import generate_trace
@@ -40,6 +39,7 @@ __all__ = [
     "run_matrix",
     "select_workloads",
     "shard_bounds",
+    "validate_shard",
     "pair_results",
 ]
 
@@ -246,21 +246,6 @@ def run_single(
     return result
 
 
-#: One sweep job: (spec, system, n_branches, pipeline, use_result_cache,
-#: sampling, shared-trace ref).  The ref is ``(segment name, record
-#: count)`` when the parent published the workload's trace to shared
-#: memory, else None.
-_Job = tuple[
-    WorkloadSpec,
-    SystemConfig,
-    int,
-    PipelineConfig | None,
-    bool | None,
-    SamplingConfig | None,
-    tuple[str, int] | None,
-]
-
-
 def _seed_memo_from_shm(
     spec: WorkloadSpec, n_branches: int, ref: tuple[str, int]
 ) -> None:
@@ -284,13 +269,6 @@ def _seed_memo_from_shm(
         shared.close()
     TELEMETRY.registry.counter("trace.shm_attaches").inc()
     _memo_put(key, records)
-
-
-def _run_job(job: _Job) -> RunResult:
-    spec, system, n_branches, pipeline, use_result_cache, sampling, shm_ref = job
-    if shm_ref is not None:
-        _seed_memo_from_shm(spec, n_branches, shm_ref)
-    return run_single(spec, system, n_branches, pipeline, use_result_cache, sampling)
 
 
 def _worker_count(n_jobs: int, override: int | None = None) -> int:
@@ -317,6 +295,21 @@ def select_workloads(scale: Scale) -> list[WorkloadSpec]:
     return selected
 
 
+def validate_shard(shard: tuple[int, int]) -> tuple[int, int]:
+    """Check ``(k, n)`` shard coordinates, rejecting out-of-range pairs.
+
+    Every consumer of ``--shard K/N`` — the CLI parser, the matrix
+    runner, the sharded (remote-stub) executor, and the service's sweep
+    requests — funnels through this check, so ``K > N``, ``K < 1`` and
+    ``N < 1`` all fail loudly with a :class:`ConfigError` instead of
+    silently selecting an empty or wrong partition.
+    """
+    k, n = shard
+    if n < 1 or not 1 <= k <= n:
+        raise ConfigError(f"shard must be K/N with 1 <= K <= N, got {k}/{n}")
+    return k, n
+
+
 def shard_bounds(count: int, shard: tuple[int, int]) -> tuple[int, int]:
     """[start, end) of 1-based shard ``(k, n)`` over ``count`` items.
 
@@ -327,9 +320,7 @@ def shard_bounds(count: int, shard: tuple[int, int]) -> tuple[int, int]:
     preserves the workload-major job order, keeping each workload's
     systems (and therefore its trace) on as few shards as possible.
     """
-    k, n = shard
-    if n <= 0 or not 1 <= k <= n:
-        raise ConfigError(f"shard must be K/N with 1 <= K <= N, got {k}/{n}")
+    k, n = validate_shard(shard)
     base, rem = divmod(count, n)
     start = (k - 1) * base + min(k - 1, rem)
     return start, start + base + (1 if k - 1 < rem else 0)
@@ -364,72 +355,26 @@ def run_matrix(
     and decode the trace file; set ``REPRO_TRACE_SHM=off`` to fall back
     to per-worker decoding.  Segments are unlinked on the way out even
     when a worker dies mid-sweep.
+
+    This is a thin wrapper over :class:`repro.harness.scheduler.Scheduler`
+    — the same planning/dispatch path the ``repro serve`` service uses —
+    and is bit-identical to the pre-scheduler implementation.
     """
-    n_branches = scale.branches_per_workload
-    pairs = [(spec, system) for spec in workloads for system in systems]
-    if shard is not None:
-        start, end = shard_bounds(len(pairs), shard)
-        pairs = pairs[start:end]
-    if workers is not None:
-        parallel = workers > 1
-    elif parallel is None:
-        parallel = len(pairs) >= 8
-    if not parallel or len(pairs) <= 1:
-        return [
-            run_single(spec, system, n_branches, pipeline, use_result_cache, sampling)
-            for spec, system in pairs
-        ]
-    result_cache = active_cache(use_result_cache)
-    pipeline_cfg = pipeline if pipeline is not None else PipelineConfig()
-    by_spec: OrderedDict[str, tuple[WorkloadSpec, list[SystemConfig]]] = OrderedDict()
-    for spec, system in pairs:
-        by_spec.setdefault(spec.name, (spec, []))[1].append(system)
-    shm_refs: dict[str, tuple[str, int]] = {}
-    segments: list[SharedTrace] = []
-    use_shm = _shm_enabled()
-    try:
-        # Pre-populate the trace cache serially so workers don't race
-        # on generation (they would all produce identical files, but
-        # the work would be duplicated), publishing each trace to
-        # shared memory as it materialises.  Workloads whose every job
-        # will be served from the persistent result cache skip both.
-        for spec, spec_systems in by_spec.values():
-            if result_cache is not None and all(
-                result_cache.has(
-                    build_manifest(
-                        spec, system, n_branches, pipeline_cfg, sampling=sampling
-                    ).as_dict()
-                )
-                for system in spec_systems
-            ):
-                continue
-            records = load_trace(spec, n_branches)
-            if use_shm:
-                shared = ColumnarTrace.from_records(records).publish()
-                segments.append(shared)
-                shm_refs[spec.name] = (shared.name, len(records))
-        jobs: list[_Job] = [
-            (
-                spec,
-                system,
-                n_branches,
-                pipeline,
-                use_result_cache,
-                sampling,
-                shm_refs.get(spec.name),
-            )
-            for spec, system in pairs
-        ]
-        n_workers = _worker_count(len(jobs), override=workers)
-        # Chunk so one worker handles all systems of a workload in
-        # sequence: its worker-local trace memo then materialises each
-        # trace exactly once.
-        chunksize = max(1, min(len(systems), -(-len(jobs) // n_workers)))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            return list(pool.map(_run_job, jobs, chunksize=chunksize))
-    finally:
-        for shared in segments:
-            shared.unlink()
+    from repro.harness.scheduler import Scheduler, default_executor
+
+    scheduler = Scheduler(use_result_cache=use_result_cache)
+    jobs = scheduler.plan(
+        workloads,
+        systems,
+        scale.branches_per_workload,
+        pipeline=pipeline,
+        sampling=sampling,
+        shard=shard,
+    )
+    executor = default_executor(
+        len(jobs), len(systems), parallel=parallel, workers=workers
+    )
+    return scheduler.run(jobs, executor)
 
 
 def pair_results(

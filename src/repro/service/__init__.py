@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: the ``repro serve`` HTTP job server.
+
+Public surface:
+
+* :func:`~repro.service.api.parse_request` /
+  :class:`~repro.service.api.ServiceRequest` — JSON submissions
+  validated into scheduled simulation jobs with manifest-hash dedup
+  keys;
+* :class:`~repro.service.jobs.JobStore` /
+  :class:`~repro.service.jobs.JobState` — thread-safe job lifecycle;
+* :class:`~repro.service.limits.RateLimiter` /
+  :class:`~repro.service.limits.QueueGovernor` — admission control;
+* :class:`~repro.service.server.ReproService` /
+  :class:`~repro.service.server.ServiceConfig` /
+  :func:`~repro.service.server.serve` — the server itself.
+
+See ``docs/service.md`` for the HTTP API reference.
+"""
+
+from __future__ import annotations
+
+from repro.service.api import (
+    MAX_BRANCHES,
+    MAX_JOBS_PER_REQUEST,
+    ServiceRequest,
+    parse_request,
+)
+from repro.service.jobs import JobState, JobStore, ServiceJob, result_row
+from repro.service.limits import Decision, QueueGovernor, RateLimiter
+from repro.service.server import ReproService, ServiceConfig, serve
+
+__all__ = [
+    "MAX_BRANCHES",
+    "MAX_JOBS_PER_REQUEST",
+    "ServiceRequest",
+    "parse_request",
+    "JobState",
+    "JobStore",
+    "ServiceJob",
+    "result_row",
+    "Decision",
+    "QueueGovernor",
+    "RateLimiter",
+    "ReproService",
+    "ServiceConfig",
+    "serve",
+]

@@ -1,0 +1,113 @@
+"""Admission control: per-client token buckets and queue backpressure.
+
+Two independent gates protect the service:
+
+* :class:`RateLimiter` — one token bucket per client (``X-Client-Id``
+  header, else peer address).  A client may burst up to ``burst``
+  submissions, then is refilled at ``rate`` tokens/second.  Rejections
+  carry the exact number of seconds until the next token, which the
+  HTTP layer surfaces as ``Retry-After``.
+* :class:`QueueGovernor` — a global cap on queued-but-not-started
+  jobs.  When the backlog is full the server sheds load with a 429
+  whose ``Retry-After`` estimates when a slot frees up from the
+  observed mean job wall time — cheap, honest backpressure instead of
+  unbounded queue growth.
+
+Both are pure in-memory structures with a single lock each; at the
+request rates a simulation service sees (jobs cost seconds, not
+microseconds) contention is irrelevant.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["Decision", "RateLimiter", "QueueGovernor"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of an admission check."""
+
+    allowed: bool
+    #: Seconds the client should wait before retrying (0 when allowed).
+    retry_after: float = 0.0
+
+    @property
+    def retry_after_header(self) -> str:
+        """``Retry-After`` is an integer header; always round up."""
+        return str(max(1, math.ceil(self.retry_after)))
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class RateLimiter:
+    """Classic token bucket, one bucket per client id."""
+
+    def __init__(self, rate: float, burst: int, max_clients: int = 4096) -> None:
+        from repro.errors import ServiceError
+
+        if rate <= 0 or burst < 1:
+            raise ServiceError(
+                f"rate limiter needs rate > 0 and burst >= 1, got {rate}/{burst}"
+            )
+        self.rate = rate
+        self.burst = burst
+        self._max_clients = max_clients
+        self._buckets: dict[str, _Bucket] = {}
+        self._lock = threading.Lock()
+
+    def check(self, client: str, now: float | None = None) -> Decision:
+        """Try to take one token for ``client``."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self._max_clients:
+                    self._buckets.clear()  # bounded memory beats per-client fairness
+                bucket = _Bucket(tokens=float(self.burst), updated=stamp)
+                self._buckets[client] = bucket
+            refill = (stamp - bucket.updated) * self.rate
+            bucket.tokens = min(float(self.burst), bucket.tokens + refill)
+            bucket.updated = stamp
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return Decision(allowed=True)
+            return Decision(
+                allowed=False, retry_after=(1.0 - bucket.tokens) / self.rate
+            )
+
+
+class QueueGovernor:
+    """Global backlog cap with a wall-time-informed retry hint."""
+
+    def __init__(self, limit: int) -> None:
+        from repro.errors import ServiceError
+
+        if limit < 1:
+            raise ServiceError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+
+    def check(
+        self, queued: int, mean_job_wall_s: float, workers: int
+    ) -> Decision:
+        """Admit while the backlog is under the cap.
+
+        The retry hint assumes the backlog drains at
+        ``workers / mean_job_wall_s`` jobs per second; with no wall-time
+        history yet it falls back to one second.
+        """
+        if queued < self.limit:
+            return Decision(allowed=True)
+        per_slot = mean_job_wall_s if mean_job_wall_s > 0 else 1.0
+        drain = per_slot / max(1, workers)
+        return Decision(allowed=False, retry_after=max(1.0, drain))

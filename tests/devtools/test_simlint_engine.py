@@ -26,6 +26,8 @@ class TestRoleInference:
             ("src/repro/predictors/tage.py", ModuleRole.SIM),
             ("src/repro/telemetry/registry.py", ModuleRole.TELEMETRY),
             ("src/repro/cli.py", ModuleRole.CLI),
+            ("src/repro/service/server.py", ModuleRole.SERVICE),
+            ("src/repro/service/api.py", ModuleRole.SERVICE),
             ("src/repro/harness/runner.py", ModuleRole.LIB),
             ("src/repro/devtools/simlint/engine.py", ModuleRole.LIB),
             ("tests/core/test_bht.py", ModuleRole.TEST),

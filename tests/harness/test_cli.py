@@ -20,6 +20,14 @@ class TestParsing:
         assert args.system == "forward-walk-coalesce"
         assert args.branches == 20_000
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8321
+        assert args.workers == 2
+        assert args.executor == "inline"
+        assert args.queue_limit == 64
+        assert not args.no_result_cache
+
 
 class TestPerfCommand:
     def test_perf_writes_report(self, tmp_path, capsys):
@@ -231,6 +239,22 @@ class TestSweepCommand:
         for bad in ("2", "a/b", "1/2/3", ""):
             with pytest.raises(SystemExit):
                 _parse_shard(bad)
+
+    def test_parse_shard_rejects_out_of_range(self):
+        from repro.cli import _parse_shard
+        from repro.errors import ConfigError
+
+        for bad in ("5/4", "0/4", "-1/4", "1/0", "2/-3"):
+            with pytest.raises(ConfigError, match="shard"):
+                _parse_shard(bad)
+
+    def test_sweep_out_of_range_shard_is_an_error_exit(self, capsys):
+        code = main(
+            ["sweep", "--branches", "500", "--per-category", "1",
+             "--systems", "baseline-tage", "--shard", "9/4"]
+        )
+        assert code == 1
+        assert "shard" in capsys.readouterr().err
 
     def test_sweep_sharded(self, capsys):
         code = main(

@@ -140,6 +140,46 @@ class TestDisabling:
         assert cache is not None
 
 
+class TestConcurrentWriters:
+    def test_parallel_stores_never_corrupt_an_entry(self, tiny_spec):
+        """Regression: concurrent same-key writers must stay atomic.
+
+        Before temp names carried thread ids, two server worker threads
+        storing the same entry could collide on one temp file and rename
+        a partially rewritten document into place.
+        """
+        import threading
+
+        result = run_single(tiny_spec, _SYSTEM, _BRANCHES)
+        cache = rc.active_cache()
+        assert cache is not None and result.manifest is not None
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def writer() -> None:
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    cache.store(result)
+                    loaded = cache.load(result.manifest)
+                    assert loaded is not None, "reader saw a torn entry"
+                    assert loaded.cycles == result.cycles
+            except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(_entry_paths()) == 1
+        # No temp-file litter: every writer's rename (or cleanup) ran.
+        assert list(cache.root.glob("*.tmp")) == []
+        reloaded = cache.load(result.manifest)
+        assert reloaded is not None and reloaded.ipc == result.ipc
+
+
 class TestWorkerCountEnv:
     def test_malformed_env_raises_config_error(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "auto")

@@ -1,0 +1,145 @@
+"""Tests for the job store: lifecycle, dedup indexing, eviction, waits."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.api import parse_request
+from repro.service.jobs import JobState, JobStore
+
+
+@pytest.fixture(autouse=True)
+def _no_disk(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+
+
+def _request(branches: int = 2000):
+    return parse_request(
+        {"kind": "run", "workload": "hpc-fft", "branches": branches}
+    )
+
+
+class TestLifecycle:
+    def test_submit_then_finish(self):
+        store = JobStore()
+        job, disposition = store.submit(_request(), "c1")
+        assert disposition == "new" and job.state is JobState.QUEUED
+        store.mark_running(job.job_id)
+        assert store.require(job.job_id).state is JobState.RUNNING
+        store.finish(job.job_id, JobState.DONE, results=[])
+        done = store.require(job.job_id)
+        assert done.state.terminal and done.finished_at is not None
+
+    def test_finish_requires_terminal_state(self):
+        store = JobStore()
+        job, _ = store.submit(_request(), "c1")
+        with pytest.raises(ServiceError):
+            store.finish(job.job_id, JobState.RUNNING)
+
+    def test_require_unknown_id(self):
+        with pytest.raises(ServiceError, match="unknown job id"):
+            JobStore().require("nope")
+
+    def test_counts(self):
+        store = JobStore()
+        a, _ = store.submit(_request(2000), "c1")
+        store.submit(_request(2001), "c1")
+        store.mark_running(a.job_id)
+        counts = store.counts()
+        assert counts["queued"] == 1 and counts["running"] == 1
+
+
+class TestDedup:
+    def test_identical_submission_attaches_in_flight(self):
+        store = JobStore()
+        first, _ = store.submit(_request(), "c1")
+        second, disposition = store.submit(_request(), "c2")
+        assert disposition == "inflight" and second.job_id == first.job_id
+
+    def test_identical_submission_reuses_completed(self):
+        store = JobStore()
+        first, _ = store.submit(_request(), "c1")
+        store.mark_running(first.job_id)
+        store.finish(first.job_id, JobState.DONE, results=[])
+        second, disposition = store.submit(_request(), "c2")
+        assert disposition == "completed" and second.job_id == first.job_id
+
+    def test_failed_jobs_are_not_reused(self):
+        store = JobStore()
+        first, _ = store.submit(_request(), "c1")
+        store.finish(first.job_id, JobState.FAILED, error="boom")
+        second, disposition = store.submit(_request(), "c2")
+        assert disposition == "new" and second.job_id != first.job_id
+
+    def test_different_requests_do_not_collide(self):
+        store = JobStore()
+        a, _ = store.submit(_request(2000), "c1")
+        b, disposition = store.submit(_request(2001), "c1")
+        assert disposition == "new" and a.job_id != b.job_id
+
+
+class TestCancel:
+    def test_cancel_flags_job(self):
+        store = JobStore()
+        job, _ = store.submit(_request(), "c1")
+        cancelled = store.request_cancel(job.job_id)
+        assert cancelled.cancel_requested
+
+    def test_cancel_terminal_job_is_conflict(self):
+        store = JobStore()
+        job, _ = store.submit(_request(), "c1")
+        store.finish(job.job_id, JobState.DONE, results=[])
+        with pytest.raises(ServiceError, match="cannot cancel"):
+            store.request_cancel(job.job_id)
+
+
+class TestEviction:
+    def test_completed_jobs_evict_oldest_first(self):
+        store = JobStore(max_completed=2)
+        ids = []
+        for i in range(3):
+            job, _ = store.submit(_request(3000 + i), "c1")
+            store.finish(job.job_id, JobState.DONE, results=[])
+            ids.append(job.job_id)
+        assert store.get(ids[0]) is None
+        assert store.get(ids[1]) is not None and store.get(ids[2]) is not None
+
+    def test_evicted_key_allows_resubmission(self):
+        store = JobStore(max_completed=1)
+        first, _ = store.submit(_request(2000), "c1")
+        store.finish(first.job_id, JobState.DONE, results=[])
+        filler, _ = store.submit(_request(2001), "c1")
+        store.finish(filler.job_id, JobState.DONE, results=[])
+        again, disposition = store.submit(_request(2000), "c1")
+        assert disposition == "new" and again.job_id != first.job_id
+
+
+class TestWait:
+    def test_wait_returns_on_completion(self):
+        store = JobStore()
+        job, _ = store.submit(_request(), "c1")
+
+        def finisher() -> None:
+            store.finish(job.job_id, JobState.DONE, results=[])
+
+        timer = threading.Timer(0.05, finisher)
+        timer.start()
+        try:
+            waited = store.wait(job.job_id, timeout=5.0)
+        finally:
+            timer.cancel()
+        assert waited.state is JobState.DONE
+
+    def test_wait_times_out_with_current_state(self):
+        store = JobStore()
+        job, _ = store.submit(_request(), "c1")
+        waited = store.wait(job.job_id, timeout=0.05)
+        assert waited.state is JobState.QUEUED
+
+    def test_wait_unknown_id(self):
+        with pytest.raises(ServiceError):
+            JobStore().wait("nope", timeout=0.01)

@@ -1,0 +1,84 @@
+"""Tests for the admission-control gates (rate limiter, queue governor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.limits import Decision, QueueGovernor, RateLimiter
+
+
+class TestDecision:
+    def test_retry_after_header_rounds_up(self):
+        assert Decision(allowed=False, retry_after=0.2).retry_after_header == "1"
+        assert Decision(allowed=False, retry_after=1.0).retry_after_header == "1"
+        assert Decision(allowed=False, retry_after=1.01).retry_after_header == "2"
+
+
+class TestRateLimiter:
+    def test_burst_then_reject(self):
+        limiter = RateLimiter(rate=1.0, burst=3)
+        decisions = [limiter.check("alice", now=100.0) for _ in range(4)]
+        assert [d.allowed for d in decisions] == [True, True, True, False]
+        assert decisions[-1].retry_after > 0
+
+    def test_refill_restores_tokens(self):
+        limiter = RateLimiter(rate=2.0, burst=2)
+        assert limiter.check("bob", now=0.0).allowed
+        assert limiter.check("bob", now=0.0).allowed
+        assert not limiter.check("bob", now=0.0).allowed
+        # 0.5s at 2 tokens/s refills exactly the one token needed.
+        assert limiter.check("bob", now=0.5).allowed
+
+    def test_clients_are_independent(self):
+        limiter = RateLimiter(rate=1.0, burst=1)
+        assert limiter.check("a", now=0.0).allowed
+        assert not limiter.check("a", now=0.0).allowed
+        assert limiter.check("b", now=0.0).allowed
+
+    def test_retry_after_matches_deficit(self):
+        limiter = RateLimiter(rate=0.5, burst=1)
+        limiter.check("c", now=0.0)
+        decision = limiter.check("c", now=0.0)
+        assert decision.retry_after == pytest.approx(2.0)
+
+    def test_tokens_cap_at_burst(self):
+        limiter = RateLimiter(rate=100.0, burst=2)
+        limiter.check("d", now=0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        assert limiter.check("d", now=1000.0).allowed
+        assert limiter.check("d", now=1000.0).allowed
+        assert not limiter.check("d", now=1000.0).allowed
+
+    def test_client_table_is_bounded(self):
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=4)
+        for i in range(10):
+            limiter.check(f"client-{i}", now=0.0)
+        assert len(limiter._buckets) <= 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServiceError):
+            RateLimiter(rate=0.0, burst=1)
+        with pytest.raises(ServiceError):
+            RateLimiter(rate=1.0, burst=0)
+
+
+class TestQueueGovernor:
+    def test_admits_under_limit(self):
+        governor = QueueGovernor(limit=4)
+        assert governor.check(3, mean_job_wall_s=1.0, workers=2).allowed
+
+    def test_rejects_at_limit(self):
+        governor = QueueGovernor(limit=4)
+        decision = governor.check(4, mean_job_wall_s=6.0, workers=2)
+        assert not decision.allowed
+        assert decision.retry_after == pytest.approx(3.0)
+
+    def test_retry_hint_floor_without_history(self):
+        decision = QueueGovernor(limit=1).check(5, mean_job_wall_s=0.0, workers=8)
+        assert not decision.allowed
+        assert decision.retry_after == 1.0
+
+    def test_invalid_limit(self):
+        with pytest.raises(ServiceError):
+            QueueGovernor(limit=0)

@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Load-test harness for the ``repro serve`` job server.
+
+Drives N concurrent clients against a running server (boot one first,
+e.g. ``repro serve --port 8321``), in two phases:
+
+* **cold** — every client submits the same small set of distinct
+  requests concurrently, so identical in-flight submissions pile up and
+  the server's dedup has to collapse them onto single executions;
+* **warm** — the same requests again, which must be answered from the
+  completed-job index or the persistent result cache with **zero** new
+  simulations.
+
+At the end it scrapes ``/metrics`` and prints a summary.  With
+``--smoke`` (the CI mode) it additionally asserts the service-level
+guarantees and exits non-zero if any fail:
+
+    python tools/loadtest.py --base-url http://127.0.0.1:8321 --smoke
+
+Stdlib only; safe to run against a production instance (requests are
+tiny and the warm phase is cache-served).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ClientStats:
+    """Per-thread tally, merged after the run."""
+
+    submitted: int = 0
+    deduplicated: int = 0
+    rate_limited: int = 0
+    errors: list[str] = field(default_factory=list)
+    #: Seconds from submit to terminal state, per completed job.
+    latencies: list[float] = field(default_factory=list)
+
+
+def _post(
+    base: str, payload: dict[str, Any], client_id: str, timeout: float
+) -> tuple[int, dict[str, Any], dict[str, str]]:
+    req = urllib.request.Request(
+        f"{base}/v1/jobs",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json", "X-Client-Id": client_id},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.load(resp), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        body = json.loads(exc.read().decode("utf-8") or "{}")
+        return exc.code, body, dict(exc.headers)
+
+
+def _get_json(base: str, path: str, timeout: float) -> dict[str, Any]:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as resp:
+        payload = json.load(resp)
+    if not isinstance(payload, dict):
+        raise SystemExit(f"unexpected non-object response from {path}")
+    return payload
+
+
+def _run_client(
+    base: str,
+    client_id: str,
+    payloads: list[dict[str, Any]],
+    stats: ClientStats,
+    timeout: float,
+) -> None:
+    for payload in payloads:
+        t0 = time.monotonic()
+        for _attempt in range(20):
+            status, body, headers = _post(base, payload, client_id, timeout)
+            if status != 429:
+                break
+            stats.rate_limited += 1
+            time.sleep(min(5.0, float(headers.get("Retry-After", 1))))
+        else:
+            stats.errors.append(f"{client_id}: gave up after repeated 429s")
+            continue
+        if status not in (200, 202):
+            stats.errors.append(f"{client_id}: HTTP {status}: {body.get('error')}")
+            continue
+        stats.submitted += 1
+        if body.get("deduplicated"):
+            stats.deduplicated += 1
+        job_id = body["job"]["id"]
+        deadline = time.monotonic() + timeout
+        state = body["job"]["state"]
+        while state not in ("done", "failed", "cancelled"):
+            if time.monotonic() > deadline:
+                stats.errors.append(f"{client_id}: job {job_id} timed out in {state}")
+                break
+            out = _get_json(base, f"/v1/jobs/{job_id}?wait=10", timeout + 15)
+            state = out["job"]["state"]
+        if state == "done":
+            stats.latencies.append(time.monotonic() - t0)
+        elif state in ("failed", "cancelled"):
+            stats.errors.append(f"{client_id}: job {job_id} ended {state}")
+
+
+def _parse_metrics(text: str) -> dict[str, float]:
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        if "{" in name:
+            continue
+        try:
+            values[name.strip()] = float(value)
+        except ValueError:
+            continue
+    return values
+
+
+def _scrape(base: str, timeout: float) -> dict[str, float]:
+    with urllib.request.urlopen(f"{base}/metrics", timeout=timeout) as resp:
+        return _parse_metrics(resp.read().decode("utf-8"))
+
+
+def _phase(
+    name: str,
+    base: str,
+    clients: int,
+    payloads: list[dict[str, Any]],
+    timeout: float,
+) -> ClientStats:
+    merged = ClientStats()
+    per_client = [ClientStats() for _ in range(clients)]
+    threads = [
+        threading.Thread(
+            target=_run_client,
+            args=(base, f"loadtest-{i}", payloads, per_client[i], timeout),
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    t0 = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - t0
+    for stats in per_client:
+        merged.submitted += stats.submitted
+        merged.deduplicated += stats.deduplicated
+        merged.rate_limited += stats.rate_limited
+        merged.errors.extend(stats.errors)
+        merged.latencies.extend(stats.latencies)
+    lat = sorted(merged.latencies)
+    p50 = lat[len(lat) // 2] if lat else 0.0
+    p95 = lat[int(len(lat) * 0.95)] if lat else 0.0
+    print(
+        f"{name:5s} {wall:6.1f}s  {merged.submitted} ok, "
+        f"{merged.deduplicated} deduplicated, {merged.rate_limited} x 429, "
+        f"{len(merged.errors)} errors, p50 {p50:.2f}s p95 {p95:.2f}s"
+    )
+    return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=(__doc__ or "").splitlines()[0])
+    parser.add_argument("--base-url", default="http://127.0.0.1:8321")
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads"
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=3, help="distinct requests in the mix"
+    )
+    parser.add_argument(
+        "--branches", type=int, default=2000, help="branches per simulation"
+    )
+    parser.add_argument(
+        "--workload", default="hpc-fft", help="workload every request targets"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="per-job completion timeout"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: assert dedup/queue-depth/zero-warm-sims guarantees",
+    )
+    args = parser.parse_args(argv)
+
+    base = args.base_url.rstrip("/")
+    health = _get_json(base, "/healthz", args.timeout)
+    print(f"server {base}: {health['status']}, executor {health['executor']}")
+
+    payloads = [
+        {
+            "kind": "run",
+            "workload": args.workload,
+            "system": "forward-walk-coalesce",
+            "branches": args.branches + i,
+        }
+        for i in range(args.distinct)
+    ]
+
+    before = _scrape(base, args.timeout)
+    cold = _phase("cold", base, args.clients, payloads, args.timeout)
+    after_cold = _scrape(base, args.timeout)
+    warm = _phase("warm", base, args.clients, payloads, args.timeout)
+    after = _scrape(base, args.timeout)
+
+    def counter(snap: dict[str, float], name: str) -> float:
+        return snap.get(f"repro_service_{name}_total", 0.0)
+
+    cold_sims = counter(after_cold, "sim_runs") - counter(before, "sim_runs")
+    warm_sims = counter(after, "sim_runs") - counter(after_cold, "sim_runs")
+    dedup = (
+        counter(after, "dedup_inflight")
+        + counter(after, "dedup_completed")
+        - counter(before, "dedup_inflight")
+        - counter(before, "dedup_completed")
+    )
+    depth = after.get("repro_service_queue_depth")
+    print(
+        f"metrics: {cold_sims:.0f} cold simulations for {args.distinct} distinct "
+        f"requests, {warm_sims:.0f} warm simulations, {dedup:.0f} dedup hits, "
+        f"queue depth {depth}"
+    )
+
+    failures: list[str] = []
+    failures.extend(cold.errors)
+    failures.extend(warm.errors)
+    if args.smoke:
+        expected = args.clients * args.distinct * 2
+        completed = cold.submitted + warm.submitted
+        if completed != expected:
+            failures.append(f"completed {completed} of {expected} submissions")
+        if dedup < 1:
+            failures.append("no dedup hits recorded despite identical submissions")
+        if cold_sims > args.distinct:
+            failures.append(
+                f"{cold_sims:.0f} cold simulations for only "
+                f"{args.distinct} distinct requests (dedup failed)"
+            )
+        if warm_sims != 0:
+            failures.append(
+                f"warm phase re-simulated {warm_sims:.0f} times (expected 0)"
+            )
+        if depth is None:
+            failures.append("repro_service_queue_depth gauge missing from /metrics")
+        elif depth != 0:
+            failures.append(f"queue depth {depth} after drain (expected 0)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("loadtest passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
