@@ -1,0 +1,125 @@
+"""Baseline file: ratchet new rules in without a big-bang cleanup.
+
+When a new rule lands, pre-existing findings are recorded in a
+committed ``.simlint-baseline.json``; the lint gate then fails only on
+findings *not* in the baseline.  The debt stays visible (the report
+prints the waived count) and can only shrink: re-running
+``--update-baseline`` after fixes drops the fixed entries, and a
+baseline entry never matches more occurrences than it recorded.
+
+Matching is by ``(path, rule, message)`` with an occurrence count —
+deliberately no line numbers, so editing elsewhere in a file does not
+resurrect waived findings, while a *second* identical finding in the
+same file still fails the gate.  Paths are stored relative to the
+baseline file's directory with ``/`` separators, so the file is stable
+across checkouts and operating systems.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.devtools.simlint.model import LintError, Violation
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Conventional committed location, relative to the invocation directory.
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+_VERSION = 1
+
+
+def _rel(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # different drive on Windows
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+class Baseline:
+    """Occurrence-counted waivers keyed on (relative path, rule, message)."""
+
+    def __init__(self, entries: Counter[tuple[str, str, str]], root: str) -> None:
+        self.entries = entries
+        self.root = root
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+    def apply(
+        self, violations: Iterable[Violation]
+    ) -> tuple[list[Violation], int]:
+        """Split findings into (new, waived-count).
+
+        Each baseline entry waives at most its recorded number of
+        occurrences; extras of the same finding are new.
+        """
+        budget = Counter(self.entries)
+        fresh: list[Violation] = []
+        waived = 0
+        for violation in violations:
+            key = (_rel(violation.path, self.root), violation.rule, violation.message)
+            if budget[key] > 0:
+                budget[key] -= 1
+                waived += 1
+            else:
+                fresh.append(violation)
+        return fresh, waived
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; missing file means an empty baseline."""
+    root = os.path.dirname(os.path.abspath(path))
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return Baseline(Counter(), root)
+    except (OSError, ValueError) as exc:
+        raise LintError(f"unreadable baseline {path!r}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise LintError(
+            f"baseline {path!r} has unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    entries: Counter[tuple[str, str, str]] = Counter()
+    for item in data.get("entries", []):
+        try:
+            key = (str(item["path"]), str(item["rule"]), str(item["message"]))
+            count = int(item.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(f"malformed baseline entry in {path!r}: {item!r}") from exc
+        if count > 0:
+            entries[key] += count
+    return Baseline(entries, root)
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> int:
+    """Record the given findings as the new baseline; returns entry count."""
+    root = os.path.dirname(os.path.abspath(path))
+    entries: Counter[tuple[str, str, str]] = Counter(
+        (_rel(v.path, root), v.rule, v.message) for v in violations
+    )
+    payload = {
+        "version": _VERSION,
+        "entries": [
+            {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+            for key, count in sorted(entries.items())
+        ],
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(violations)

@@ -1,0 +1,229 @@
+"""Incremental-analysis cache: skip work whose inputs have not changed.
+
+Two granularities, matching the two rule kinds:
+
+* **per-file** — one JSON record per linted path under ``files/``,
+  keyed on the file's content hash plus the *local* rules signature
+  (IDs and versions).  A hit supplies the file's raw (pre-suppression)
+  findings and its parsed suppression directives, so a warm run never
+  tokenizes or parses the file at all.  Editing a file, or bumping any
+  local rule's ``version``, invalidates exactly that record.
+* **project** — one record for the whole-program pass, keyed on the
+  program hash (every path with its content hash) plus the *project*
+  rules signature.  Any file change misses this record, which is the
+  honest cost of whole-program rules: their output may depend on any
+  module.
+
+Records store raw findings; suppression, ``--select`` and baseline
+filtering always run afterwards so a cached entry stays valid when only
+the filters change.  Corrupt or unreadable records degrade to a miss —
+the cache is an accelerator, never a source of truth.  Writes go
+through a temp file + ``os.replace`` so parallel lint invocations can
+share a directory without torn records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.devtools.simlint.model import Violation
+from repro.devtools.simlint.suppress import Directive
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "FileResult",
+    "LintCache",
+    "file_key",
+    "program_key",
+]
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".simlint-cache"
+
+#: Bump when the record layout changes; part of every key.
+_LAYOUT = "simlint-cache-v1"
+
+
+@dataclass(frozen=True, slots=True)
+class FileResult:
+    """Everything the local pass learned about one file."""
+
+    #: Raw findings (pre-suppression), including PARSE001.
+    violations: tuple[Violation, ...]
+    #: Parsed suppression directives, in source order.
+    directives: tuple[Directive, ...]
+    #: False when the file failed to parse (no AST for the model).
+    parse_ok: bool
+
+
+def file_key(source: str, local_signature: str) -> str:
+    """Cache key for one file's local pass."""
+    digest = hashlib.sha256()
+    digest.update(_LAYOUT.encode())
+    digest.update(local_signature.encode())
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8", "surrogatepass"))
+    return digest.hexdigest()
+
+
+def program_key(
+    file_hashes: Iterable[tuple[str, str]], project_signature: str
+) -> str:
+    """Cache key for the whole-program pass.
+
+    ``file_hashes`` is (path, per-file key) for every discovered file —
+    the per-file key already folds in content and local rule versions,
+    and the project signature folds in the project rules.
+    """
+    digest = hashlib.sha256()
+    digest.update(_LAYOUT.encode())
+    digest.update(project_signature.encode())
+    for path, key in sorted(file_hashes):
+        digest.update(b"\x00")
+        digest.update(path.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x01")
+        digest.update(key.encode())
+    return digest.hexdigest()
+
+
+def _violation_to_dict(violation: Violation) -> dict[str, Any]:
+    return violation.as_dict()
+
+
+def _violation_from_dict(data: dict[str, Any]) -> Violation:
+    return Violation(
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule=str(data["rule"]),
+        message=str(data["message"]),
+    )
+
+
+def _directive_to_dict(directive: Directive) -> dict[str, Any]:
+    return {
+        "line": directive.line,
+        "kind": directive.kind,
+        "rules": list(directive.rules),
+        "malformed": list(directive.malformed),
+    }
+
+
+def _directive_from_dict(data: dict[str, Any]) -> Directive:
+    return Directive(
+        line=int(data["line"]),
+        kind=str(data["kind"]),
+        rules=tuple(str(rule) for rule in data["rules"]),
+        malformed=tuple(str(entry) for entry in data["malformed"]),
+    )
+
+
+class LintCache:
+    """Filesystem-backed incremental cache (``root=None`` disables it)."""
+
+    def __init__(self, root: str | None) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------- #
+    # low-level record I/O
+
+    def _record_path(self, bucket: str, name: str) -> str | None:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, bucket, name)
+
+    def _read(self, path: str | None, key: str) -> dict[str, Any] | None:
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None
+        return record
+
+    def _write(self, path: str | None, record: dict[str, Any]) -> None:
+        if path is None:
+            return
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # Cache directory unusable (read-only checkout, quota):
+            # linting still works, just cold.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------- #
+    # per-file records
+
+    def _file_record(self, path: str) -> str | None:
+        name = hashlib.sha256(path.encode("utf-8", "surrogatepass")).hexdigest()
+        return self._record_path("files", f"{name[:32]}.json")
+
+    def load_file(self, path: str, key: str) -> FileResult | None:
+        record = self._read(self._file_record(path), key)
+        if record is None:
+            return None
+        try:
+            return FileResult(
+                violations=tuple(
+                    _violation_from_dict(item) for item in record["violations"]
+                ),
+                directives=tuple(
+                    _directive_from_dict(item) for item in record["directives"]
+                ),
+                parse_ok=bool(record["parse_ok"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_file(self, path: str, key: str, result: FileResult) -> None:
+        self._write(
+            self._file_record(path),
+            {
+                "key": key,
+                "path": path,
+                "violations": [
+                    _violation_to_dict(v) for v in result.violations
+                ],
+                "directives": [
+                    _directive_to_dict(d) for d in result.directives
+                ],
+                "parse_ok": result.parse_ok,
+            },
+        )
+
+    # ------------------------------------------------------------- #
+    # whole-program record
+
+    def load_project(self, key: str) -> tuple[Violation, ...] | None:
+        record = self._read(self._record_path("", "project.json"), key)
+        if record is None:
+            return None
+        try:
+            return tuple(
+                _violation_from_dict(item) for item in record["violations"]
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_project(self, key: str, violations: Iterable[Violation]) -> None:
+        self._write(
+            self._record_path("", "project.json"),
+            {
+                "key": key,
+                "violations": [_violation_to_dict(v) for v in violations],
+            },
+        )

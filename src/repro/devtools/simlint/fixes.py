@@ -1,0 +1,287 @@
+"""``repro lint --fix``: mechanical repairs for the mechanical rules.
+
+Only rule classes whose remedy is purely syntactic are automated:
+
+* **STALE001** — dead suppression directives: stale rule ids are
+  dropped from the bracket list; a directive with nothing live left is
+  deleted (the whole line when nothing else is on it);
+* **IMP001** — unused imports: the dead alias is removed from its
+  statement, or the statement is deleted when every alias on it is
+  dead;
+* **ERR001** (raise form only) — ``raise ValueError(...)`` for a
+  library failure becomes ``raise ReproError(...)``, importing it if
+  needed.  The substitute is the hierarchy root on purpose: choosing
+  the precise subclass is a judgement call, and a too-specific guess
+  is worse than an honest general one.  Broad-handler findings are
+  *not* auto-fixed — what to catch instead needs a human.
+
+Fixes honour suppressions (a suppressed finding is a decision, not a
+defect) and never touch a line the analysis did not flag.  All edits
+for one file are planned against the original line numbering and
+applied in a single pass through an edit map, so fix classes cannot
+invalidate each other's positions.  The fixer rewrites files in place;
+callers re-lint afterwards — the edits invalidate the incremental
+cache via the content hash, so nothing special is needed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.devtools.simlint.cache import LintCache
+from repro.devtools.simlint.engine import (
+    _local_pass,
+    _project_pass,
+    iter_python_files,
+)
+from repro.devtools.simlint.model import STALE_RULE_ID, Violation
+from repro.devtools.simlint.rules.imports import unused_import_aliases
+from repro.devtools.simlint.rules.stale import stale_rule_ids
+from repro.devtools.simlint.suppress import Suppressions, from_directives
+
+__all__ = ["Fix", "apply_fixes", "fix_source"]
+
+_IMP_RULE = "IMP001"
+_ERR_RULE = "ERR001"
+
+#: The whole directive comment, through its trailing justification.
+_DIRECTIVE_SPAN = re.compile(
+    r"\s*#\s*simlint:\s*ignore(?:-file)?\[[^\]\n]*\][^#\n]*"
+)
+
+_ERR_NAME = re.compile(r"^raise (\w+) ")
+
+
+@dataclass(frozen=True, slots=True)
+class Fix:
+    """One applied repair, for the ``--fix`` summary."""
+
+    path: str
+    line: int
+    rule: str
+    description: str
+
+
+class _Edits:
+    """Line-indexed edit map over one file's original numbering."""
+
+    def __init__(self, lines: list[str]) -> None:
+        self.lines = lines
+        #: 0-based index → replacement text, or None for deletion.
+        self.changed: dict[int, str | None] = {}
+
+    def current(self, index: int) -> str | None:
+        if index in self.changed:
+            return self.changed[index]
+        if 0 <= index < len(self.lines):
+            return self.lines[index]
+        return None
+
+    def put(self, index: int, text: str | None) -> None:
+        self.changed[index] = text
+
+    def render(self, insert: tuple[int, str] | None) -> str:
+        """Final text; ``insert`` is (original line index, new line)."""
+        out: list[str] = []
+        for index, line in enumerate(self.lines):
+            if insert is not None and index == insert[0]:
+                out.append(insert[1])
+            text = self.current(index)
+            if text is not None:
+                out.append(text)
+        if insert is not None and insert[0] >= len(self.lines):
+            out.append(insert[1])
+        return "\n".join(out)
+
+
+def _plan_raises(
+    edits: _Edits, findings: list[Violation], path: str
+) -> tuple[list[Fix], bool]:
+    fixes: list[Fix] = []
+    converted = False
+    for violation in sorted(findings, key=lambda v: v.line):
+        match = _ERR_NAME.match(violation.message)
+        if match is None:
+            continue  # handler-form finding: not mechanically fixable
+        name = match.group(1)
+        index = violation.line - 1
+        text = edits.current(index)
+        if text is None:
+            continue
+        new_text, count = re.subn(
+            rf"\braise\s+{re.escape(name)}\b", "raise ReproError", text, count=1
+        )
+        if count == 0:
+            continue
+        edits.put(index, new_text)
+        converted = True
+        fixes.append(
+            Fix(path, violation.line, _ERR_RULE, f"raise {name} -> raise ReproError")
+        )
+    return fixes, converted
+
+
+def _plan_imports(
+    edits: _Edits, tree: ast.Module, flagged_lines: set[int], path: str
+) -> list[Fix]:
+    dead_by_stmt: dict[ast.Import | ast.ImportFrom, list[ast.alias]] = {}
+    for node, alias, _ in unused_import_aliases(tree):
+        if node.lineno in flagged_lines:
+            dead_by_stmt.setdefault(node, []).append(alias)
+    fixes: list[Fix] = []
+    for node in sorted(dead_by_stmt, key=lambda n: n.lineno):
+        dead = dead_by_stmt[node]
+        keep = [alias for alias in node.names if alias not in dead]
+        start = node.lineno - 1
+        end = (node.end_lineno or node.lineno) - 1
+        names = ", ".join(
+            alias.name if alias.asname is None else f"{alias.name} as {alias.asname}"
+            for alias in dead
+        )
+        if keep:
+            original = edits.current(start) or ""
+            indent = original[: len(original) - len(original.lstrip())]
+            stmt: ast.stmt
+            if isinstance(node, ast.Import):
+                stmt = ast.Import(names=keep)
+            else:
+                stmt = ast.ImportFrom(module=node.module, names=keep, level=node.level)
+            rendered = ast.unparse(
+                ast.fix_missing_locations(ast.Module(body=[stmt], type_ignores=[]))
+            )
+            edits.put(start, indent + rendered)
+            description = f"removed unused import name(s) {names}"
+        else:
+            edits.put(start, None)
+            description = f"removed unused import statement ({names})"
+        for index in range(start + 1, end + 1):
+            edits.put(index, None)
+        fixes.append(Fix(path, node.lineno, _IMP_RULE, description))
+    return fixes
+
+
+def _plan_stale(
+    edits: _Edits,
+    suppressions: Suppressions,
+    raw: list[Violation],
+    path: str,
+) -> list[Fix]:
+    # Only directives the analysis actually reported are touched: the
+    # rule exempts TEST-role files (directive fixtures are directives
+    # by design), and the fixer must honour that exemption too.
+    flagged_lines = {v.line for v in raw if v.rule == STALE_RULE_ID}
+    fixes: list[Fix] = []
+    for directive in suppressions.directives:
+        if directive.line not in flagged_lines:
+            continue
+        dead = {entry for entry, _ in stale_rule_ids(directive, raw)}
+        if not dead:
+            continue
+        index = directive.line - 1
+        text = edits.current(index)
+        if text is None:
+            continue  # the line is already gone (e.g. a dead import)
+        live = [rule for rule in directive.rules if rule not in dead]
+        if live:
+            new_text = _DIRECTIVE_SPAN.sub(
+                lambda m: re.sub(
+                    r"\[[^\]]*\]", f"[{','.join(live)}]", m.group(0), count=1
+                ),
+                text,
+                count=1,
+            )
+            description = f"dropped stale rule ids {sorted(dead)} from suppression"
+        else:
+            new_text = _DIRECTIVE_SPAN.sub("", text, count=1)
+            description = "removed suppression that silenced nothing"
+        if new_text == text:
+            continue
+        edits.put(index, None if not new_text.strip() else new_text)
+        fixes.append(Fix(path, directive.line, STALE_RULE_ID, description))
+    return fixes
+
+
+def _import_anchor(tree: ast.Module) -> int:
+    """Original line index the ReproError import is inserted at."""
+    anchor = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            anchor = node.end_lineno or node.lineno
+        elif (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            and anchor == 0
+        ):
+            anchor = node.end_lineno or node.lineno  # module docstring
+        else:
+            break
+    return anchor
+
+
+def fix_source(
+    path: str,
+    source: str,
+    raw: list[Violation],
+    suppressions: Suppressions,
+) -> tuple[str, list[Fix]]:
+    """Apply every mechanical fix to one file's text; pure function."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError):
+        return source, []  # PARSE001 territory; nothing mechanical to do
+    active = [v for v in raw if not suppressions.covers(v)]
+    edits = _Edits(source.splitlines())
+    fixes: list[Fix] = []
+    err_fixes, converted = _plan_raises(
+        edits, [v for v in active if v.rule == _ERR_RULE], path
+    )
+    fixes.extend(err_fixes)
+    fixes.extend(
+        _plan_imports(
+            edits, tree, {v.line for v in active if v.rule == _IMP_RULE}, path
+        )
+    )
+    fixes.extend(_plan_stale(edits, suppressions, raw, path))
+    insert: tuple[int, str] | None = None
+    if converted and not re.search(r"\bReproError\b", source):
+        insert = (_import_anchor(tree), "from repro.errors import ReproError")
+    if not fixes:
+        return source, []
+    text = edits.render(insert)
+    if source.endswith("\n") and not text.endswith("\n"):
+        text += "\n"
+    return text, fixes
+
+
+def apply_fixes(
+    paths: Sequence[str],
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[Fix]:
+    """Run the analysis, rewrite files in place, return what changed."""
+    files = iter_python_files(paths)
+    cache = LintCache(cache_dir)
+    sources, results, _ = _local_pass(files, cache, jobs)
+    suppressions = {
+        p: from_directives(result.directives) for p, result in results.items()
+    }
+    raw_by_path: dict[str, list[Violation]] = {
+        p: list(result.violations) for p, result in results.items()
+    }
+    for violation in _project_pass(sources, results, suppressions):
+        raw_by_path.setdefault(violation.path, []).append(violation)
+    applied: list[Fix] = []
+    for path in files:
+        new_source, fixes = fix_source(
+            path, sources[path], raw_by_path.get(path, []), suppressions[path]
+        )
+        if fixes and new_source != sources[path]:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(new_source)
+            applied.extend(fixes)
+    return applied

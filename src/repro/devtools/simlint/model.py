@@ -20,6 +20,7 @@ from repro.errors import ReproError
 __all__ = [
     "LintError",
     "ModuleRole",
+    "RuleKind",
     "FileContext",
     "Violation",
     "Rule",
@@ -27,16 +28,45 @@ __all__ = [
     "REGISTRY",
     "register",
     "all_rules",
+    "local_rules",
+    "project_rules",
+    "rules_signature",
     "PARSE_RULE_ID",
+    "STALE_RULE_ID",
+    "UNSUPPRESSABLE_RULES",
 ]
 
 #: Pseudo-rule reported when a target file does not parse.  It cannot be
 #: suppressed (an unparseable file cannot carry trustworthy comments).
 PARSE_RULE_ID = "PARSE001"
 
+#: Stale-suppression rule: a directive that silences nothing is itself a
+#: violation.  Computed by the engine from every other rule's raw output
+#: (see ``rules/stale.py`` for the registry entry), and unsuppressable —
+#: a suppression of a stale-suppression finding could never match.
+STALE_RULE_ID = "STALE001"
+
+#: Rules suppression comments can never silence.
+UNSUPPRESSABLE_RULES = frozenset({PARSE_RULE_ID, STALE_RULE_ID})
+
 
 class LintError(ReproError):
     """simlint was invoked incorrectly (bad rule id, missing path)."""
+
+
+class RuleKind(enum.Enum):
+    """How a rule's checker is driven by the engine.
+
+    ``LOCAL`` checkers see one :class:`FileContext` at a time and their
+    results are cacheable per file.  ``PROJECT`` checkers run once per
+    lint invocation against the whole
+    :class:`~repro.devtools.simlint.program.ProgramModel` — they may
+    follow the call graph across modules, so any file change invalidates
+    their cached output as a unit.
+    """
+
+    LOCAL = "local"
+    PROJECT = "project"
 
 
 class ModuleRole(enum.Enum):
@@ -116,8 +146,15 @@ class Rule:
     #: The invariant this rule protects, shown by ``--list-rules``.
     invariant: str
     #: Roles the rule applies to; other files are skipped silently.
+    #: Project rules use this to scope which files they *report into*.
     roles: frozenset[ModuleRole]
-    check: Callable[[FileContext], Iterator[Violation]] = field(compare=False)
+    #: Local checkers take a FileContext, project checkers a ProgramModel.
+    check: Callable[..., Iterator[Violation]] = field(compare=False)
+    #: Bumped whenever the checker's behaviour changes; part of the
+    #: incremental-cache key so stale cached findings never survive a
+    #: rule upgrade.
+    version: int = 1
+    kind: RuleKind = RuleKind.LOCAL
 
     def applies(self, role: ModuleRole) -> bool:
         return role in self.roles
@@ -134,10 +171,14 @@ def register(
     summary: str,
     invariant: str,
     roles: Iterable[ModuleRole],
-) -> Callable[[Checker], Checker]:
+    version: int = 1,
+    kind: RuleKind = RuleKind.LOCAL,
+) -> Callable[[Callable[..., Iterator[Violation]]], Callable[..., Iterator[Violation]]]:
     """Class/function decorator adding a checker to :data:`REGISTRY`."""
 
-    def deco(check: Checker) -> Checker:
+    def deco(
+        check: Callable[..., Iterator[Violation]],
+    ) -> Callable[..., Iterator[Violation]]:
         if rule_id in REGISTRY:
             raise LintError(f"duplicate simlint rule id {rule_id!r}")
         REGISTRY[rule_id] = Rule(
@@ -146,6 +187,8 @@ def register(
             invariant=invariant,
             roles=frozenset(roles),
             check=check,
+            version=version,
+            kind=kind,
         )
         return check
 
@@ -155,3 +198,28 @@ def register(
 def all_rules() -> list[Rule]:
     """Registered rules in stable (ID) order."""
     return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+def local_rules() -> list[Rule]:
+    """Per-file rules in stable order (the cacheable set)."""
+    return [rule for rule in all_rules() if rule.kind is RuleKind.LOCAL]
+
+
+def project_rules() -> list[Rule]:
+    """Whole-program rules in stable order."""
+    return [rule for rule in all_rules() if rule.kind is RuleKind.PROJECT]
+
+
+def rules_signature(rules: Iterable[Rule]) -> str:
+    """Stable fingerprint of a rule set: IDs plus versions.
+
+    Cache entries embed this so bumping any rule's ``version`` (or
+    adding/removing a rule) invalidates exactly the findings that could
+    differ.
+    """
+    return ",".join(f"{rule.rule_id}:{rule.version}" for rule in sorted_rules(rules))
+
+
+def sorted_rules(rules: Iterable[Rule]) -> list[Rule]:
+    """Rules sorted by ID (the project's canonical order)."""
+    return sorted(rules, key=lambda rule: rule.rule_id)

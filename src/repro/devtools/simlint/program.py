@@ -1,0 +1,409 @@
+"""Whole-program model: module graph, symbol table, call graph.
+
+Local rules see one file at a time; the rules that guard concurrency
+and determinism need to follow a value *across* modules — ``DET002``
+asks "does wall-clock time flow into anything the simulation core can
+reach?", which is unanswerable per file.  This module builds the shared
+substrate those rules query:
+
+* a **module graph** — every linted file, its inferred dotted module
+  name, role, parse tree and import table;
+* a **symbol table** — every top-level function, class, and method,
+  addressable by qualified name (``repro.core.bht.BHT.update``);
+* a **call graph** — resolved call edges between those symbols, built
+  from syntactic evidence only: direct names, imported aliases,
+  ``module.attr`` chains, ``self``/``cls`` method calls (including
+  single-level base-class resolution), and constructor calls.
+
+The resolver is deliberately an *under*-approximation: an edge exists
+only when the callee is identified with confidence, so project rules
+built on reachability produce no speculative findings from dynamic
+dispatch.  The cost is that truly dynamic calls (telemetry handles,
+callbacks) are invisible — which is the right trade for a gate that
+must stay near zero false positives.
+
+The engine attaches each file's raw (pre-suppression) findings and its
+parsed suppression directives to the model so late passes like
+``STALE001`` can cross-reference them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.devtools.simlint.model import ModuleRole, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.simlint.suppress import Suppressions
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramModel",
+    "build_program",
+    "dotted_chain",
+    "module_name_for",
+]
+
+#: Subpackages forming the simulation core: the detailed engine and the
+#: structures it drives every cycle.  Reachability for DET002/PURE001
+#: starts here.
+CORE_PREFIXES = ("repro.core", "repro.pipeline", "repro.predictors")
+
+#: Top-level trees outside ``src`` that map onto module names.
+_TOP_DIRS = frozenset({"tools", "benchmarks", "examples", "tests"})
+
+
+def dotted_chain(node: ast.expr) -> tuple[str, ...]:
+    """Flatten ``a.b.c`` into ``("a","b","c")``; empty when impure."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def module_name_for(parts: Sequence[str]) -> str:
+    """Dotted module name for normalised path parts.
+
+    ``("src","repro","core","bht.py")`` → ``repro.core.bht``;
+    ``("tools","loadtest.py")`` → ``tools.loadtest``; files outside any
+    recognised tree fall back to their basename.
+    """
+    tail: Sequence[str] = parts
+    if "repro" in parts:
+        tail = parts[parts.index("repro") :]
+    else:
+        for index, part in enumerate(parts):
+            if part in _TOP_DIRS:
+                tail = parts[index:]
+                break
+        else:
+            tail = parts[-1:]
+    pieces = list(tail)
+    if not pieces:
+        return ""
+    last = pieces[-1]
+    if last.endswith(".py"):
+        last = last[: -len(".py")]
+    if last == "__init__":
+        pieces = pieces[:-1]
+    else:
+        pieces[-1] = last
+    return ".".join(pieces)
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """Location of one resolved call edge (for violation reporting)."""
+
+    path: str
+    line: int
+    col: int
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method in the symbol table."""
+
+    qname: str
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    role: ModuleRole
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One linted file in the module graph."""
+
+    name: str
+    path: str
+    role: ModuleRole
+    source: str
+    tree: ast.Module
+    is_package: bool
+    #: Local binding → fully qualified target it was imported as.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Class name → base-class names (qualified where resolvable).
+    bases: dict[str, list[str]] = field(default_factory=dict)
+
+
+class ProgramModel:
+    """Queryable program-wide facts for project rules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: Caller qname → callee qnames.
+        self.calls: dict[str, set[str]] = {}
+        #: (caller, callee) → first syntactic call site.
+        self.call_sites: dict[tuple[str, str], CallSite] = {}
+        #: Raw per-file findings (pre-suppression), attached by the engine.
+        self.raw_violations: dict[str, list[Violation]] = {}
+        #: Parsed suppression sets per path, attached by the engine.
+        self.suppressions: "dict[str, Suppressions]" = {}
+
+    # ------------------------------------------------------------- #
+    # construction
+
+    def add_module(self, info: ModuleInfo) -> None:
+        self.modules[info.name] = info
+        self.by_path[info.path] = info
+
+    def index_symbols(self) -> None:
+        """Populate the symbol table from every registered module."""
+        for info in self.modules.values():
+            for func in _iter_defs(info):
+                self.functions[func.qname] = func
+
+    def link_calls(self) -> None:
+        """Resolve call edges; requires :meth:`index_symbols` first."""
+        for info in self.modules.values():
+            for func in _iter_defs(info):
+                callees = self.calls.setdefault(func.qname, set())
+                for call in _iter_calls(func.node):
+                    target = self.resolve_call(info, call.func, func.cls)
+                    if target is None or target == func.qname:
+                        continue
+                    callees.add(target)
+                    self.call_sites.setdefault(
+                        (func.qname, target),
+                        CallSite(path=info.path, line=call.lineno, col=call.col_offset),
+                    )
+
+    # ------------------------------------------------------------- #
+    # resolution
+
+    def resolve_call(
+        self, module: ModuleInfo, callee: ast.expr, cls: str | None
+    ) -> str | None:
+        """Qualified name of a call target, or None when unresolvable."""
+        chain = dotted_chain(callee)
+        if not chain:
+            return None
+        if chain[0] in ("self", "cls"):
+            if cls is None or len(chain) != 2:
+                return None
+            return self._resolve_method(module, cls, chain[1])
+        target = module.imports.get(chain[0])
+        if target is not None:
+            return self._lookup(".".join((target, *chain[1:])))
+        return self._lookup(f"{module.name}." + ".".join(chain))
+
+    def _resolve_method(self, module: ModuleInfo, cls: str, name: str) -> str | None:
+        found = self._lookup_exact(f"{module.name}.{cls}.{name}")
+        if found is not None:
+            return found
+        for base in module.bases.get(cls, []):
+            found = self._lookup_exact(f"{base}.{name}")
+            if found is not None:
+                return found
+        return None
+
+    def _lookup_exact(self, qname: str) -> str | None:
+        return qname if qname in self.functions else None
+
+    def _lookup(self, qname: str) -> str | None:
+        if qname in self.functions:
+            return qname
+        # A bare class call is its constructor.
+        init = f"{qname}.__init__"
+        if init in self.functions:
+            return init
+        return None
+
+    # ------------------------------------------------------------- #
+    # queries
+
+    def functions_in(self, *prefixes: str) -> Iterator[FunctionInfo]:
+        """Functions whose module name starts with any given prefix."""
+        for func in self.functions.values():
+            if any(
+                func.module == prefix or func.module.startswith(prefix + ".")
+                for prefix in prefixes
+            ):
+                yield func
+
+    def reachable_from(self, roots: Iterable[str]) -> dict[str, str | None]:
+        """BFS closure over the call graph.
+
+        Returns ``{qname: predecessor}`` for every reachable function
+        (roots map to None), so callers can rebuild the witness path a
+        finding travelled.  Iteration order is made deterministic by
+        sorting at every frontier.
+        """
+        parents: dict[str, str | None] = {}
+        frontier = deque(sorted(set(roots) & set(self.functions)))
+        for root in frontier:
+            parents[root] = None
+        while frontier:
+            current = frontier.popleft()
+            for callee in sorted(self.calls.get(current, ())):
+                if callee not in parents:
+                    parents[callee] = current
+                    frontier.append(callee)
+        return parents
+
+    def core_reachable(self) -> dict[str, str | None]:
+        """Functions reachable from the simulation core (with parents)."""
+        roots = [func.qname for func in self.functions_in(*CORE_PREFIXES)]
+        return self.reachable_from(roots)
+
+    def witness_path(
+        self, parents: dict[str, str | None], qname: str, limit: int = 6
+    ) -> list[str]:
+        """Root → ``qname`` chain recovered from a BFS parent map."""
+        path = [qname]
+        seen = {qname}
+        while True:
+            parent = parents.get(path[-1])
+            if parent is None or parent in seen:
+                break
+            path.append(parent)
+            seen.add(parent)
+        path.reverse()
+        if len(path) > limit:
+            path = path[: limit - 1] + ["...", path[-1]]
+        return path
+
+
+def build_program(
+    entries: Iterable[tuple[str, ModuleRole, str, ast.Module, Sequence[str]]],
+) -> ProgramModel:
+    """Assemble a :class:`ProgramModel` from parsed files.
+
+    ``entries`` yields ``(path, role, source, tree, parts)`` tuples —
+    exactly what the engine already has in hand after the local pass.
+    Files that failed to parse are simply absent (they carry a
+    ``PARSE001`` finding instead).
+    """
+    model = ProgramModel()
+    for path, role, source, tree, parts in entries:
+        name = module_name_for(parts)
+        if not name:
+            continue
+        info = ModuleInfo(
+            name=name,
+            path=path,
+            role=role,
+            source=source,
+            tree=tree,
+            is_package=parts[-1] == "__init__.py" if parts else False,
+        )
+        _collect_imports(info)
+        model.add_module(info)
+    model.index_symbols()
+    _resolve_bases(model)
+    model.link_calls()
+    return model
+
+
+# ----------------------------------------------------------------- #
+# construction helpers
+
+
+def _package_of(info: ModuleInfo) -> str:
+    if info.is_package:
+        return info.name
+    return info.name.rpartition(".")[0]
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    """Fill ``info.imports`` and raw class-base names from the tree."""
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    info.imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    info.imports.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                package = _package_of(info)
+                for _ in range(node.level - 1):
+                    package = package.rpartition(".")[0]
+                base = f"{package}.{base}" if base else package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    for node in info.tree.body:
+        if isinstance(node, ast.ClassDef):
+            info.bases[node.name] = [
+                ".".join(chain) for base in node.bases if (chain := dotted_chain(base))
+            ]
+
+
+def _resolve_bases(model: ProgramModel) -> None:
+    """Qualify base-class names through each module's import table."""
+    for info in model.modules.values():
+        for cls, bases in info.bases.items():
+            resolved: list[str] = []
+            for base in bases:
+                head, _, rest = base.partition(".")
+                target = info.imports.get(head)
+                if target is not None:
+                    qualified = f"{target}.{rest}" if rest else target
+                elif f"{info.name}.{base}" in model.modules or any(
+                    qname.startswith(f"{info.name}.{base}.")
+                    for qname in model.functions
+                ):
+                    qualified = f"{info.name}.{base}"
+                else:
+                    qualified = base
+                resolved.append(qualified)
+            info.bases[cls] = resolved
+
+
+def _iter_defs(info: ModuleInfo) -> Iterator[FunctionInfo]:
+    """Top-level functions and class methods of one module."""
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield FunctionInfo(
+                qname=f"{info.name}.{node.name}",
+                module=info.name,
+                cls=None,
+                name=node.name,
+                node=node,
+                path=info.path,
+                role=info.role,
+            )
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield FunctionInfo(
+                        qname=f"{info.name}.{node.name}.{item.name}",
+                        module=info.name,
+                        cls=node.name,
+                        name=item.name,
+                        node=item,
+                        path=info.path,
+                        role=info.role,
+                    )
+
+
+def _iter_calls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Every call in a function body, including nested scopes.
+
+    Nested functions and lambdas execute (at the latest) when their
+    enclosing function runs callbacks it created, so their calls are
+    attributed to the enclosing symbol — a sound over-approximation for
+    taint purposes.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            yield node

@@ -15,9 +15,13 @@ __all__ = ["load", "RULE_MODULES"]
 #: Module basenames registering rules, in rule-ID order.
 RULE_MODULES: tuple[str, ...] = (
     "api",  # API001
-    "determinism",  # DET001
+    "determinism",  # DET001, DET002
     "errors",  # ERR001
+    "imports",  # IMP001
+    "locking",  # LOCK001, LOCK002
+    "purity",  # PURE001
     "speculative",  # SPEC001
+    "stale",  # STALE001
     "telemetry",  # TEL001
 )
 

@@ -19,18 +19,46 @@ loses that property inside simulation modules:
 Named set variables are *not* tracked (that needs type inference); the
 rule intentionally only flags syntactically-obvious sources so it stays
 zero-false-positive on the tree it guards.
+
+DET002 — interprocedural determinism taint
+------------------------------------------
+
+``DET001`` is local: it only sees simulation modules, so a helper in
+``repro.harness`` that reads the wall clock is invisible even when the
+detailed engine calls it every cycle.  ``DET002`` closes that hole with
+the call graph: every function reachable from the simulation core
+(:data:`~repro.devtools.simlint.program.CORE_PREFIXES`) is scanned for
+the same nondeterminism sources — plus ``os.urandom`` and ``id()`` of
+an object, whose values change across processes — and each finding
+carries the witness path the core takes to reach it.  Inside SIM-role
+files the DET001-covered source kinds are skipped (one finding per
+defect, at the stronger local rule); ``urandom``/``id`` are new and
+reported everywhere.  Telemetry and tests are exempt: observability may
+read the clock by design (its *write path* is PURE001's business), and
+tests are white-box.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
-from repro.devtools.simlint.model import FileContext, ModuleRole, Violation, register
+from repro.devtools.simlint.model import (
+    FileContext,
+    ModuleRole,
+    RuleKind,
+    Violation,
+    register,
+)
 
-__all__ = ["check_determinism"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.simlint.program import ProgramModel
+
+__all__ = ["check_determinism", "check_determinism_taint"]
 
 _RULE = "DET001"
+_RULE_TAINT = "DET002"
 
 #: Functions on the module-global (unseeded) RNG.
 _GLOBAL_RANDOM_FNS = frozenset(
@@ -214,3 +242,111 @@ def check_determinism(ctx: FileContext) -> Iterator[Violation]:
     visitor = _Visitor(ctx)
     visitor.visit(ctx.tree)
     yield from visitor.found
+
+
+# ----------------------------------------------------------------- #
+# DET002 — taint through the call graph
+
+
+#: Source kinds DET001 already flags locally inside SIM modules.
+_LOCAL_KINDS = frozenset({"global-random", "wall-clock", "env", "set-iter"})
+
+#: Roles DET002 reports into.  TELEMETRY is exempt (clock reads are its
+#: job; PURE001 audits its write path) and TEST files are white-box.
+_TAINT_ROLES = frozenset(
+    {
+        ModuleRole.SIM,
+        ModuleRole.LIB,
+        ModuleRole.CLI,
+        ModuleRole.SERVICE,
+        ModuleRole.TOOL,
+        ModuleRole.UNKNOWN,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _Source:
+    """One syntactic nondeterminism source inside a function body."""
+
+    node: ast.AST
+    kind: str
+    what: str
+
+
+def iter_sources(root: ast.AST) -> Iterator[_Source]:
+    """Nondeterminism sources anywhere under ``root`` (incl. nested defs)."""
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            chain = _dotted(node.func)
+            if (
+                len(chain) == 2
+                and chain[0] == "random"
+                and chain[1] in _GLOBAL_RANDOM_FNS
+            ):
+                yield _Source(node, "global-random", f"random.{chain[1]}()")
+            elif len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK:
+                yield _Source(node, "wall-clock", f"{'.'.join(chain)}()")
+            elif chain == ("os", "urandom"):
+                yield _Source(node, "urandom", "os.urandom()")
+            elif chain == ("os", "getenv") or chain[-2:] == ("environ", "get"):
+                yield _Source(node, "env", "an environment read")
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and node.args
+                and not isinstance(node.args[0], ast.Constant)
+            ):
+                yield _Source(node, "id", "id() of an object")
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _ITERATING_BUILTINS
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                yield _Source(node, "set-iter", f"{node.func.id}() over a set")
+        elif isinstance(node, ast.Subscript):
+            if _dotted(node.value) == ("os", "environ") and isinstance(
+                node.ctx, ast.Load
+            ):
+                yield _Source(node, "env", "an os.environ[...] read")
+        elif isinstance(node, ast.For):
+            if _is_set_expr(node.iter):
+                yield _Source(node.iter, "set-iter", "iteration over a set")
+        elif isinstance(node, ast.comprehension):
+            if _is_set_expr(node.iter):
+                yield _Source(node.iter, "set-iter", "iteration over a set")
+
+
+@register(
+    _RULE_TAINT,
+    summary="nondeterminism source reachable from the simulation core",
+    invariant="every function the detailed engine can call is deterministic",
+    roles=_TAINT_ROLES,
+    version=1,
+    kind=RuleKind.PROJECT,
+)
+def check_determinism_taint(model: "ProgramModel") -> Iterator[Violation]:
+    parents = model.core_reachable()
+    for qname in sorted(parents):
+        func = model.functions.get(qname)
+        if func is None or func.role not in _TAINT_ROLES:
+            continue
+        trail: str | None = None
+        for source in iter_sources(func.node):
+            if func.role is ModuleRole.SIM and source.kind in _LOCAL_KINDS:
+                continue  # DET001 already owns this finding
+            if trail is None:
+                trail = " -> ".join(model.witness_path(parents, qname))
+            yield Violation(
+                path=func.path,
+                line=getattr(source.node, "lineno", func.node.lineno),
+                col=getattr(source.node, "col_offset", 0),
+                rule=_RULE_TAINT,
+                message=(
+                    f"{source.what} taints {qname}(), which the simulation "
+                    f"core reaches via {trail}; results can differ across "
+                    "runs — pass the value in explicitly or move it off the "
+                    "simulated path"
+                ),
+            )

@@ -3,34 +3,68 @@
 Two forms are recognised (rule lists are comma-separated; ``*`` matches
 every rule):
 
-* line suppression — trailing comment on the violating line::
-
-      slot = hash(pc) & mask  # simlint: ignore[DET001] -- pc is an int
-
-* file suppression — a comment anywhere at column 0, typically in the
-  header, silencing a rule for the whole file::
-
-      # simlint: ignore-file[TEL001] -- bench measures telemetry itself
+* line suppression — trailing comment on the violating line, written as
+  ``simlint: ignore[RULE] -- reason``;
+* file suppression — a comment anywhere in the file (typically the
+  header) written as ``simlint: ignore-file[RULE] -- reason``, silencing
+  a rule for the whole file.
 
 Everything after ``--`` is a free-form justification; the linter does
 not require one, but the project's review convention does (see
 ``docs/static-analysis.md``).  Violations whose rule cannot be
-suppressed (:data:`~repro.devtools.simlint.model.PARSE_RULE_ID`) ignore
-both forms.
+suppressed (:data:`~repro.devtools.simlint.model.UNSUPPRESSABLE_RULES`)
+ignore both forms.
+
+Directives are extracted from real ``COMMENT`` tokens via
+:mod:`tokenize`, so a directive *example* inside a docstring or string
+literal is inert.  Files that cannot be tokenized (syntax errors —
+already a ``PARSE001`` finding) fall back to a line scan, which only
+matters for ``--no-suppress`` style audits since ``PARSE001`` is
+unsuppressable anyway.
+
+Every parsed directive is kept as a :class:`Directive` record: the
+engine's ``STALE001`` pass compares them against the raw findings to
+flag suppressions that no longer silence anything, and ``--fix``
+rewrites or removes them in place.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 
-from repro.devtools.simlint.model import PARSE_RULE_ID, Violation
+from repro.devtools.simlint.model import UNSUPPRESSABLE_RULES, Violation
 
-__all__ = ["Suppressions", "parse_suppressions"]
+__all__ = ["Directive", "Suppressions", "from_directives", "parse_suppressions"]
 
 _DIRECTIVE = re.compile(
-    r"#\s*simlint:\s*(?P<kind>ignore-file|ignore)\[(?P<rules>[A-Z0-9*,\s]+)\]"
+    r"#\s*simlint:\s*(?P<kind>ignore-file|ignore)\[(?P<rules>[^\]]*)\]"
 )
+
+#: A rule id inside the brackets must look like one (``DET001``, ``*``);
+#: anything else is recorded as malformed so STALE001 can point at it.
+_RULE_TOKEN = re.compile(r"^(?:\*|[A-Z][A-Z0-9]{2,15})$")
+
+
+@dataclass(frozen=True, slots=True)
+class Directive:
+    """One suppression comment, as written in the source."""
+
+    #: 1-based line the comment sits on (for line directives this is
+    #: also the line whose violations it silences).
+    line: int
+    #: ``"ignore"`` (line scope) or ``"ignore-file"`` (file scope).
+    kind: str
+    #: Well-formed rule ids named in the brackets (may include ``"*"``).
+    rules: tuple[str, ...]
+    #: Bracket entries that do not look like rule ids at all.
+    malformed: tuple[str, ...] = ()
+
+    @property
+    def file_scoped(self) -> bool:
+        return self.kind == "ignore-file"
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,9 +75,11 @@ class Suppressions:
     file_rules: frozenset[str]
     #: Line number → rule IDs silenced on that line.
     line_rules: dict[int, frozenset[str]]
+    #: Every directive in source order (drives STALE001 and --fix).
+    directives: tuple[Directive, ...] = field(default=())
 
     def covers(self, violation: Violation) -> bool:
-        if violation.rule == PARSE_RULE_ID:
+        if violation.rule in UNSUPPRESSABLE_RULES:
             return False
         for scope in (self.file_rules, self.line_rules.get(violation.line, frozenset())):
             if "*" in scope or violation.rule in scope:
@@ -51,26 +87,63 @@ class Suppressions:
         return False
 
 
-def parse_suppressions(source: str) -> Suppressions:
-    """Extract suppression directives from raw source text.
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """(line, text) for every comment token; line-scan fallback on error."""
+    comments: list[tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+        return comments
+    except (tokenize.TokenError, SyntaxError, IndentationError, ValueError):
+        return [
+            (lineno, text)
+            for lineno, text in enumerate(source.splitlines(), start=1)
+            if "#" in text
+        ]
 
-    Scanning is line-based on purpose: suppression comments must stay
-    greppable, and a directive inside a string literal is so unlikely in
-    practice that AST-grade precision is not worth the cost.
+
+def from_directives(directives: tuple[Directive, ...]) -> Suppressions:
+    """Build the queryable suppression set from parsed directives.
+
+    Also the rehydration path for the incremental cache, which stores
+    directives (not the derived maps) per file.
     """
     file_rules: set[str] = set()
     line_rules: dict[int, frozenset[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for directive in directives:
+        if not directive.rules:
+            continue
+        if directive.file_scoped:
+            file_rules.update(directive.rules)
+        else:
+            line_rules[directive.line] = line_rules.get(
+                directive.line, frozenset()
+            ) | frozenset(directive.rules)
+    return Suppressions(
+        file_rules=frozenset(file_rules),
+        line_rules=line_rules,
+        directives=directives,
+    )
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from raw source text."""
+    directives: list[Directive] = []
+    for lineno, text in _comment_lines(source):
         match = _DIRECTIVE.search(text)
         if match is None:
             continue
-        rules = frozenset(
-            part.strip() for part in match.group("rules").split(",") if part.strip()
+        named = [part.strip() for part in match.group("rules").split(",")]
+        named = [part for part in named if part]
+        directives.append(
+            Directive(
+                line=lineno,
+                kind=match.group("kind"),
+                rules=tuple(part for part in named if _RULE_TOKEN.match(part)),
+                malformed=tuple(
+                    part for part in named if not _RULE_TOKEN.match(part)
+                ),
+            )
         )
-        if not rules:
-            continue
-        if match.group("kind") == "ignore-file":
-            file_rules |= rules
-        else:
-            line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
-    return Suppressions(file_rules=frozenset(file_rules), line_rules=line_rules)
+    return from_directives(tuple(directives))

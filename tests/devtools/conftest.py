@@ -1,0 +1,22 @@
+"""Shared devtools-test setup.
+
+The lint CLI defaults the incremental cache and baseline to
+cwd-relative paths (``.simlint-cache``, ``.simlint-baseline.json``).
+Tests that invoke the CLI must not share that state with the developer
+checkout they happen to run from — a cache record written by one test
+run could satisfy a later run's lookup (same tmp path, same content)
+and mask a behaviour change.  Every test in this package therefore runs
+from its own scratch cwd; tests reference the repo via absolute paths
+already.
+"""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_lint_state(tmp_path_factory, monkeypatch) -> Path:
+    cwd = tmp_path_factory.mktemp("lint-cwd")
+    monkeypatch.chdir(cwd)
+    return cwd

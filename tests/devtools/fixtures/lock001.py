@@ -1,0 +1,31 @@
+"""LOCK001 fixture: unguarded access to lock-protected state.
+
+``_jobs`` and ``_order`` are written under ``self._lock`` in ``put``,
+which marks them lock-guarded; the accesses in ``get`` and ``drop``
+skip the lock and must be flagged.  ``__init__`` and the ``*_locked``
+helper are exempt by convention.
+"""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}
+        self._order = []
+
+    def put(self, key, value):
+        with self._lock:
+            self._jobs[key] = value
+            self._order.append(key)
+
+    def get(self, key):
+        return self._jobs.get(key)
+
+    def drop(self, key):
+        self._jobs.pop(key, None)
+        del self._order[0]
+
+    def size_locked(self):
+        return len(self._jobs)

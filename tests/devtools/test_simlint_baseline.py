@@ -1,0 +1,140 @@
+"""Baseline ratchet: waiving, occurrence budgets, update flow, format guards."""
+
+from collections import Counter
+
+import pytest
+
+from repro.devtools.simlint import LintError, lint_paths
+from repro.devtools.simlint.baseline import (
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.simlint.model import Violation
+
+
+def violation(path: str, rule: str = "ERR001", message: str = "m") -> Violation:
+    return Violation(path=path, line=1, col=0, rule=rule, message=message)
+
+
+def write_bad_module(tmp_path):
+    target = tmp_path / "src" / "repro" / "harness" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def f(x):\n    raise ValueError(x)\n")
+    return target
+
+
+class TestApply:
+    def test_waives_recorded_findings(self, tmp_path):
+        baseline = Baseline(
+            Counter({("a.py", "ERR001", "m"): 1}), root=str(tmp_path)
+        )
+        fresh, waived = baseline.apply([violation(str(tmp_path / "a.py"))])
+        assert fresh == []
+        assert waived == 1
+
+    def test_second_identical_finding_fails_gate(self, tmp_path):
+        """The occurrence budget: one waiver does not cover two findings."""
+        baseline = Baseline(
+            Counter({("a.py", "ERR001", "m"): 1}), root=str(tmp_path)
+        )
+        found = [violation(str(tmp_path / "a.py"))] * 2
+        fresh, waived = baseline.apply(found)
+        assert len(fresh) == 1
+        assert waived == 1
+
+    def test_line_numbers_do_not_matter(self, tmp_path):
+        baseline = Baseline(
+            Counter({("a.py", "ERR001", "m"): 1}), root=str(tmp_path)
+        )
+        moved = Violation(
+            path=str(tmp_path / "a.py"), line=99, col=4, rule="ERR001", message="m"
+        )
+        fresh, waived = baseline.apply([moved])
+        assert fresh == [] and waived == 1
+
+    def test_different_message_is_fresh(self, tmp_path):
+        baseline = Baseline(
+            Counter({("a.py", "ERR001", "m"): 1}), root=str(tmp_path)
+        )
+        fresh, waived = baseline.apply(
+            [violation(str(tmp_path / "a.py"), message="other")]
+        )
+        assert len(fresh) == 1 and waived == 0
+
+
+class TestFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), [violation(str(tmp_path / "a.py"))])
+        loaded = load_baseline(str(path))
+        assert loaded.total == 1
+        assert loaded.entries == Counter({("a.py", "ERR001", "m"): 1})
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")).total == 0
+
+    def test_malformed_json_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError, match="unreadable baseline"):
+            load_baseline(str(path))
+
+    def test_wrong_version_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(LintError, match="unsupported format"):
+            load_baseline(str(path))
+
+    def test_malformed_entry_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 1, "entries": [{"path": "a.py"}]}')
+        with pytest.raises(LintError, match="malformed baseline entry"):
+            load_baseline(str(path))
+
+
+class TestLintPathsIntegration:
+    def test_update_then_gate_passes(self, tmp_path):
+        write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        updated = lint_paths(
+            [str(tmp_path / "src")],
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        assert updated.clean  # debt recorded, not reported
+        gated = lint_paths([str(tmp_path / "src")], baseline_path=str(baseline))
+        assert gated.clean
+        assert gated.waived > 0
+
+    def test_new_finding_still_fails(self, tmp_path):
+        target = write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        lint_paths(
+            [str(tmp_path / "src")],
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        target.write_text(
+            target.read_text() + "\n\ndef g(y):\n    raise KeyError(y)\n"
+        )
+        report = lint_paths([str(tmp_path / "src")], baseline_path=str(baseline))
+        assert not report.clean
+        assert all(v.line >= 4 for v in report.violations)
+
+    def test_fixed_debt_shrinks_on_update(self, tmp_path):
+        target = write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        lint_paths(
+            [str(tmp_path / "src")],
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        assert load_baseline(str(baseline)).total > 0
+        target.write_text("def f(x: int) -> int:\n    return x\n")
+        lint_paths(
+            [str(tmp_path / "src")],
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        assert load_baseline(str(baseline)).total == 0

@@ -1,0 +1,128 @@
+"""Incremental-cache behaviour: hits, misses, and version invalidation."""
+
+import dataclasses
+
+from repro.devtools.simlint import lint_paths
+from repro.devtools.simlint.cache import FileResult, LintCache, file_key, program_key
+from repro.devtools.simlint.model import REGISTRY, local_rules, rules_signature
+
+
+BAD_SOURCE = "def f(x):\n    raise ValueError(x)\n"
+
+
+def write_bad_module(tmp_path):
+    target = tmp_path / "src" / "repro" / "harness" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(BAD_SOURCE)
+    return target
+
+
+def local_signature() -> str:
+    return rules_signature(local_rules())
+
+
+class TestWarmRuns:
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        write_bad_module(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tmp_path / "src")], cache_dir=cache_dir)
+        warm = lint_paths([str(tmp_path / "src")], cache_dir=cache_dir)
+        assert warm.violations == cold.violations
+        assert warm.files == cold.files
+
+    def test_warm_run_reads_cached_record(self, tmp_path):
+        """Poison the record for the file's key: the hit must be served."""
+        target = write_bad_module(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tmp_path / "src")], cache_dir=cache_dir)
+
+        cache = LintCache(cache_dir)
+        key = file_key(BAD_SOURCE, local_signature())
+        assert cache.load_file(str(target), key) is not None
+        cache.store_file(
+            str(target),
+            key,
+            FileResult(violations=(), directives=(), parse_ok=True),
+        )
+        warm = lint_paths([str(tmp_path / "src")], cache_dir=cache_dir)
+        assert warm.clean
+
+    def test_edited_file_misses(self, tmp_path):
+        target = write_bad_module(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert not lint_paths([str(tmp_path / "src")], cache_dir=cache_dir).clean
+        target.write_text("def f(x: int) -> int:\n    return x\n")
+        assert lint_paths([str(tmp_path / "src")], cache_dir=cache_dir).clean
+
+    def test_no_cache_dir_still_works(self, tmp_path):
+        write_bad_module(tmp_path)
+        report = lint_paths([str(tmp_path / "src")], cache_dir=None)
+        assert not report.clean
+
+
+class TestVersionInvalidation:
+    def test_rule_version_bump_changes_file_key(self):
+        before = file_key(BAD_SOURCE, "ERR001:1")
+        after = file_key(BAD_SOURCE, "ERR001:2")
+        assert before != after
+
+    def test_rule_version_bump_recomputes(self, tmp_path, monkeypatch):
+        """The explicit satellite case: bumping ``version`` invalidates."""
+        target = write_bad_module(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tmp_path / "src")], cache_dir=cache_dir)
+
+        # Plant an empty record under the *new* signature's key to prove
+        # the old record is not consulted, then bump ERR001's version.
+        rule = REGISTRY["ERR001"]
+        bumped = dataclasses.replace(rule, version=rule.version + 1)
+        monkeypatch.setitem(REGISTRY, "ERR001", bumped)
+        new_key = file_key(BAD_SOURCE, local_signature())
+        old_key = file_key(BAD_SOURCE, local_signature().replace(
+            f"ERR001:{bumped.version}", f"ERR001:{rule.version}"
+        ))
+        assert new_key != old_key
+
+        report = lint_paths([str(tmp_path / "src")], cache_dir=cache_dir)
+        assert any(v.rule == "ERR001" for v in report.violations)
+        # The recomputed result is stored under the new key.
+        assert LintCache(cache_dir).load_file(str(target), new_key) is not None
+
+
+class TestProgramKey:
+    def test_any_file_hash_change_misses(self):
+        base = [("a.py", "k1"), ("b.py", "k2")]
+        assert program_key(base, "DET002:1") != program_key(
+            [("a.py", "k1"), ("b.py", "k3")], "DET002:1"
+        )
+
+    def test_project_signature_part_of_key(self):
+        base = [("a.py", "k1")]
+        assert program_key(base, "DET002:1") != program_key(base, "DET002:2")
+
+    def test_order_independent(self):
+        assert program_key(
+            [("a.py", "k1"), ("b.py", "k2")], "s"
+        ) == program_key([("b.py", "k2"), ("a.py", "k1")], "s")
+
+
+class TestRobustness:
+    def test_corrupt_record_degrades_to_miss(self, tmp_path):
+        target = write_bad_module(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths([str(tmp_path / "src")], cache_dir=str(cache_dir))
+        for record in (cache_dir / "files").iterdir():
+            record.write_text("{not json")
+        report = lint_paths([str(tmp_path / "src")], cache_dir=str(cache_dir))
+        assert any(v.rule == "ERR001" for v in report.violations)
+        assert target.exists()
+
+    def test_mismatched_key_in_record_is_miss(self, tmp_path):
+        target = write_bad_module(tmp_path)
+        cache = LintCache(str(tmp_path / "cache"))
+        cache.store_file(
+            str(target),
+            "stale-key",
+            FileResult(violations=(), directives=(), parse_ok=True),
+        )
+        assert cache.load_file(str(target), "current-key") is None

@@ -63,7 +63,7 @@ class TestOutput:
     def test_json_format(self, dirty_tree, capsys):
         assert simlint_main(["--format", "json", str(dirty_tree)]) == EXIT_VIOLATIONS
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["counts"] == {"ERR001": 1}
         assert payload["violations"][0]["rule"] == "ERR001"
 
@@ -75,8 +75,79 @@ class TestOutput:
     def test_list_rules(self, capsys):
         assert simlint_main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule_id in ("API001", "DET001", "ERR001", "SPEC001", "TEL001"):
+        for rule_id in (
+            "API001",
+            "DET001",
+            "DET002",
+            "ERR001",
+            "IMP001",
+            "LOCK001",
+            "LOCK002",
+            "PURE001",
+            "SPEC001",
+            "STALE001",
+            "TEL001",
+        ):
             assert rule_id in out
+        # Kind and version are part of the listing.
+        assert "project" in out and "local" in out and "v1" in out
+
+    def test_sarif_format(self, dirty_tree, capsys):
+        assert simlint_main(["--format", "sarif", str(dirty_tree)]) == EXIT_VIOLATIONS
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["ERR001"]
+
+
+class TestCliCacheAndBaseline:
+    def test_warm_cache_run_agrees(self, dirty_tree, capsys):
+        cache = str(dirty_tree / ".cache")
+        args = ["--cache-dir", cache, str(dirty_tree)]
+        assert simlint_main(args) == EXIT_VIOLATIONS
+        cold = capsys.readouterr().out
+        assert simlint_main(args) == EXIT_VIOLATIONS
+        assert capsys.readouterr().out == cold
+
+    def test_update_baseline_then_gate_clean(self, dirty_tree, capsys):
+        baseline = str(dirty_tree / "baseline.json")
+        assert (
+            simlint_main(
+                ["--baseline", baseline, "--update-baseline", str(dirty_tree)]
+            )
+            == EXIT_CLEAN
+        )
+        capsys.readouterr()
+        assert simlint_main(["--baseline", baseline, str(dirty_tree)]) == EXIT_CLEAN
+        assert "waived by baseline" in capsys.readouterr().out
+
+    def test_no_baseline_flag_ignores_it(self, dirty_tree, capsys):
+        baseline = str(dirty_tree / "baseline.json")
+        simlint_main(["--baseline", baseline, "--update-baseline", str(dirty_tree)])
+        capsys.readouterr()
+        assert (
+            simlint_main(
+                ["--baseline", baseline, "--no-baseline", str(dirty_tree)]
+            )
+            == EXIT_VIOLATIONS
+        )
+
+    def test_missing_default_baseline_is_fine(self, dirty_tree):
+        # No .simlint-baseline.json in the scratch cwd: plain run works.
+        assert simlint_main([str(dirty_tree)]) == EXIT_VIOLATIONS
+
+
+class TestCliFix:
+    def test_fix_rewrites_and_reports(self, dirty_tree, capsys):
+        bad = dirty_tree / "src" / "repro" / "core" / "bad.py"
+        assert simlint_main(["--fix", str(dirty_tree)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "raise ValueError -> raise ReproError" in out
+        assert "ReproError" in bad.read_text()
+
+    def test_repro_lint_fix(self, dirty_tree, capsys):
+        assert repro_main(["lint", "--fix", str(dirty_tree)]) == EXIT_CLEAN
+        assert "ERR001" in capsys.readouterr().out
 
 
 class TestReproIntegration:

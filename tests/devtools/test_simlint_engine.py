@@ -98,7 +98,7 @@ class TestReport:
         bad.write_text("def f(x):\n    raise ValueError(x)\n")
         report = lint_paths([str(tmp_path)])
         payload = report.as_dict()
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files"] == 1
         assert set(payload["counts"]) == {"API001", "ERR001"}
         for violation in payload["violations"]:

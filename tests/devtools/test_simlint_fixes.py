@@ -1,0 +1,184 @@
+"""Autofixer: raise conversions, import removal, stale-directive cleanup."""
+
+from repro.devtools.simlint import lint_paths
+from repro.devtools.simlint.fixes import apply_fixes, fix_source
+from repro.devtools.simlint.suppress import parse_suppressions
+
+
+def raw_for(source: str, path: str = "src/repro/harness/x.py"):
+    """Raw findings + suppressions for a snippet, via the real engine."""
+    from repro.devtools.simlint.engine import scan_source
+
+    result = scan_source(path, source)
+    return list(result.violations), parse_suppressions(source)
+
+
+class TestRaiseConversion:
+    def test_builtin_raise_becomes_repro_error_with_import(self):
+        source = (
+            '"""Doc."""\n'
+            "\n"
+            "\n"
+            "def f(x: int) -> None:\n"
+            "    raise ValueError(f'bad {x}')\n"
+        )
+        raw, supp = raw_for(source)
+        text, fixes = fix_source("x.py", source, raw, supp)
+        assert "raise ReproError(f'bad {x}')" in text
+        assert "from repro.errors import ReproError" in text
+        # Import goes right after the docstring, before the def.
+        assert text.index("ReproError") < text.index("def f")
+        assert [f.rule for f in fixes] == ["ERR001"]
+
+    def test_existing_repro_error_reference_skips_import(self):
+        source = (
+            "from repro.errors import ReproError\n"
+            "\n"
+            "\n"
+            "def f(x: int) -> None:\n"
+            "    if x:\n"
+            "        raise ReproError('x')\n"
+            "    raise KeyError(x)\n"
+        )
+        raw, supp = raw_for(source)
+        text, _ = fix_source("x.py", source, raw, supp)
+        assert text.count("from repro.errors import ReproError") == 1
+        assert "KeyError" not in text
+
+    def test_handler_findings_left_alone(self):
+        source = (
+            "def f() -> None:\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        raw, supp = raw_for(source)
+        assert any(v.rule == "ERR001" for v in raw)
+        text, fixes = fix_source("x.py", source, raw, supp)
+        assert text == source
+        assert fixes == []
+
+    def test_suppressed_finding_not_fixed(self):
+        source = (
+            "def f(x: int) -> None:\n"
+            "    raise ValueError(x)  # simlint: ignore[ERR001] -- intentional\n"
+        )
+        raw, supp = raw_for(source)
+        text, fixes = fix_source("x.py", source, raw, supp)
+        assert "ValueError" in text
+        assert fixes == []
+
+
+class TestImportRemoval:
+    def test_fully_dead_statement_deleted(self):
+        source = "import os\nimport sys\n\nARGS = sys.argv\n"
+        raw, supp = raw_for(source)
+        text, fixes = fix_source("x.py", source, raw, supp)
+        assert text == "import sys\n\nARGS = sys.argv\n"
+        assert [f.rule for f in fixes] == ["IMP001"]
+
+    def test_partially_dead_statement_rewritten(self):
+        source = "from os import getcwd, sep\n\nHERE = getcwd()\n"
+        raw, supp = raw_for(source)
+        text, _ = fix_source("x.py", source, raw, supp)
+        assert text.splitlines()[0] == "from os import getcwd"
+
+    def test_aliased_import_removed_by_alias(self):
+        source = "import json as j\nimport sys\n\nARGS = sys.argv\n"
+        raw, supp = raw_for(source)
+        text, fixes = fix_source("x.py", source, raw, supp)
+        assert "json" not in text
+        assert "j" in fixes[0].description
+
+
+class TestStaleCleanup:
+    def test_dead_directive_stripped_from_code_line(self):
+        source = "def f(x: int) -> int:\n    return x  # simlint: ignore[ERR001] -- gone\n"
+        report = _project_raw(source)
+        text, fixes = fix_source(
+            "src/repro/harness/x.py", source, report, parse_suppressions(source)
+        )
+        assert text == "def f(x: int) -> int:\n    return x\n"
+        assert [f.rule for f in fixes] == ["STALE001"]
+
+    def test_directive_only_line_deleted(self):
+        source = "# simlint: ignore-file[TEL001] -- nothing here emits\nX = 1\n"
+        report = _project_raw(source)
+        text, _ = fix_source(
+            "src/repro/harness/x.py", source, report, parse_suppressions(source)
+        )
+        assert text == "X = 1\n"
+
+    def test_live_ids_survive_a_mixed_bracket(self):
+        source = (
+            "def f(x: int) -> None:\n"
+            "    raise ValueError(x)  # simlint: ignore[ERR001, TEL001] -- why\n"
+        )
+        report = _project_raw(source)
+        text, fixes = fix_source(
+            "src/repro/harness/x.py", source, report, parse_suppressions(source)
+        )
+        assert "ignore[ERR001]" in text
+        assert "TEL001" not in text
+        assert "-- why" in text
+        assert [f.rule for f in fixes] == ["STALE001"]
+
+    def test_unflagged_directives_untouched(self):
+        """No STALE001 finding (e.g. TEST-role file) means no edits."""
+        source = "# simlint: ignore-file[ERR001] -- fixture\nX = 1\n"
+        text, fixes = fix_source(
+            "tests/fixtures/demo.py", source, [], parse_suppressions(source)
+        )
+        assert text == source
+        assert fixes == []
+
+
+def _project_raw(source: str, path: str = "src/repro/harness/x.py"):
+    """Raw local + project findings, as apply_fixes assembles them."""
+    from repro.devtools.simlint.engine import _project_pass, scan_source
+
+    result = scan_source(path, source)
+    raw = list(result.violations)
+    supp = {path: parse_suppressions(source)}
+    raw.extend(_project_pass({path: source}, {path: result}, supp))
+    return raw
+
+
+class TestApplyFixes:
+    def test_end_to_end_rewrites_and_relints_clean(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "harness" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import os\n"
+            "import sys\n"
+            "\n"
+            "\n"
+            "def f(x: int) -> int:\n"
+            "    if x < 0:\n"
+            "        raise ValueError(x)\n"
+            "    return len(sys.argv)  # simlint: ignore[TEL001] -- stale\n"
+        )
+        fixes = apply_fixes([str(tmp_path / "src")])
+        assert {f.rule for f in fixes} == {"ERR001", "IMP001", "STALE001"}
+        text = target.read_text()
+        assert "import os\n" not in text
+        assert "raise ReproError(x)" in text
+        assert "simlint" not in text
+        assert lint_paths([str(tmp_path / "src")]).clean
+
+    def test_clean_tree_untouched(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "harness" / "ok.py"
+        target.parent.mkdir(parents=True)
+        before = "def f(x: int) -> int:\n    return x\n"
+        target.write_text(before)
+        assert apply_fixes([str(tmp_path / "src")]) == []
+        assert target.read_text() == before
+
+    def test_unparseable_file_left_alone(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "harness" / "broken.py"
+        target.parent.mkdir(parents=True)
+        before = "def f(:\n"
+        target.write_text(before)
+        assert apply_fixes([str(tmp_path / "src")]) == []
+        assert target.read_text() == before

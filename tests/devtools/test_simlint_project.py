@@ -1,0 +1,337 @@
+"""Whole-program rules: taint, lock order, purity, stale suppressions.
+
+Each test builds a miniature source tree under ``tmp_path`` with real
+``src/repro/...`` paths so role inference and module naming behave
+exactly as on the real tree, then drives the full ``lint_paths``
+pipeline (local pass, program model, project pass).
+"""
+
+from pathlib import Path
+
+from repro.devtools.simlint import lint_paths
+
+
+def make_tree(tmp_path: Path, files: dict) -> Path:
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+class TestDet002:
+    def test_wall_clock_reachable_from_core(self, tmp_path):
+        """The seeded acceptance case: time.time() behind one call hop."""
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "from repro.harness.helper import stamp\n"
+                    "\n"
+                    "\n"
+                    "def step() -> int:\n"
+                    "    return stamp()\n"
+                ),
+                "src/repro/harness/helper.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def stamp() -> int:\n"
+                    "    return int(time.time())\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)], select=["DET002"])
+        assert [(Path(v.path).name, v.line, v.rule) for v in report.violations] == [
+            ("helper.py", 5, "DET002")
+        ]
+        message = report.violations[0].message
+        assert "time.time()" in message
+        assert "repro.core.engine.step -> repro.harness.helper.stamp" in message
+
+    def test_unreachable_helper_not_flagged(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": "def step() -> int:\n    return 0\n",
+                "src/repro/harness/helper.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def stamp() -> int:\n"
+                    "    return int(time.time())\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)], select=["DET002"]).clean
+
+    def test_sim_local_sources_left_to_det001(self, tmp_path):
+        """Inside SIM files DET001 owns the finding; DET002 stays quiet."""
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def step() -> float:\n"
+                    "    return time.time()\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)])
+        assert [v.rule for v in report.violations] == ["DET001"]
+
+    def test_urandom_flagged_even_in_sim(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "import os\n"
+                    "\n"
+                    "\n"
+                    "def step() -> bytes:\n"
+                    "    return os.urandom(4)\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)], select=["DET002"])
+        assert [v.rule for v in report.violations] == ["DET002"]
+        assert "os.urandom()" in report.violations[0].message
+
+    def test_telemetry_role_exempt(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "from repro.telemetry.clock import now\n"
+                    "\n"
+                    "\n"
+                    "def step() -> float:\n"
+                    "    return now()\n"
+                ),
+                "src/repro/telemetry/clock.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def now() -> float:\n"
+                    "    return time.time()\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)], select=["DET002"]).clean
+
+
+class TestLock002:
+    def test_inverted_nesting_flags_both_sites(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/service/pair.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Pair:\n"
+                    "    def __init__(self) -> None:\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "\n"
+                    "    def one(self) -> None:\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                pass\n"
+                    "\n"
+                    "    def two(self) -> None:\n"
+                    "        with self._b:\n"
+                    "            with self._a:\n"
+                    "                pass\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)], select=["LOCK002"])
+        assert [v.rule for v in report.violations] == ["LOCK002", "LOCK002"]
+        assert {v.line for v in report.violations} == {11, 16}
+        assert "deadlock" in report.violations[0].message
+
+    def test_consistent_order_clean(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/service/pair.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Pair:\n"
+                    "    def __init__(self) -> None:\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "\n"
+                    "    def one(self) -> None:\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                pass\n"
+                    "\n"
+                    "    def two(self) -> None:\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                pass\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)], select=["LOCK002"]).clean
+
+
+class TestPure001:
+    def test_impure_write_path_function_flagged(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "from repro.telemetry.sink import record\n"
+                    "\n"
+                    "\n"
+                    "def step(events: list) -> None:\n"
+                    "    record(events)\n"
+                ),
+                "src/repro/telemetry/sink.py": (
+                    "def record(events: list) -> None:\n"
+                    "    events.append(1)\n"
+                    "    print('recorded')\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)], select=["PURE001"])
+        assert [(v.line, v.rule) for v in report.violations] == [
+            (2, "PURE001"),
+            (3, "PURE001"),
+        ]
+        assert "caller-owned argument 'events'" in report.violations[0].message
+        assert "print()" in report.violations[1].message
+
+    def test_unreached_telemetry_function_not_audited(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": "def step() -> None:\n    return None\n",
+                "src/repro/telemetry/sink.py": (
+                    "def flush(events: list) -> None:\n"
+                    "    print(len(events))\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)], select=["PURE001"]).clean
+
+    def test_own_state_mutation_allowed(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "from repro.telemetry.sink import Counter\n"
+                    "\n"
+                    "\n"
+                    "def step() -> None:\n"
+                    "    Counter().inc(1)\n"
+                ),
+                "src/repro/telemetry/sink.py": (
+                    "class Counter:\n"
+                    "    def __init__(self) -> None:\n"
+                    "        self.value = 0\n"
+                    "        self.events: list = []\n"
+                    "\n"
+                    "    def inc(self, n: int) -> None:\n"
+                    "        self.value += n\n"
+                    "        self.events.append(n)\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)], select=["PURE001"]).clean
+
+
+class TestStale001:
+    def test_stale_unknown_and_malformed_directives(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/harness/clean.py": (
+                    "# simlint: ignore-file[NOPE999] -- unknown rule id\n"
+                    "\n"
+                    "\n"
+                    "def f(x: int) -> int:\n"
+                    "    return x  # simlint: ignore[ERR001] -- nothing raised here\n"
+                    "\n"
+                    "\n"
+                    "def g(x: int) -> int:\n"
+                    "    return x  # simlint: ignore[err001] -- malformed id\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)], select=["STALE001"])
+        assert [(v.line, v.rule) for v in report.violations] == [
+            (1, "STALE001"),
+            (5, "STALE001"),
+            (9, "STALE001"),
+        ]
+        messages = [v.message for v in report.violations]
+        assert "unknown rule id 'NOPE999'" in messages[0]
+        assert "no ERR001 finding in this line" in messages[1]
+        assert "'err001' is not a rule id" in messages[2]
+
+    def test_genuine_suppression_not_flagged(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/harness/used.py": (
+                    "def f(x: int) -> None:\n"
+                    "    raise ValueError(x)  # simlint: ignore[ERR001] -- demo\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)]).clean
+
+    def test_stale_finding_cannot_be_suppressed(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/harness/meta.py": (
+                    "# simlint: ignore-file[*] -- blanket, but nothing to silence\n"
+                    "X = 1\n"
+                ),
+            },
+        )
+        report = lint_paths([str(tree)])
+        assert [v.rule for v in report.violations] == ["STALE001"]
+
+    def test_test_role_directives_exempt(self, tmp_path):
+        tree = make_tree(
+            tmp_path,
+            {
+                "tests/fixtures/demo.py": (
+                    "# simlint: ignore-file[ERR001] -- fixture directive\n"
+                    "X = 1\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)], select=["STALE001"]).clean
+
+    def test_project_findings_count_for_wildcard(self, tmp_path):
+        """A '*' on a line with only a project-rule finding is live."""
+        tree = make_tree(
+            tmp_path,
+            {
+                "src/repro/core/engine.py": (
+                    "from repro.harness.helper import stamp\n"
+                    "\n"
+                    "\n"
+                    "def step() -> int:\n"
+                    "    return stamp()\n"
+                ),
+                "src/repro/harness/helper.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def stamp() -> int:\n"
+                    "    return int(time.time())  # simlint: ignore[*] -- ok\n"
+                ),
+            },
+        )
+        assert lint_paths([str(tree)]).clean

@@ -79,6 +79,73 @@ class TestErr001:
         assert lint_source(source, "x.py", role=ModuleRole.SIM, select=["ERR001"])
 
 
+class TestLock001:
+    def test_fixture_lines(self):
+        found = fixture_violations("lock001.py", ModuleRole.SERVICE, "LOCK001")
+        assert [v.line for v in found] == [24, 27, 28]
+
+    def test_read_and_write_both_reported(self):
+        found = fixture_violations("lock001.py", ModuleRole.SERVICE, "LOCK001")
+        kinds = [v.message.split(" ", 2)[1] for v in found]
+        assert kinds == ["read", "write", "write"]
+
+    def test_class_without_lock_attribute_not_analysed(self):
+        source = (
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self._jobs = {}\n"
+            "\n"
+            "    def get(self, key):\n"
+            "        return self._jobs.get(key)\n"
+        )
+        assert (
+            lint_source(source, "x.py", role=ModuleRole.SERVICE, select=["LOCK001"])
+            == []
+        )
+
+    def test_locked_suffix_methods_are_trusted(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._jobs = {}\n"
+            "\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._jobs[k] = v\n"
+            "\n"
+            "    def evict_locked(self, k):\n"
+            "        self._jobs.pop(k, None)\n"
+        )
+        assert (
+            lint_source(source, "x.py", role=ModuleRole.SERVICE, select=["LOCK001"])
+            == []
+        )
+
+
+class TestImp001:
+    def test_unused_import_flagged(self):
+        source = "import os\nimport sys\n\nARGS = sys.argv\n"
+        found = lint_source(source, "x.py", role=ModuleRole.LIB, select=["IMP001"])
+        assert [(v.line, v.rule) for v in found] == [(1, "IMP001")]
+        assert "'os'" in found[0].message
+
+    def test_string_reference_counts_as_use(self):
+        source = 'import os\n\n__all__ = ["os"]\n'
+        assert lint_source(source, "x.py", role=ModuleRole.LIB, select=["IMP001"]) == []
+
+    def test_init_files_exempt(self):
+        source = "from os import path\n"
+        assert (
+            lint_source(
+                source, "src/repro/x/__init__.py", role=ModuleRole.LIB, select=["IMP001"]
+            )
+            == []
+        )
+
+
 class TestApi001:
     def test_fixture_lines(self):
         found = fixture_violations("api001.py", ModuleRole.LIB, "API001")

@@ -1,0 +1,123 @@
+"""Suppression parsing edge cases: malformed pragmas, scopes, fallbacks."""
+
+from repro.devtools.simlint import ModuleRole, lint_source
+from repro.devtools.simlint.model import Violation
+from repro.devtools.simlint.suppress import from_directives, parse_suppressions
+
+
+def violation(rule: str, line: int) -> Violation:
+    return Violation(path="x.py", line=line, col=0, rule=rule, message="m")
+
+
+class TestParsing:
+    def test_line_and_file_scopes(self):
+        source = (
+            "# simlint: ignore-file[API001] -- header\n"
+            "x = 1  # simlint: ignore[ERR001] -- local\n"
+        )
+        supp = parse_suppressions(source)
+        assert supp.file_rules == frozenset({"API001"})
+        assert supp.line_rules == {2: frozenset({"ERR001"})}
+        assert [d.kind for d in supp.directives] == ["ignore-file", "ignore"]
+
+    def test_comma_separated_rule_list(self):
+        supp = parse_suppressions("x = 1  # simlint: ignore[ERR001, API001]\n")
+        assert supp.line_rules == {1: frozenset({"ERR001", "API001"})}
+
+    def test_two_directives_on_same_line_merge(self):
+        supp = from_directives(
+            (
+                parse_suppressions("x = 1  # simlint: ignore[ERR001]\n").directives
+                + parse_suppressions("x = 1  # simlint: ignore[API001]\n").directives
+            )
+        )
+        assert supp.line_rules == {1: frozenset({"ERR001", "API001"})}
+
+    def test_malformed_entries_recorded_not_honoured(self):
+        supp = parse_suppressions("x = 1  # simlint: ignore[err001, ERR001]\n")
+        (directive,) = supp.directives
+        assert directive.rules == ("ERR001",)
+        assert directive.malformed == ("err001",)
+        assert supp.line_rules == {1: frozenset({"ERR001"})}
+
+    def test_empty_brackets_keep_directive_but_silence_nothing(self):
+        supp = parse_suppressions("x = 1  # simlint: ignore[]\n")
+        assert len(supp.directives) == 1
+        assert supp.file_rules == frozenset()
+        assert supp.line_rules == {}
+
+    def test_unknown_rule_id_still_parses(self):
+        """Well-formed but unknown ids are kept — STALE001 owns the report."""
+        supp = parse_suppressions("x = 1  # simlint: ignore[NOPE999]\n")
+        assert supp.line_rules == {1: frozenset({"NOPE999"})}
+
+    def test_docstring_example_is_inert(self):
+        source = '"""Use ``# simlint: ignore[ERR001]`` to opt out."""\nx = 1\n'
+        supp = parse_suppressions(source)
+        assert supp.directives == ()
+
+    def test_line_scan_fallback_on_unparseable_source(self):
+        source = "def f(:\n    pass  # simlint: ignore[API001] -- note\n"
+        supp = parse_suppressions(source)
+        assert supp.line_rules == {2: frozenset({"API001"})}
+
+
+class TestCovers:
+    def test_file_scope_covers_any_line(self):
+        supp = parse_suppressions("# simlint: ignore-file[ERR001]\n")
+        assert supp.covers(violation("ERR001", 40))
+        assert not supp.covers(violation("API001", 40))
+
+    def test_line_scope_is_exact(self):
+        supp = parse_suppressions("x = 1\ny = 2  # simlint: ignore[ERR001]\n")
+        assert supp.covers(violation("ERR001", 2))
+        assert not supp.covers(violation("ERR001", 1))
+        assert not supp.covers(violation("ERR001", 3))
+
+    def test_wildcard_in_either_scope(self):
+        assert parse_suppressions("# simlint: ignore-file[*]\n").covers(
+            violation("TEL001", 9)
+        )
+        assert parse_suppressions("x = 1  # simlint: ignore[*]\n").covers(
+            violation("TEL001", 1)
+        )
+
+    def test_unsuppressable_rules_ignore_both_scopes(self):
+        supp = parse_suppressions(
+            "# simlint: ignore-file[*]\nx = 1  # simlint: ignore[*]\n"
+        )
+        assert not supp.covers(violation("PARSE001", 1))
+        assert not supp.covers(violation("STALE001", 1))
+
+    def test_file_and_line_precedence_is_union(self):
+        """A rule silenced at either scope is silenced; scopes don't shadow."""
+        supp = parse_suppressions(
+            "# simlint: ignore-file[API001]\n"
+            "x = 1  # simlint: ignore[ERR001]\n"
+        )
+        assert supp.covers(violation("API001", 2))
+        assert supp.covers(violation("ERR001", 2))
+        assert not supp.covers(violation("ERR001", 3))
+
+
+class TestRoundTrip:
+    def test_from_directives_rebuilds_equal_state(self):
+        source = (
+            "# simlint: ignore-file[API001, TEL001]\n"
+            "x = 1  # simlint: ignore[ERR001]\n"
+            "y = 2  # simlint: ignore[bogus]\n"
+        )
+        parsed = parse_suppressions(source)
+        rebuilt = from_directives(parsed.directives)
+        assert rebuilt == parsed
+
+
+class TestEndToEnd:
+    def test_suppressed_line_quiet_in_lint_source(self):
+        source = (
+            "def f(x: int) -> None:\n"
+            "    raise ValueError(x)  # simlint: ignore[ERR001] -- demo\n"
+        )
+        assert (
+            lint_source(source, "x.py", role=ModuleRole.LIB, select=["ERR001"]) == []
+        )
