@@ -53,9 +53,12 @@ def test_bench_perf(benchmark, scale):
         print(f"{name:24s} {row['branches_per_s']:>12,.0f} branches/s")
     warm = payload["warm_sweep"]
     print(f"warm sweep speedup: {warm['speedup']:.0f}x")
+    batch = payload["batch"]
+    print(f"batch kernel speedup: {batch['speedup']:.1f}x")
     assert set(payload["throughput"]) == set(DEFAULT_SYSTEMS)
     assert all(row["branches_per_s"] > 0 for row in payload["throughput"].values())
     assert warm["warm_wall_s"] < warm["cold_wall_s"]
+    assert batch["mpki_identical"], "batch kernel diverged from the exact engine"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,6 +81,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the sampled-vs-exact section (CI smoke scale)",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="skip the batch-kernel-vs-scalar section",
+    )
     args = parser.parse_args(argv)
     sampling_branches: int | None
     if args.no_sampling:
@@ -92,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         out=args.out,
         sampling_branches=sampling_branches,
+        batch=not args.no_batch,
     )
     print(json.dumps(payload, indent=1, sort_keys=True))
     return 0

@@ -20,11 +20,11 @@ import sys
 from collections.abc import Iterator
 from contextlib import contextmanager
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.harness.report import format_table
 from repro.harness.runner import RunResult, run_single
 from repro.harness.sampling import SamplingConfig
-from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
+from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig, resolve_system
 from repro.workloads.categories import CATEGORIES
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suite import build_suite, get_workload
@@ -59,11 +59,14 @@ def _telemetry_session(path: str | None) -> Iterator[None]:
 
 
 def _system_by_name(name: str) -> SystemConfig:
-    for config in TABLE3_SYSTEMS:
-        if config.name == name:
-            return config
-    known = ", ".join(cfg.name for cfg in TABLE3_SYSTEMS)
-    raise SystemExit(f"unknown system {name!r}; choose from: {known}")
+    """Table 3 name or table-predictor spec string → SystemConfig.
+
+    Delegates to :func:`repro.harness.systems.resolve_system`, so every
+    system-taking command also accepts ``bimodal:12``, ``gshare:14:12``,
+    ``local2l:10:8:12`` spec strings; unknown names surface as
+    ``error: ...`` with exit code 1 via main()'s ReproError handler.
+    """
+    return resolve_system(name)
 
 
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
@@ -285,6 +288,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.harness.runner import run_matrix, select_workloads
     from repro.harness.scale import Scale
 
+    sampling = _sampling_config(args)
+    if args.batch and sampling is not None:
+        raise ConfigError(
+            "--batch and --sample are mutually exclusive: the batch sweep "
+            "kernel computes exact predictions over the full trace, while "
+            "sampling simulates only selected intervals — pick one"
+        )
     if args.workers is not None and args.workers > 1:
         os.environ["REPRO_WORKERS"] = str(args.workers)
     scale = Scale(
@@ -305,11 +315,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale,
         workers=args.workers,
         use_result_cache=_cache_override(args),
-        sampling=_sampling_config(args),
+        sampling=sampling,
         shard=shard,
+        batch=True if args.batch else None,
     )
+    # Batch-kernel results are functional-only: no cycles, so no IPC.
     rows = [
-        (r.workload, r.system, f"{r.ipc:.3f}", f"{r.mpki:.2f}") for r in results
+        (
+            r.workload,
+            r.system,
+            f"{r.ipc:.3f}" if r.cycles else "-",
+            f"{r.mpki:.2f}",
+        )
+        for r in results
     ]
     print(format_table(["workload", "system", "IPC", "MPKI"], rows))
     label = f"shard {args.shard} of " if shard else ""
@@ -352,6 +370,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         out=args.out,
         sampling_branches=None if args.no_sampling else args.sampling_branches,
+        batch=not args.no_batch,
     )
     print(f"workload {args.workload}, {args.branches} branches, "
           f"best of {args.repeats}\n")
@@ -375,6 +394,15 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 f"MPKI err {row['mpki_rel_err']:+.2%}   "
                 f"IPC err {row['ipc_rel_err']:+.2%}"
             )
+    batch = payload.get("batch")
+    if batch:
+        check = "identical MPKI" if batch["mpki_identical"] else "MPKI MISMATCH"
+        print(
+            f"\nbatch kernel ({batch['configs']} configs, "
+            f"{batch['branches']} branches): scalar "
+            f"{batch['scalar_wall_s']:.2f}s -> batch "
+            f"{batch['batch_wall_s']:.2f}s ({batch['speedup']:.0f}x, {check})"
+        )
     if args.out is not None:
         print(f"wrote {args.out}")
     if args.profile:
@@ -500,6 +528,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force real simulations even when REPRO_RESULT_CACHE is set",
     )
+    p_sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="evaluate table-indexed predictor configs (bimodal:N, "
+        "gshare:N:H, local2l:B:H:P) with the vectorised batch kernel "
+        "when 4+ share a workload; exact MPKI, no pipeline timing "
+        "(REPRO_BATCH=on/off overrides)",
+    )
     _add_sampling_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -527,6 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sampling",
         action="store_true",
         help="skip the sampled-vs-exact benchmark section",
+    )
+    p_perf.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="skip the batch-kernel-vs-scalar benchmark section",
     )
     p_perf.add_argument(
         "--out",

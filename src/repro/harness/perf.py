@@ -11,6 +11,9 @@ PR leaves a perf trajectory the next one can be compared against:
 * :func:`measure_warm_sweep` — wall-clock of an identical repeated
   :func:`~repro.harness.runner.run_matrix` sweep with the persistent
   result cache enabled (cold fill vs warm reuse);
+* :func:`measure_batch` — the columnar batch sweep kernel
+  (:mod:`repro.pipeline.batch`) vs the exact scalar engine on a
+  16-config table-predictor sizing grid sharing one workload trace;
 * :func:`profile_top` — cProfile hotspots of one run, for digging into
   a regression the numbers surface.
 
@@ -45,6 +48,7 @@ from repro.workloads.suite import get_workload
 
 __all__ = [
     "ThroughputSample",
+    "BATCH_SWEEP_SPECS",
     "DEFAULT_SYSTEMS",
     "REFERENCE_BRANCHES_PER_S",
     "SAMPLING_BRANCHES",
@@ -52,12 +56,13 @@ __all__ = [
     "measure_throughput",
     "measure_warm_sweep",
     "measure_sampling",
+    "measure_batch",
     "profile_top",
     "run_perf",
 ]
 
 _RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
-_SCHEMA_VERSION = 2
+_SCHEMA_VERSION = 3
 
 #: Systems the default perf run covers: the pure-TAGE hot loop, and the
 #: paper's headline local-unit configuration (TAGE + loop predictor +
@@ -246,6 +251,89 @@ def measure_sampling(
     }
 
 
+#: The 16-config grid the batch perf section sweeps: a sizing curve per
+#: table-indexed predictor kind (the paper's capacity-sweep shape) plus
+#: a few off-grid points so the kernel's per-config state planes are not
+#: all the same size.  Every spec shares one workload trace, which is
+#: exactly the shape the batch kernel amortises.
+BATCH_SWEEP_SPECS: tuple[str, ...] = (
+    "bimodal:8",
+    "bimodal:10",
+    "bimodal:12",
+    "bimodal:14",
+    "gshare:10:8",
+    "gshare:12:10",
+    "gshare:14:12",
+    "gshare:14:14",
+    "local2l:8:6:10",
+    "local2l:10:8:12",
+    "local2l:12:10:14",
+    "local2l:10:12:14",
+    "bimodal:13:3",
+    "gshare:13:9",
+    "local2l:9:7:11",
+    "bimodal:9:2",
+)
+
+
+def measure_batch(
+    spec: WorkloadSpec,
+    n_branches: int,
+    config_specs: Sequence[str] = BATCH_SWEEP_SPECS,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Batch kernel vs exact scalar engine on one shared-trace sweep.
+
+    Runs the same (1 workload x ``config_specs``) matrix twice — once
+    with ``batch=False`` (the exact scalar engine, measured once: it is
+    the slow side) and once with ``batch=True`` (best of ``repeats``) —
+    and reports the wall-clock ratio together with ``mpki_identical``,
+    which asserts the kernel's whole point: identical MPKI and
+    misprediction counts, only faster.  Speedup honours the
+    ``REPRO_BATCH`` gate, so a forced-off environment reports ~1x.
+    """
+    from repro.harness.systems import resolve_system
+
+    systems = [resolve_system(name) for name in config_specs]
+    scale = Scale(
+        name="perf-batch", branches_per_workload=n_branches, workloads_per_category=1
+    )
+    load_trace(spec, n_branches)
+    t0 = perf_counter()
+    scalar = run_matrix(
+        [spec], systems, scale, workers=1, use_result_cache=False, batch=False
+    )
+    scalar_wall = perf_counter() - t0
+    batch_wall = float("inf")
+    batch = scalar
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        batch = run_matrix(
+            [spec], systems, scale, workers=1, use_result_cache=False, batch=True
+        )
+        batch_wall = min(batch_wall, perf_counter() - t0)
+    identical = all(
+        s.mpki == b.mpki and s.mispredictions == b.mispredictions
+        for s, b in zip(scalar, batch)
+    )
+    return {
+        "workload": spec.name,
+        "branches": n_branches,
+        "configs": len(config_specs),
+        "specs": list(config_specs),
+        "scalar_wall_s": round(scalar_wall, 6),
+        "batch_wall_s": round(batch_wall, 6),
+        "speedup": round(scalar_wall / batch_wall, 3) if batch_wall else 0.0,
+        "scalar_configs_per_s": round(len(config_specs) / scalar_wall, 3)
+        if scalar_wall
+        else 0.0,
+        "batch_configs_per_s": round(len(config_specs) / batch_wall, 3)
+        if batch_wall
+        else 0.0,
+        "mpki_identical": identical,
+    }
+
+
 def profile_top(
     spec: WorkloadSpec,
     system: SystemConfig,
@@ -271,13 +359,14 @@ def run_perf(
     repeats: int = 3,
     out: str | Path | None = "BENCH_perf.json",
     sampling_branches: int | None = SAMPLING_BRANCHES,
+    batch: bool = True,
 ) -> dict[str, Any]:
     """Measure throughput + warm-sweep reuse and write ``BENCH_perf.json``.
 
     Returns the written payload.  ``out=None`` skips the file write
     (used by the CI smoke path's dry invocations and by tests);
     ``sampling_branches=None`` skips the (comparatively slow) sampled
-    vs exact section.
+    vs exact section; ``batch=False`` skips the batch-kernel section.
     """
     spec = get_workload(workload)
     configs = resolve_systems(systems)
@@ -288,6 +377,7 @@ def run_perf(
         if sampling_branches is not None
         else None
     )
+    batch_section = measure_batch(spec, branches, repeats=repeats) if batch else None
     throughput: dict[str, Any] = {}
     for sample in samples:
         row: dict[str, Any] = {
@@ -308,6 +398,7 @@ def run_perf(
         "throughput": throughput,
         "warm_sweep": {key: round(value, 6) for key, value in warm.items()},
         "sampling": sampling,
+        "batch": batch_section,
         "env": {
             "python": platform.python_version(),
             "platform": f"{sys.platform}-{platform.machine()}",

@@ -39,6 +39,7 @@ __all__ = [
     "run_matrix",
     "select_workloads",
     "shard_bounds",
+    "trace_cache_path",
     "validate_shard",
     "pair_results",
 ]
@@ -132,6 +133,19 @@ def _memo_put(key: tuple[str, int, int], records: list[BranchRecord]) -> None:
         _TRACE_MEMO.popitem(last=False)
 
 
+def trace_cache_path(spec: WorkloadSpec, n_branches: int) -> Path | None:
+    """The on-disk cache file for a workload's trace, or None when off.
+
+    The file is not guaranteed to exist — this is the *name* contract
+    shared by :func:`load_trace` (which writes it) and the batch
+    executor (which decodes it columnar-ly, skipping record objects).
+    """
+    cache = _cache_dir()
+    if cache is None:
+        return None
+    return cache / f"{spec.name}-{spec.seed}-{n_branches}.trace"
+
+
 def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
     """Generate (or load from cache) the trace for ``spec``.
 
@@ -145,13 +159,13 @@ def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
     if records is not None:
         _TRACE_MEMO.move_to_end(key)
     cache = _cache_dir()
-    if cache is None:
+    path = trace_cache_path(spec, n_branches)
+    if cache is None or path is None:
         if records is None:
             TELEMETRY.registry.counter("trace.decodes").inc()
             records = generate_trace(spec, n_branches)
             _memo_put(key, records)
         return records
-    path = cache / f"{spec.name}-{spec.seed}-{n_branches}.trace"
     if records is None:
         TELEMETRY.registry.counter("trace.decodes").inc()
         if path.exists():
@@ -336,6 +350,7 @@ def run_matrix(
     use_result_cache: bool | None = None,
     sampling: SamplingConfig | None = None,
     shard: tuple[int, int] | None = None,
+    batch: bool | None = None,
 ) -> list[RunResult]:
     """Run every system against every workload.
 
@@ -356,12 +371,26 @@ def run_matrix(
     to per-worker decoding.  Segments are unlinked on the way out even
     when a worker dies mid-sweep.
 
+    ``batch`` is the tri-state gate for the columnar batch sweep kernel
+    (:mod:`repro.pipeline.batch`): ``True`` enables it, ``False``
+    forces it off, and ``None`` defers to the ``REPRO_BATCH``
+    environment variable.  When enabled, groups of table-indexed
+    predictor configs sharing a workload are evaluated in one
+    vectorised pass (exact predictions and MPKI, no pipeline timing);
+    everything the kernel cannot express runs on the exact engine
+    unchanged.  Telemetry capture forces the exact engine — batch
+    results carry no per-run event streams.
+
     This is a thin wrapper over :class:`repro.harness.scheduler.Scheduler`
     — the same planning/dispatch path the ``repro serve`` service uses —
     and is bit-identical to the pre-scheduler implementation.
     """
+    from repro.harness.batch import BatchExecutor, batch_enabled
     from repro.harness.scheduler import Scheduler, default_executor
 
+    use_batch = batch_enabled(batch)
+    if TELEMETRY.enabled:
+        use_batch = False
     scheduler = Scheduler(use_result_cache=use_result_cache)
     jobs = scheduler.plan(
         workloads,
@@ -370,10 +399,13 @@ def run_matrix(
         pipeline=pipeline,
         sampling=sampling,
         shard=shard,
+        batch=use_batch,
     )
     executor = default_executor(
         len(jobs), len(systems), parallel=parallel, workers=workers
     )
+    if use_batch and any(job.batch for job in jobs):
+        executor = BatchExecutor(inner=executor)
     return scheduler.run(jobs, executor)
 
 

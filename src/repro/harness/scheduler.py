@@ -60,6 +60,11 @@ class SimJob:
     use_result_cache: bool | None = None
     sampling: SamplingConfig | None = None
     shm_ref: tuple[str, int] | None = None
+    #: Planned for the batch sweep kernel.  Set at *plan* time (not
+    #: execute time) so the manifest hash and the engine that actually
+    #: runs can never diverge — a batch job's cache entry is keyed with
+    #: ``engine: "batch"`` and is invisible to exact-timing requests.
+    batch: bool = False
 
     def manifest(self) -> dict[str, Any]:
         """The provenance manifest this job's run would carry."""
@@ -70,6 +75,7 @@ class SimJob:
             self.n_branches,
             pipeline_cfg,
             sampling=self.sampling,
+            engine="batch" if self.batch else None,
         ).as_dict()
 
 
@@ -143,8 +149,16 @@ class Scheduler:
         pipeline: PipelineConfig | None = None,
         sampling: SamplingConfig | None = None,
         shard: tuple[int, int] | None = None,
+        batch: bool = False,
     ) -> list[SimJob]:
-        """The workload-major job list, optionally shard-sliced."""
+        """The workload-major job list, optionally shard-sliced.
+
+        With ``batch=True``, jobs that the batch sweep kernel supports
+        are marked ``batch=True`` whenever enough of them share one
+        workload (see :func:`mark_batch_jobs`); marking happens *after*
+        shard slicing so each shard makes its own grouping decision
+        from the jobs it will actually run.
+        """
         from repro.harness.runner import shard_bounds
 
         jobs = [
@@ -162,6 +176,10 @@ class Scheduler:
         if shard is not None:
             start, end = shard_bounds(len(jobs), shard)
             jobs = jobs[start:end]
+        if batch:
+            from repro.harness.batch import mark_batch_jobs
+
+            jobs = mark_batch_jobs(jobs)
         return jobs
 
     # ------------------------------------------------------------- #

@@ -31,9 +31,21 @@ from repro.core.two_level_local import TwoLevelLocalConfig, TwoLevelLocalPredict
 from repro.core.unit import LocalBranchUnit, StandardLocalUnit
 from repro.errors import ConfigError
 from repro.predictors.base import GlobalPredictor
+from repro.predictors.table import (
+    TablePredictorSpec,
+    maybe_table_predictor,
+    parse_table_predictor,
+)
 from repro.predictors.tage import TageConfig, TagePredictor
 
-__all__ = ["SystemConfig", "build_system", "TABLE3_SYSTEMS", "table3_rows"]
+__all__ = [
+    "SystemConfig",
+    "build_system",
+    "resolve_system",
+    "table_predictor_spec",
+    "TABLE3_SYSTEMS",
+    "table3_rows",
+]
 
 _TAGE_PRESETS = {
     "kb8": TageConfig.kb8,
@@ -72,6 +84,12 @@ class SystemConfig:
     policy: str = "utility"
     #: Split the PT between stages (multi-stage variant).
     split_pt: bool = False
+    #: Table-indexed predictor spec string (``bimodal:12:2``,
+    #: ``gshare:14:12``, ``local2l:10:8:12``).  When set, the system is
+    #: this predictor alone — no TAGE, no local unit, no repair scheme —
+    #: and becomes eligible for the batch sweep kernel
+    #: (:mod:`repro.pipeline.batch`).
+    predictor: str | None = None
 
     @property
     def is_baseline(self) -> bool:
@@ -106,8 +124,54 @@ def _build_scheme(config: SystemConfig) -> RepairScheme:
     raise ConfigError(f"unknown repair scheme {scheme_id!r}")
 
 
+def table_predictor_spec(config: SystemConfig) -> TablePredictorSpec | None:
+    """The parsed table-predictor spec of a spec-named system, or None.
+
+    This is the batch-eligibility predicate: a system is batchable
+    exactly when it is a bare table-indexed predictor (TAGE baselines
+    and repair-scheme systems return None and always take the exact
+    scalar engine).
+    """
+    if config.predictor is None:
+        return None
+    return parse_table_predictor(config.predictor)
+
+
+def resolve_system(name: str) -> SystemConfig:
+    """A system config by Table 3 name or table-predictor spec string.
+
+    Spec strings are canonicalised (``gshare:14`` names the same system
+    as ``gshare:14:14``) so equivalent sweeps share manifest hashes and
+    result-cache entries.  Raises :class:`ConfigError` for unknown
+    names and for malformed specs of a known predictor kind.
+    """
+    for config in TABLE3_SYSTEMS:
+        if config.name == name:
+            return config
+    spec = maybe_table_predictor(name)
+    if spec is not None:
+        return SystemConfig(
+            name=spec.spec_string,
+            predictor=spec.spec_string,
+            local_entries=None,
+            scheme=None,
+        )
+    known = ", ".join(cfg.name for cfg in TABLE3_SYSTEMS)
+    raise ConfigError(
+        f"unknown system {name!r}; choose a Table 3 name ({known}) or a "
+        "table-predictor spec like bimodal:12, gshare:14:12, local2l:10:8:12"
+    )
+
+
 def build_system(config: SystemConfig) -> tuple[GlobalPredictor, LocalBranchUnit | None]:
     """Materialise (baseline predictor, local unit) from a config."""
+    if config.predictor is not None:
+        if config.scheme is not None:
+            raise ConfigError(
+                "predictor-spec systems are baseline-only; "
+                f"scheme must be None, got {config.scheme!r}"
+            )
+        return parse_table_predictor(config.predictor).build(), None
     try:
         tage_config = _TAGE_PRESETS[config.tage]()
     except KeyError:

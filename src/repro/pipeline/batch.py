@@ -1,0 +1,307 @@
+"""Columnar batch-sweep kernel: many predictor configs, one trace pass.
+
+Sweeps replay the *same* trace across many predictor configurations —
+Table 3 sizings, Figure 14-style sensitivity scans — and the scalar
+engine pays the full branch-by-branch Python loop once per config.  For
+the table-indexed predictor family (:mod:`repro.predictors.table`:
+bimodal, gshare, direct-mapped two-level local) the committed-stream
+behaviour is a pure function of prior outcomes, so every config's
+per-branch index stream can be *precomputed* from the trace columns and
+the remaining work — gather counter, threshold, saturate toward the
+outcome, scatter back — vectorised with a leading config axis.
+
+The only sequential dependency left is the saturating-counter chain per
+table entry: branch *k*'s prediction reads the state branch *j < k*
+wrote whenever they share an index.  The kernel handles that exactly
+(not approximately) with a sorted-run schedule per interval:
+
+1. flatten the interval's (config, branch) cells and stable-sort by
+   flat table key — cells sharing a counter become one contiguous *run*
+   in trace order;
+2. iterate *levels*: level ``p`` holds the ``p``-th cell of every run.
+   Within a level each run appears at most once, so gather → predict →
+   saturate → scatter is conflict-free, and processing levels in order
+   replays each run's chain in exact trace order.
+
+Wall-clock is then bounded by the deepest run (the hottest counter) per
+interval instead of by total cells, and every prediction is
+**bit-identical** to the scalar engine — verified against
+:func:`functional_predictions` (the literal per-branch reference) in
+the test suite and asserted by ``repro perf``.
+
+Scope: this kernel models prediction accuracy (per-branch predictions,
+mispredictions, MPKI), not pipeline timing — IPC/cycles require the
+full out-of-order model, and TAGE's tagged allocation paths are not
+index-addressed, so both fall back to the exact scalar engine (see
+:mod:`repro.harness.batch` for the policy layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor
+from repro.predictors.table import TablePredictorSpec
+from repro.trace.columns import ColumnarTrace
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "BatchResult",
+    "run_batch",
+    "functional_predictions",
+]
+
+#: Records per vectorised interval.  Intervals only bound the working
+#: set (sort buffers are O(configs x interval)); chain state persists in
+#: the flat table across boundaries, so results are interval-invariant.
+DEFAULT_INTERVAL = 16384
+
+_COND = int(BranchKind.COND)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-config prediction outcomes of one batch kernel run.
+
+    ``predictions[c, i]`` is config ``c``'s prediction for the ``i``-th
+    *conditional* branch of the trace (non-conditional records are not
+    predicted, matching the pipeline).  ``instructions`` counts every
+    record's full instruction group, exactly like
+    :class:`~repro.pipeline.stats.SimStats`, so :meth:`mpki` is
+    bit-identical to the scalar engine's for the same trace.
+    """
+
+    specs: tuple[TablePredictorSpec, ...]
+    #: (configs, cond_branches) predicted directions.
+    predictions: "np.ndarray[Any, Any]"
+    #: (cond_branches,) actual directions, shared by every config.
+    taken: "np.ndarray[Any, Any]"
+    cond_branches: int
+    taken_branches: int
+    instructions: int
+
+    def mispredictions(self, index: int) -> int:
+        """Total mispredictions of config ``index``."""
+        row = self.predictions[index]
+        return int(np.count_nonzero(row != self.taken))
+
+    def mpki(self, index: int) -> float:
+        """Mispredictions per kilo-instruction, scalar-engine float math."""
+        if self.instructions == 0:
+            return 0.0
+        return self.mispredictions(index) * 1000.0 / self.instructions
+
+    def accuracy(self, index: int) -> float:
+        """Fraction of conditional branches config ``index`` got right."""
+        if self.cond_branches == 0:
+            return 1.0
+        return 1.0 - self.mispredictions(index) / self.cond_branches
+
+
+def _ghist_stream(taken: "np.ndarray[Any, Any]", bits: int) -> "np.ndarray[Any, Any]":
+    """Global history *before* each branch, as packed uint64 words.
+
+    ``out[k]`` bit ``j`` is the outcome of conditional branch
+    ``k - 1 - j`` (newest at position 0), exactly the low ``bits`` bits
+    of :class:`~repro.predictors.history.GlobalHistory.ghist` at branch
+    ``k``'s lookup — on the committed stream the speculative history
+    always resolves to actual outcomes before the next lookup.
+    """
+    n = len(taken)
+    out = np.zeros(n, dtype=np.uint64)
+    bits_u64 = taken.astype(np.uint64)
+    for j in range(min(bits, n)):
+        out[j + 1 :] |= bits_u64[: n - 1 - j] << np.uint64(j)
+    return out
+
+
+def _local_patterns(
+    pc_words: "np.ndarray[Any, Any]",
+    taken: "np.ndarray[Any, Any]",
+    spec: TablePredictorSpec,
+) -> "np.ndarray[Any, Any]":
+    """Per-branch local-history patterns for a ``local2l`` spec.
+
+    The BHT starts all-zero and shifts in actual outcomes per
+    direct-mapped PC slot, so branch ``k``'s pattern is the packed
+    outcomes of the previous ``history_bits`` branches *mapping to the
+    same BHT entry* — recovered by grouping the stream by BHT index
+    (stable sort keeps trace order within a group) and accumulating
+    shifted outcome bits inside each group.
+    """
+    n = len(pc_words)
+    bht_index = pc_words & np.uint64((1 << spec.bht_log_entries) - 1)
+    order = np.argsort(bht_index, kind="stable")
+    index_sorted = bht_index[order]
+    taken_sorted = taken[order].astype(np.uint64)
+    patterns_sorted = np.zeros(n, dtype=np.uint64)
+    for j in range(min(spec.history_bits, n)):
+        m = n - 1 - j
+        if m <= 0:
+            break
+        same_group = index_sorted[j + 1 :] == index_sorted[: m]
+        patterns_sorted[j + 1 :] |= (
+            taken_sorted[:m] & same_group.astype(np.uint64)
+        ) << np.uint64(j)
+    patterns = np.empty(n, dtype=np.uint64)
+    patterns[order] = patterns_sorted
+    return patterns
+
+
+def _index_stream(
+    spec: TablePredictorSpec,
+    pc_words: "np.ndarray[Any, Any]",
+    taken: "np.ndarray[Any, Any]",
+    ghist: "np.ndarray[Any, Any]" | None,
+) -> "np.ndarray[Any, Any]":
+    """The per-branch table index every lookup of ``spec`` would use."""
+    mask = np.uint64((1 << spec.log_entries) - 1)
+    if spec.kind == "bimodal":
+        return (pc_words & mask).astype(np.int64)
+    if spec.kind == "gshare":
+        assert ghist is not None
+        hist = ghist & np.uint64((1 << spec.history_bits) - 1)
+        return ((pc_words ^ hist) & mask).astype(np.int64)
+    patterns = _local_patterns(pc_words, taken, spec)
+    return ((patterns ^ pc_words) & mask).astype(np.int64)
+
+
+def _evaluate_interval(
+    keys: "np.ndarray[Any, Any]",
+    deltas: "np.ndarray[Any, Any]",
+    thresholds: "np.ndarray[Any, Any]",
+    maxima: "np.ndarray[Any, Any]",
+    tables: "np.ndarray[Any, Any]",
+) -> "np.ndarray[Any, Any]":
+    """One interval of the sorted-run level schedule (see module doc).
+
+    ``keys``/``deltas``/``thresholds``/``maxima`` are flattened
+    (config-major) per-cell vectors; ``tables`` is the persistent flat
+    counter plane, updated in place.  Returns the per-cell predictions
+    in the same flattened order.
+    """
+    cells = len(keys)
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    deltas_sorted = deltas[order]
+    thresholds_sorted = thresholds[order]
+    maxima_sorted = maxima[order]
+    run_start = np.empty(cells, dtype=bool)
+    run_start[0] = True
+    np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=run_start[1:])
+    run_id = np.cumsum(run_start) - 1
+    first_of_run = np.flatnonzero(run_start)
+    run_keys = keys_sorted[first_of_run]
+    run_states = tables[run_keys]
+    position = np.arange(cells, dtype=np.int64) - first_of_run[run_id]
+    level_sizes = np.bincount(position)
+    level_bounds = np.concatenate(([0], np.cumsum(level_sizes)))
+    level_order = np.argsort(position, kind="stable")
+    predictions_sorted = np.empty(cells, dtype=bool)
+    for level in range(len(level_sizes)):
+        cells_here = level_order[level_bounds[level] : level_bounds[level + 1]]
+        runs_here = run_id[cells_here]
+        states = run_states[runs_here]
+        predictions_sorted[cells_here] = states >= thresholds_sorted[cells_here]
+        states = states + deltas_sorted[cells_here]
+        np.minimum(states, maxima_sorted[cells_here], out=states)
+        np.maximum(states, 0, out=states)
+        # Each run occurs at most once per level: scatter is exact.
+        run_states[runs_here] = states
+    tables[run_keys] = run_states
+    predictions = np.empty(cells, dtype=bool)
+    predictions[order] = predictions_sorted
+    return predictions
+
+
+def run_batch(
+    trace: ColumnarTrace,
+    specs: Sequence[TablePredictorSpec],
+    interval: int = DEFAULT_INTERVAL,
+) -> BatchResult:
+    """Evaluate every spec's predictions over one trace, vectorised.
+
+    Bit-identical to running each spec's scalar predictor through the
+    exact pipeline (committed-stream predictions, mispredictions, and
+    MPKI); see the module docstring for why that equivalence holds and
+    what falls outside this kernel's scope (timing, TAGE).
+    """
+    if not specs:
+        raise ConfigError("run_batch needs at least one predictor spec")
+    if interval < 1:
+        raise ConfigError(f"batch interval must be >= 1, got {interval}")
+    spec_tuple = tuple(specs)
+    kinds = trace.kind
+    cond_mask = kinds == _COND
+    pc_words = trace.pc[cond_mask] >> np.uint64(2)
+    taken = trace.taken[cond_mask]
+    n_cond = len(pc_words)
+    instructions = int(trace.inst_gap.astype(np.int64).sum()) + len(trace)
+    gshare_bits = [s.history_bits for s in spec_tuple if s.kind == "gshare"]
+    ghist = _ghist_stream(taken, max(gshare_bits)) if gshare_bits else None
+    index_streams = [
+        _index_stream(spec, pc_words, taken, ghist) for spec in spec_tuple
+    ]
+    n_configs = len(spec_tuple)
+    sizes = np.array([1 << spec.log_entries for spec in spec_tuple], dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    tables = np.empty(int(offsets[-1]), dtype=np.int16)
+    thresholds = np.empty(n_configs, dtype=np.int16)
+    maxima = np.empty(n_configs, dtype=np.int16)
+    for c, spec in enumerate(spec_tuple):
+        # Every supported family initialises weakly taken at the
+        # counter midpoint (bimodal/gshare/local2l all do).
+        thresholds[c] = 1 << (spec.counter_bits - 1)
+        maxima[c] = (1 << spec.counter_bits) - 1
+        tables[offsets[c] : offsets[c + 1]] = thresholds[c]
+    predictions = np.empty((n_configs, n_cond), dtype=bool)
+    deltas = taken.astype(np.int16) * 2 - 1
+    for start in range(0, n_cond, interval):
+        end = min(n_cond, start + interval)
+        span = end - start
+        keys = np.concatenate(
+            [stream[start:end] + offsets[c] for c, stream in enumerate(index_streams)]
+        )
+        cell_deltas = np.tile(deltas[start:end], n_configs)
+        cell_thresholds = np.repeat(thresholds, span)
+        cell_maxima = np.repeat(maxima, span)
+        flat = _evaluate_interval(
+            keys, cell_deltas, cell_thresholds, cell_maxima, tables
+        )
+        predictions[:, start:end] = flat.reshape(n_configs, span)
+    return BatchResult(
+        specs=spec_tuple,
+        predictions=predictions,
+        taken=taken,
+        cond_branches=n_cond,
+        taken_branches=int(np.count_nonzero(taken)),
+        instructions=instructions,
+    )
+
+
+def functional_predictions(
+    predictor: GlobalPredictor, records: Sequence[BranchRecord]
+) -> list[bool]:
+    """Scalar reference: per-branch predictions on the committed stream.
+
+    Replays the exact committed-stream predictor sequence the pipeline
+    produces for a baseline-only system — lookup, history push of the
+    *actual* outcome (speculative pushes always resolve to this before
+    the next committed lookup), train — and returns each conditional
+    branch's predicted direction.  This is the ground truth the batch
+    kernel is validated against.
+    """
+    out: list[bool] = []
+    for record in records:
+        if record.kind is not BranchKind.COND:
+            continue
+        prediction = predictor.lookup(record.pc)
+        out.append(prediction.taken)
+        predictor.history.push(record.pc, record.taken)
+        predictor.train(prediction, record.taken)
+    return out

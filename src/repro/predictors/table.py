@@ -1,0 +1,268 @@
+"""Table-indexed predictor specs and the direct-mapped two-level local.
+
+The batch sweep kernel (:mod:`repro.pipeline.batch`) evaluates *many*
+predictor configurations over one trace at once, which only works for
+predictors whose whole state is a handful of index-addressed counter
+tables.  This module names exactly that family:
+
+* :class:`TablePredictorSpec` — a parsed, hashable description of one
+  table-indexed configuration.  Specs have a canonical string form
+  (``bimodal:12:2``, ``gshare:14:12``, ``local2l:10:8:12:2``) so a
+  sweep over sizings is a sweep over strings — the CLI accepts them
+  anywhere a Table 3 system name is accepted.
+* :class:`LocalTwoLevelPredictor` — a direct-mapped, untagged PAp-style
+  two-level predictor (per-PC pattern history → shared counter table).
+  It is the scalar twin of the batch kernel's ``local2l`` lane: simple
+  enough to vectorise exactly, unlike the set-associative
+  :class:`~repro.core.two_level_local.TwoLevelLocalPredictor` with its
+  LRU and confidence machinery.
+
+Every spec builds a plain :class:`~repro.predictors.base.GlobalPredictor`,
+so spec-named systems run through the exact pipeline engine unchanged —
+the batch kernel is an optimisation, never the only implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.predictors.base import GlobalPredictor, Prediction
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.counters import counter_taken, counter_update
+from repro.predictors.gshare import GSharePredictor
+
+__all__ = [
+    "TABLE_PREDICTOR_KINDS",
+    "TablePredictorSpec",
+    "LocalTwoLevelPredictor",
+    "parse_table_predictor",
+    "maybe_table_predictor",
+]
+
+#: The predictor families the batch kernel supports, by spec prefix.
+TABLE_PREDICTOR_KINDS: tuple[str, ...] = ("bimodal", "gshare", "local2l")
+
+#: Widest counter the batch kernel's int16 state plane can hold.
+_MAX_COUNTER_BITS = 8
+_MAX_LOG_ENTRIES = 24
+
+
+@dataclass(frozen=True)
+class TablePredictorSpec:
+    """One parsed table-indexed predictor configuration.
+
+    Field meaning depends on ``kind``:
+
+    * ``bimodal`` — ``log_entries`` counters of ``counter_bits`` bits,
+      indexed by ``(pc >> 2)``.
+    * ``gshare`` — ``log_entries`` 2-bit-equivalent counters of
+      ``counter_bits`` bits indexed by ``(pc >> 2) ^ GHIST[:history_bits]``.
+    * ``local2l`` — a ``1 << bht_log_entries`` per-PC pattern table of
+      ``history_bits``-bit local histories selecting into
+      ``log_entries`` counters via ``pattern ^ (pc >> 2)``.
+    """
+
+    kind: str
+    log_entries: int
+    counter_bits: int = 2
+    history_bits: int = 0
+    bht_log_entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TABLE_PREDICTOR_KINDS:
+            raise ConfigError(
+                f"unknown table predictor kind {self.kind!r}; "
+                f"choose from {', '.join(TABLE_PREDICTOR_KINDS)}"
+            )
+        if not 1 <= self.log_entries <= _MAX_LOG_ENTRIES:
+            raise ConfigError(
+                f"log_entries out of range [1, {_MAX_LOG_ENTRIES}]: "
+                f"{self.log_entries}"
+            )
+        if not 1 <= self.counter_bits <= _MAX_COUNTER_BITS:
+            raise ConfigError(
+                f"counter_bits out of range [1, {_MAX_COUNTER_BITS}]: "
+                f"{self.counter_bits}"
+            )
+        if self.kind == "gshare":
+            if not 1 <= self.history_bits <= self.log_entries:
+                raise ConfigError(
+                    "gshare history_bits must be in [1, log_entries] "
+                    f"({self.history_bits} vs {self.log_entries})"
+                )
+        if self.kind == "local2l":
+            if not 1 <= self.bht_log_entries <= _MAX_LOG_ENTRIES:
+                raise ConfigError(
+                    f"bht_log_entries out of range [1, {_MAX_LOG_ENTRIES}]: "
+                    f"{self.bht_log_entries}"
+                )
+            if not 1 <= self.history_bits <= 24:
+                raise ConfigError(
+                    f"local2l history_bits out of range [1, 24]: "
+                    f"{self.history_bits}"
+                )
+
+    @property
+    def spec_string(self) -> str:
+        """The canonical colon form this spec parses back from."""
+        if self.kind == "bimodal":
+            return f"bimodal:{self.log_entries}:{self.counter_bits}"
+        if self.kind == "gshare":
+            return f"gshare:{self.log_entries}:{self.history_bits}"
+        return (
+            f"local2l:{self.bht_log_entries}:{self.history_bits}:"
+            f"{self.log_entries}:{self.counter_bits}"
+        )
+
+    def build(self) -> GlobalPredictor:
+        """Materialise the exact scalar predictor this spec describes."""
+        if self.kind == "bimodal":
+            return BimodalPredictor(
+                log_entries=self.log_entries, counter_bits=self.counter_bits
+            )
+        if self.kind == "gshare":
+            return GSharePredictor(
+                log_entries=self.log_entries, history_length=self.history_bits
+            )
+        return LocalTwoLevelPredictor(
+            bht_log_entries=self.bht_log_entries,
+            history_bits=self.history_bits,
+            pt_log_entries=self.log_entries,
+            counter_bits=self.counter_bits,
+        )
+
+
+def _parse_fields(kind: str, fields: list[str], text: str) -> TablePredictorSpec:
+    try:
+        numbers = [int(field) for field in fields]
+    except ValueError:
+        raise ConfigError(
+            f"non-integer field in predictor spec {text!r}"
+        ) from None
+    if kind == "bimodal":
+        if len(numbers) > 2:
+            raise ConfigError(
+                f"bimodal spec takes LOG[:BITS], got {text!r}"
+            )
+        log = numbers[0] if numbers else 12
+        bits = numbers[1] if len(numbers) > 1 else 2
+        return TablePredictorSpec(kind="bimodal", log_entries=log, counter_bits=bits)
+    if kind == "gshare":
+        if len(numbers) > 2:
+            raise ConfigError(
+                f"gshare spec takes LOG[:HIST], got {text!r}"
+            )
+        log = numbers[0] if numbers else 14
+        hist = numbers[1] if len(numbers) > 1 else log
+        return TablePredictorSpec(
+            kind="gshare", log_entries=log, counter_bits=2, history_bits=hist
+        )
+    if len(numbers) > 4:
+        raise ConfigError(
+            f"local2l spec takes BHTLOG[:HIST[:PTLOG[:BITS]]], got {text!r}"
+        )
+    bht_log = numbers[0] if numbers else 10
+    hist = numbers[1] if len(numbers) > 1 else 8
+    pt_log = numbers[2] if len(numbers) > 2 else 12
+    bits = numbers[3] if len(numbers) > 3 else 2
+    return TablePredictorSpec(
+        kind="local2l",
+        log_entries=pt_log,
+        counter_bits=bits,
+        history_bits=hist,
+        bht_log_entries=bht_log,
+    )
+
+
+def parse_table_predictor(text: str) -> TablePredictorSpec:
+    """Parse ``kind[:n[:n...]]`` into a spec (:class:`ConfigError` on bad)."""
+    parts = [part.strip() for part in text.strip().split(":")]
+    kind = parts[0]
+    if kind not in TABLE_PREDICTOR_KINDS:
+        raise ConfigError(
+            f"unknown table predictor kind {kind!r} in {text!r}; "
+            f"choose from {', '.join(TABLE_PREDICTOR_KINDS)}"
+        )
+    fields = [part for part in parts[1:] if part != ""]
+    if len(fields) != len(parts[1:]):
+        raise ConfigError(f"empty field in predictor spec {text!r}")
+    return _parse_fields(kind, fields, text)
+
+
+def maybe_table_predictor(text: str) -> TablePredictorSpec | None:
+    """Parse a spec string, or None when ``text`` is not spec-shaped.
+
+    Spec-shaped means the part before the first ``:`` names a known
+    kind — a *malformed* spec of a known kind still raises, so typos in
+    the numeric fields fail loudly instead of falling back to "unknown
+    system".
+    """
+    kind = text.strip().split(":", 1)[0]
+    if kind not in TABLE_PREDICTOR_KINDS:
+        return None
+    return parse_table_predictor(text)
+
+
+class LocalTwoLevelPredictor(GlobalPredictor):
+    """Direct-mapped two-level local predictor (PAp, untagged).
+
+    First level: a per-PC branch-history table of ``history_bits``-bit
+    local patterns, direct-mapped by ``(pc >> 2)``.  Second level: a
+    shared counter table indexed by ``pattern ^ (pc >> 2)``.  Both
+    levels update architecturally at train time (no speculative local
+    history), which keeps the committed-stream behaviour a pure
+    function of prior outcomes — the property the batch kernel relies
+    on for bit-identical vectorisation.
+    """
+
+    name = "local2l"
+
+    def __init__(
+        self,
+        bht_log_entries: int = 10,
+        history_bits: int = 8,
+        pt_log_entries: int = 12,
+        counter_bits: int = 2,
+    ) -> None:
+        super().__init__()
+        # Route range validation through the spec so the scalar
+        # predictor and the batch kernel accept exactly the same space.
+        spec = TablePredictorSpec(
+            kind="local2l",
+            log_entries=pt_log_entries,
+            counter_bits=counter_bits,
+            history_bits=history_bits,
+            bht_log_entries=bht_log_entries,
+        )
+        self.spec = spec
+        self.counter_bits = counter_bits
+        self._bht_mask = (1 << bht_log_entries) - 1
+        self._hist_mask = (1 << history_bits) - 1
+        self._pt_mask = (1 << pt_log_entries) - 1
+        self._max = (1 << counter_bits) - 1
+        self._bht = [0] * (1 << bht_log_entries)
+        weak_taken = 1 << (counter_bits - 1)
+        self._pt = [weak_taken] * (1 << pt_log_entries)
+
+    def _indices(self, pc: int) -> tuple[int, int]:
+        bht_index = (pc >> 2) & self._bht_mask
+        pattern = self._bht[bht_index]
+        pt_index = (pattern ^ (pc >> 2)) & self._pt_mask
+        return bht_index, pt_index
+
+    def lookup(self, pc: int) -> Prediction:
+        bht_index, pt_index = self._indices(pc)
+        taken = counter_taken(self._pt[pt_index], self.counter_bits)
+        return Prediction(pc=pc, taken=taken, meta=(bht_index, pt_index))
+
+    def train(self, prediction: Prediction, taken: bool) -> None:
+        bht_index, pt_index = prediction.meta
+        self._pt[pt_index] = counter_update(self._pt[pt_index], taken, self._max)
+        self._bht[bht_index] = (
+            (self._bht[bht_index] << 1) | (1 if taken else 0)
+        ) & self._hist_mask
+
+    def storage_bits(self) -> int:
+        bht_bits = len(self._bht) * self.spec.history_bits
+        return bht_bits + len(self._pt) * self.counter_bits

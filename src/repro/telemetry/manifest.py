@@ -67,6 +67,10 @@ class RunManifest:
     #: enabled — exact runs keep their historical manifest shape (and
     #: therefore their result-cache keys).
     sampling: dict[str, Any] | None = None
+    #: Evaluation engine, present only for non-default engines (the
+    #: batch sweep kernel records ``"batch"``) — exact scalar runs keep
+    #: their historical manifest shape and result-cache keys.
+    engine: str | None = None
     #: Filled in by the runner after the simulation finishes.
     wall_s: float | None = None
 
@@ -74,6 +78,8 @@ class RunManifest:
         payload = asdict(self)
         if payload.get("sampling") is None:
             del payload["sampling"]
+        if payload.get("engine") is None:
+            del payload["engine"]
         return payload
 
     @classmethod
@@ -97,6 +103,7 @@ def build_manifest(
     pipeline: "PipelineConfig",
     scale: str | None = None,
     sampling: "SamplingConfig | None" = None,
+    engine: str | None = None,
 ) -> RunManifest:
     """Assemble the provenance record for one (workload, system) run.
 
@@ -104,7 +111,10 @@ def build_manifest(
     (a sampled estimate must never alias an exact result, or a cache
     hit could silently swap one for the other) and recorded verbatim in
     the ``sampling`` field.  Sampling off is indistinguishable from the
-    pre-sampling manifest — same payload, same hash.
+    pre-sampling manifest — same payload, same hash.  A non-default
+    ``engine`` (the batch kernel's functional results carry no timing)
+    is folded in the same way, for the same reason: a batch result must
+    never be served from the cache for an exact-timing request.
     """
     config_payload: dict[str, Any] = {
         "system": asdict(system),
@@ -114,6 +124,8 @@ def build_manifest(
     if sampling is not None and sampling.enabled:
         sampling_payload = sampling.to_payload()
         config_payload["sampling"] = sampling_payload
+    if engine is not None:
+        config_payload["engine"] = engine
     workload_payload = {
         "spec": asdict(spec),
         "branches": n_branches,
@@ -130,4 +142,5 @@ def build_manifest(
         platform=f"{sys.platform}-{platform.machine()}",
         env=_captured_env(),
         sampling=sampling_payload,
+        engine=engine,
     )

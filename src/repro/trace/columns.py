@@ -31,18 +31,22 @@ shared memory at all) belongs to the harness, see
 
 from __future__ import annotations
 
+import os
 import struct
+from collections import OrderedDict
 from collections.abc import Sequence
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.errors import TraceError
+from repro.telemetry import TELEMETRY
 from repro.trace.io import dumps_trace
 from repro.trace.records import BranchKind, BranchRecord
 
-__all__ = ["TRACE_DTYPE", "ColumnarTrace", "SharedTrace"]
+__all__ = ["TRACE_DTYPE", "ColumnarTrace", "SharedTrace", "load_columnar"]
 
 _HEADER = struct.Struct("<4sHQ")
 _MAGIC = b"RPTR"
@@ -233,6 +237,39 @@ class ColumnarTrace:
         view[:] = self.array
         del view  # views into shm.buf must die before shm can close
         return SharedTrace(shm=shm, count=len(self), owner=True)
+
+
+#: Per-process memo of decoded trace files, keyed by (path, mtime,
+#: size) so an overwritten file is a miss, never stale data.  Entries
+#: are decode *views* over the file bytes held alive by the arrays —
+#: callers must treat them as immutable, like the runner's record memo.
+_COLUMN_CACHE: OrderedDict[tuple[str, int, int], ColumnarTrace] = OrderedDict()
+_COLUMN_CACHE_MAX = 4
+
+
+def load_columnar(path: str | Path) -> ColumnarTrace:
+    """Decode an RPTR trace file into a :class:`ColumnarTrace`, memoized.
+
+    Repeated loads of an unchanged file in one process (a batch sweep
+    touching the same workload from several groups, analysis tools
+    re-reading a trace) return the cached decode instead of re-reading
+    and re-validating; hits increment the ``trace.column_cache_hits``
+    telemetry counter.  The cache key is (path, mtime_ns, size), so
+    rewriting the file invalidates its entry.
+    """
+    target = Path(path)
+    stat = os.stat(target)
+    key = (str(target), stat.st_mtime_ns, stat.st_size)
+    cached = _COLUMN_CACHE.get(key)
+    if cached is not None:
+        _COLUMN_CACHE.move_to_end(key)
+        TELEMETRY.registry.counter("trace.column_cache_hits").inc()
+        return cached
+    trace = ColumnarTrace.decode(target.read_bytes())
+    _COLUMN_CACHE[key] = trace
+    if len(_COLUMN_CACHE) > _COLUMN_CACHE_MAX:
+        _COLUMN_CACHE.popitem(last=False)
+    return trace
 
 
 def _tracker_register(name: str) -> None:

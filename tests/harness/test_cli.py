@@ -102,9 +102,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "repair events" not in out
 
-    def test_run_unknown_system(self):
-        with pytest.raises(SystemExit, match="unknown system"):
-            main(["run", "--workload", "hpc-fft", "--system", "quantum"])
+    def test_run_unknown_system(self, capsys):
+        # Unknown systems are a ConfigError (exit 1 + stderr message),
+        # not a bare SystemExit: the name may now also be a
+        # table-predictor spec string, and both failures share the
+        # CLI's ReproError path.
+        code = main(["run", "--workload", "hpc-fft", "--system", "quantum"])
+        assert code == 1
+        assert "unknown system" in capsys.readouterr().err
 
     def test_compare_smoke(self, capsys):
         code = main(["compare", "--workload", "mm-animation", "--branches", "900"])
@@ -280,6 +285,7 @@ class TestSweepCommand:
             sharded += int(out.rsplit("\n", 2)[-2].split()[0])
         assert sharded == total
 
-    def test_sweep_unknown_system(self):
-        with pytest.raises(SystemExit):
-            main(["sweep", "--systems", "nope", "--branches", "500"])
+    def test_sweep_unknown_system(self, capsys):
+        code = main(["sweep", "--systems", "nope", "--branches", "500"])
+        assert code == 1
+        assert "unknown system" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Batch sweep kernel: bit-identical to the exact engine, only faster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.systems import resolve_system, table_predictor_spec
+from repro.memory.hierarchy import CacheHierarchy
+from repro.pipeline.batch import functional_predictions, run_batch
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import PipelineModel
+from repro.trace.columns import ColumnarTrace
+from tests.conftest import loop_trace, make_branch
+
+SPEC_STRINGS = (
+    "bimodal:4:2",
+    "bimodal:8:3",
+    "gshare:6:4",
+    "gshare:10:10",
+    "local2l:4:3:6:2",
+    "local2l:6:6:8:2",
+)
+
+
+def _specs(names=SPEC_STRINGS):
+    return [table_predictor_spec(resolve_system(name)) for name in names]
+
+
+def _mixed_trace(tiny_trace):
+    return ColumnarTrace.from_records(tiny_trace)
+
+
+class TestKernelEquivalence:
+    def test_predictions_match_scalar_reference(self, tiny_trace):
+        trace = _mixed_trace(tiny_trace)
+        specs = _specs()
+        result = run_batch(trace, specs)
+        for lane, spec in enumerate(specs):
+            expected = functional_predictions(spec.build(), tiny_trace)
+            assert result.predictions[lane].tolist() == expected, spec.spec_string
+
+    def test_matches_full_pipeline_stats(self, tiny_trace):
+        trace = _mixed_trace(tiny_trace)
+        specs = _specs(["bimodal:6:2", "gshare:8:6", "local2l:5:4:7:2"])
+        result = run_batch(trace, specs)
+        for lane, spec in enumerate(specs):
+            model = PipelineModel(
+                spec.build(),
+                unit=None,
+                config=PipelineConfig(),
+                hierarchy=CacheHierarchy(),
+            )
+            stats = model.run(tiny_trace)
+            assert result.mispredictions(lane) == stats.mispredictions
+            assert result.instructions == stats.instructions
+            assert result.mpki(lane) == stats.mpki
+
+    def test_interval_invariance(self, tiny_trace):
+        trace = _mixed_trace(tiny_trace)
+        specs = _specs(["gshare:6:4", "local2l:4:3:6:2"])
+        small = run_batch(trace, specs, interval=17)
+        large = run_batch(trace, specs, interval=1 << 20)
+        assert np.array_equal(small.predictions, large.predictions)
+
+    def test_same_index_conflicts_serialise(self):
+        # Every record hits the same bimodal counter: the kernel's
+        # level schedule must apply the updates strictly in trace
+        # order, exactly like the scalar counter.
+        records = loop_trace(pc=0x1000, trip=3, executions=40)
+        trace = ColumnarTrace.from_records(records)
+        specs = _specs(["bimodal:1:2"])
+        result = run_batch(trace, specs, interval=8)
+        expected = functional_predictions(specs[0].build(), records)
+        assert result.predictions[0].tolist() == expected
+
+
+class TestBatchResult:
+    def test_counts_and_rates(self):
+        records = [
+            make_branch(pc=0x40, taken=True),
+            make_branch(pc=0x44, taken=False),
+        ]
+        trace = ColumnarTrace.from_records(records)
+        result = run_batch(trace, _specs(["bimodal:2:2"]))
+        assert result.cond_branches == 2
+        assert result.taken_branches == 1
+        assert result.instructions == sum(r.inst_gap + 1 for r in records)
+        assert 0.0 <= result.accuracy(0) <= 1.0
+        assert result.mpki(0) == (
+            result.mispredictions(0) * 1000.0 / result.instructions
+        )
+
+    def test_empty_trace_mpki_is_zero(self):
+        trace = ColumnarTrace.from_records([])
+        result = run_batch(trace, _specs(["bimodal:2:2"]))
+        assert result.instructions == 0
+        assert result.mpki(0) == 0.0
+        assert result.cond_branches == 0
+
+
+class TestValidation:
+    def test_no_specs_rejected(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            run_batch(_mixed_trace(tiny_trace), [])
+
+    def test_bad_interval_rejected(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            run_batch(_mixed_trace(tiny_trace), _specs(["bimodal:2:2"]), interval=0)

@@ -1,0 +1,112 @@
+"""Table-indexed predictor specs and the two-level local predictor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.table import (
+    LocalTwoLevelPredictor,
+    TablePredictorSpec,
+    maybe_table_predictor,
+    parse_table_predictor,
+)
+
+
+class TestParsing:
+    def test_bimodal_defaults(self):
+        spec = parse_table_predictor("bimodal")
+        assert (spec.kind, spec.log_entries, spec.counter_bits) == ("bimodal", 12, 2)
+
+    def test_bimodal_explicit(self):
+        spec = parse_table_predictor("bimodal:8:3")
+        assert spec.spec_string == "bimodal:8:3"
+
+    def test_gshare_history_defaults_to_log(self):
+        spec = parse_table_predictor("gshare:14")
+        assert spec.history_bits == 14
+        assert spec.spec_string == "gshare:14:14"
+
+    def test_local2l_fields(self):
+        spec = parse_table_predictor("local2l:10:8:12")
+        assert spec.bht_log_entries == 10
+        assert spec.history_bits == 8
+        assert spec.log_entries == 12
+        assert spec.spec_string == "local2l:10:8:12:2"
+
+    def test_canonical_roundtrip(self):
+        for text in ("bimodal:9", "gshare:11:7", "local2l:6:5:8:3"):
+            spec = parse_table_predictor(text)
+            assert parse_table_predictor(spec.spec_string) == spec
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "bimodal:", "bimodal:abc", "gshare:0", "gshare:10:11",
+         "bimodal:30", "bimodal:10:0", "bimodal:10:9", "local2l:10:0",
+         "perceptron:10"],
+    )
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(ConfigError):
+            parse_table_predictor(text)
+
+    def test_maybe_unknown_kind_is_none(self):
+        assert maybe_table_predictor("forward-walk") is None
+        assert maybe_table_predictor("tage:10") is None
+
+    def test_maybe_known_kind_malformed_raises(self):
+        with pytest.raises(ConfigError):
+            maybe_table_predictor("gshare:nope")
+
+
+class TestBuild:
+    def test_builds_matching_predictor_types(self):
+        assert isinstance(parse_table_predictor("bimodal:6").build(), BimodalPredictor)
+        assert isinstance(parse_table_predictor("gshare:6:4").build(), GSharePredictor)
+        assert isinstance(
+            parse_table_predictor("local2l:5:4:6").build(), LocalTwoLevelPredictor
+        )
+
+
+def _small_local2l() -> LocalTwoLevelPredictor:
+    return LocalTwoLevelPredictor(
+        bht_log_entries=4, history_bits=4, pt_log_entries=6, counter_bits=2
+    )
+
+
+class TestLocalTwoLevel:
+    def test_learns_short_period_pattern(self):
+        pred = _small_local2l()
+        pc = 0x4000
+        pattern = [True, True, False]
+        correct = 0
+        for i in range(300):
+            actual = pattern[i % 3]
+            prediction = pred.lookup(pc)
+            pred.train(prediction, actual)
+            if i >= 60 and prediction.taken == actual:
+                correct += 1
+        # A 4-bit local history uniquely identifies every position of a
+        # period-3 pattern, so the warm predictor should be near-perfect.
+        assert correct == 240
+
+    def test_storage_bits(self):
+        pred = _small_local2l()
+        assert pred.storage_bits() == (1 << 4) * 4 + (1 << 6) * 2
+
+    def test_distinct_pcs_use_distinct_bht_entries(self):
+        pred = _small_local2l()
+        # Train one PC heavily not-taken; a second PC mapping to a
+        # different BHT entry and PT counter must still see weak-taken.
+        for _ in range(50):
+            pred.train(pred.lookup(0x1000), False)
+        assert pred.lookup(0x1000).taken is False
+        fresh = _small_local2l()
+        other = 0x1000 + (1 << 2)
+        assert fresh.lookup(other).taken is True
+
+    def test_spec_roundtrip(self):
+        pred = _small_local2l()
+        assert pred.spec == TablePredictorSpec(
+            kind="local2l", log_entries=6, counter_bits=2,
+            history_bits=4, bht_log_entries=4,
+        )

@@ -1,0 +1,78 @@
+"""Property-style check: the batch kernel equals the scalar reference
+for randomly drawn configurations on randomly generated short traces.
+
+A seeded RNG sweeps the spec space (kind, table sizes, counter widths,
+history lengths) and synthetic trace shapes (mixed kinds, biased and
+patterned outcomes, aliasing PC sets) far more densely than the
+hand-picked cases in ``tests/pipeline/test_batch.py``; every drawn
+config must produce the *identical per-branch prediction vector* both
+ways.
+"""
+
+import random
+
+from repro.pipeline.batch import functional_predictions, run_batch
+from repro.predictors.table import TablePredictorSpec
+from repro.trace.columns import ColumnarTrace
+from repro.trace.records import BranchKind
+from tests.conftest import make_branch
+
+
+def _random_spec(rng: random.Random) -> TablePredictorSpec:
+    kind = rng.choice(("bimodal", "gshare", "local2l"))
+    counter_bits = rng.randint(1, 4)
+    if kind == "bimodal":
+        return TablePredictorSpec(
+            kind="bimodal",
+            log_entries=rng.randint(1, 10),
+            counter_bits=counter_bits,
+        )
+    if kind == "gshare":
+        log_entries = rng.randint(1, 12)
+        return TablePredictorSpec(
+            kind="gshare",
+            log_entries=log_entries,
+            counter_bits=2,
+            history_bits=rng.randint(1, log_entries),
+        )
+    return TablePredictorSpec(
+        kind="local2l",
+        log_entries=rng.randint(1, 10),
+        counter_bits=counter_bits,
+        history_bits=rng.randint(1, 10),
+        bht_log_entries=rng.randint(1, 8),
+    )
+
+
+def _random_trace(rng: random.Random) -> list:
+    # A handful of PCs on purpose: heavy aliasing exercises the
+    # same-index conflict schedule, the part most worth fuzzing.
+    pcs = [rng.randrange(0, 1 << 20) << 2 for _ in range(rng.randint(1, 8))]
+    bias = {pc: rng.random() for pc in pcs}
+    records = []
+    for _ in range(rng.randint(1, 400)):
+        pc = rng.choice(pcs)
+        if rng.random() < 0.15:
+            records.append(
+                make_branch(pc=pc, taken=True, kind=BranchKind.UNCOND)
+            )
+        else:
+            records.append(make_branch(pc=pc, taken=rng.random() < bias[pc]))
+    return records
+
+
+def test_random_configs_match_scalar_reference():
+    rng = random.Random(20260808)
+    for round_index in range(30):
+        records = _random_trace(rng)
+        specs = [_random_spec(rng) for _ in range(rng.randint(1, 6))]
+        trace = ColumnarTrace.from_records(records)
+        interval = rng.choice((1, 7, 64, 4096))
+        result = run_batch(trace, specs, interval=interval)
+        for lane, spec in enumerate(specs):
+            expected = functional_predictions(spec.build(), records)
+            actual = result.predictions[lane].tolist()
+            assert actual == expected, (
+                f"round {round_index}: {spec.spec_string} diverged "
+                f"(interval {interval}, {len(records)} records)"
+            )

@@ -15,9 +15,11 @@ Usage (the CI perf-smoke job)::
     python tools/perf_compare.py BENCH_perf.json fresh_perf.json
 
 Throughput and warm-sweep ratios are compared whenever both files
-carry them; the sampled-vs-exact section is compared only when both
-files measured it (the smoke job skips it — the locked accuracy
-config needs a 200k-branch trace).
+carry them; the sampled-vs-exact and batch-kernel sections are
+compared only when both files measured them (older baselines predate
+them, and the smoke job can skip either with ``--no-sampling`` /
+``--no-batch``).  A section present in only one file is skipped with a
+printed note — never a KeyError.
 """
 
 from __future__ import annotations
@@ -34,6 +36,11 @@ THROUGHPUT_TOLERANCE = 0.25
 
 #: Fractional loss of sampled-engine speedup that earns an annotation.
 SPEEDUP_TOLERANCE = 0.25
+
+#: Fractional loss of batch-kernel speedup that earns an annotation.
+#: Wider than the others: the denominator is a scalar sweep measured
+#: once, so the ratio inherits two runs' worth of runner noise.
+BATCH_SPEEDUP_TOLERANCE = 0.40
 
 #: Absolute relative-error ceilings for the sampled estimates — these
 #: are accuracy claims, not timings, so they are compared against the
@@ -56,6 +63,31 @@ def _load(path: Path) -> dict[str, Any] | None:
 
 def _warn(message: str) -> None:
     print(f"::warning::{message}")
+
+
+def _sections_present(
+    name: str, baseline: dict[str, Any], fresh: dict[str, Any]
+) -> bool:
+    """Whether both payloads carry section ``name`` as a mapping.
+
+    Absence is normal (older baselines predate newer sections, smoke
+    jobs skip slow ones), so it is reported as a plain skip note rather
+    than a warning annotation.
+    """
+    base_section = baseline.get(name)
+    fresh_section = fresh.get(name)
+    if isinstance(base_section, dict) and isinstance(fresh_section, dict):
+        return True
+    missing = []
+    if not isinstance(base_section, dict):
+        missing.append("baseline")
+    if not isinstance(fresh_section, dict):
+        missing.append("fresh")
+    print(
+        f"perf-compare: skipping {name!r} section "
+        f"(not measured in {' and '.join(missing)})"
+    )
+    return False
 
 
 def _compare_throughput(
@@ -85,10 +117,10 @@ def _compare_throughput(
 
 
 def _compare_sampling(baseline: dict[str, Any], fresh: dict[str, Any]) -> int:
-    base_section = baseline.get("sampling")
-    fresh_section = fresh.get("sampling")
-    if not isinstance(base_section, dict) or not isinstance(fresh_section, dict):
+    if not _sections_present("sampling", baseline, fresh):
         return 0
+    base_section = baseline["sampling"]
+    fresh_section = fresh["sampling"]
     warned = 0
     base_rows = base_section.get("systems") or {}
     fresh_rows = fresh_section.get("systems") or {}
@@ -126,6 +158,32 @@ def _compare_sampling(baseline: dict[str, Any], fresh: dict[str, Any]) -> int:
     return warned
 
 
+def _compare_batch(baseline: dict[str, Any], fresh: dict[str, Any]) -> int:
+    if not _sections_present("batch", baseline, fresh):
+        return 0
+    base_section = baseline["batch"]
+    fresh_section = fresh["batch"]
+    warned = 0
+    if fresh_section.get("mpki_identical") is False:
+        _warn(
+            "perf-smoke: batch kernel MPKI diverged from the exact scalar "
+            "engine — this is a correctness regression, not noise"
+        )
+        warned += 1
+    speedup = fresh_section.get("speedup")
+    base_speedup = base_section.get("speedup")
+    if speedup and base_speedup:
+        change = speedup / base_speedup - 1.0
+        if change < -BATCH_SPEEDUP_TOLERANCE:
+            _warn(
+                f"perf-smoke: batch-kernel speedup {speedup:.1f}x is "
+                f"{-change:.0%} below the committed baseline "
+                f"({base_speedup:.1f}x)"
+            )
+            warned += 1
+    return warned
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed BENCH_perf.json")
@@ -137,6 +195,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     warned = _compare_throughput(baseline, fresh)
     warned += _compare_sampling(baseline, fresh)
+    warned += _compare_batch(baseline, fresh)
     if warned:
         print(f"perf-compare: {warned} warning(s) — non-gating, exit 0")
     else:
