@@ -25,9 +25,10 @@ from repro.harness.report import format_table
 from repro.harness.runner import RunResult, run_single
 from repro.harness.sampling import SamplingConfig
 from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig, resolve_system
+from repro.harness.tracestore import resolve_workload
 from repro.workloads.categories import CATEGORIES
 from repro.workloads.spec import WorkloadSpec
-from repro.workloads.suite import build_suite, get_workload
+from repro.workloads.suite import build_suite
 
 __all__ = ["main"]
 
@@ -177,7 +178,7 @@ def _print_sampling_note(result: RunResult) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = get_workload(args.workload)
+    spec = resolve_workload(args.workload)
     system = _system_by_name(args.system)
     with _telemetry_session(args.telemetry):
         result = run_single(
@@ -202,7 +203,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.analysis import diagnose
 
-    spec = get_workload(args.workload)
+    spec = resolve_workload(args.workload)
     system = _system_by_name(args.system)
     result = run_single(spec, system, args.branches)
     print(diagnose(result).render())
@@ -248,7 +249,7 @@ def _compare_results(
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec = get_workload(args.workload)
+    spec = resolve_workload(args.workload)
     print(f"workload {spec.name}, {args.branches} branches\n")
     with _telemetry_session(args.telemetry):
         results = _compare_results(args, spec)
@@ -302,7 +303,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         branches_per_workload=args.branches,
         workloads_per_category=args.per_category,
     )
-    workloads = select_workloads(scale)
+    if args.workloads:
+        workloads = [
+            resolve_workload(name.strip())
+            for name in args.workloads.split(",")
+            if name.strip()
+        ]
+    else:
+        workloads = select_workloads(scale)
     systems = (
         [_system_by_name(name.strip()) for name in args.systems.split(",")]
         if args.systems
@@ -413,6 +421,83 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_trace_info(info: dict[str, object]) -> str:
+    """The pinned human-readable layout of ``repro trace info``."""
+    kinds = info.get("kind_counts") or {}
+    kinds_text = " ".join(f"{k}={v}" for k, v in kinds.items()) or "-"
+    compression = info.get("compression") or "none"
+    lines = [
+        f"path:          {info['path']}",
+        f"format:        {info['format']} (adapter v{info['adapter_version']})",
+        f"compression:   {compression}",
+        f"records:       {info['records']}",
+        f"instructions:  {info['instructions']}",
+        f"conditional:   {info['conditional_branches']}",
+        f"static sites:  {info['static_sites']}",
+        f"taken rate:    {info['taken_rate']:.4f}",
+        f"pc range:      {info['pc_min']:#x}..{info['pc_max']:#x}",
+        f"target range:  {info['target_min']:#x}..{info['target_max']:#x}",
+        f"kinds:         {kinds_text}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.harness import tracestore
+
+    if args.trace_command == "info":
+        info = tracestore.inspect_trace(args.path, fmt=args.format)
+        if args.json:
+            print(_json.dumps(info, indent=2, sort_keys=True))
+        else:
+            print(_format_trace_info(info))
+        return 0
+    if args.trace_command == "import":
+        spec = tracestore.import_trace(
+            args.path, name=args.name, fmt=args.format, store=args.store
+        )
+        print(
+            f"imported {spec.name}: {spec.trace_records} records "
+            f"({spec.source_format}, adapter v{spec.adapter_version})"
+        )
+        print(f"  store:   {spec.path}")
+        print(f"  sha256:  {spec.content_hash}")
+        print(f"  run it:  repro compare --workload {spec.name}")
+        return 0
+    if args.trace_command == "list":
+        metas = tracestore.list_imported(args.store)
+        if not metas:
+            print(f"no imported traces in {tracestore.store_dir(args.store)}")
+            return 0
+        rows = [
+            (
+                meta["name"],
+                meta["source_format"],
+                meta["records"],
+                meta["static_sites"],
+                f"{meta['taken_rate']:.3f}",
+                str(meta["content_hash"])[:12],
+            )
+            for meta in metas
+        ]
+        print(
+            format_table(
+                ["name", "format", "records", "sites", "taken", "sha256"], rows
+            )
+        )
+        return 0
+    # fetch
+    spec = tracestore.fetch_trace(args.name, args.manifest, store=args.store)
+    print(
+        f"fetched {spec.name}: {spec.trace_records} records "
+        f"({spec.source_format}, verified sha256)"
+    )
+    print(f"  store:   {spec.path}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.simlint.cli import run_lint
 
@@ -510,6 +595,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated system names (default: all Table 3 systems)",
     )
     p_sweep.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (synthetic or imported); "
+        "overrides --per-category selection",
+    )
+    p_sweep.add_argument(
         "--shard",
         default=None,
         metavar="K/N",
@@ -538,6 +629,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sampling_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="import, inspect, and fetch external branch traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_timport = trace_sub.add_parser(
+        "import",
+        help="normalise a ChampSim/BT9/RPTR trace into the local store",
+    )
+    p_timport.add_argument("path", help="trace file (gzip/xz accepted)")
+    p_timport.add_argument(
+        "--name", default=None, help="workload name (default: from filename)"
+    )
+    p_timport.add_argument(
+        "--format",
+        choices=("auto", "champsim", "bt9", "rptr"),
+        default=None,
+        help="source format (default: auto-detect)",
+    )
+    p_timport.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="trace store directory (default: REPRO_TRACE_STORE or "
+        ".repro-traces)",
+    )
+    p_timport.set_defaults(func=_cmd_trace)
+
+    p_tinfo = trace_sub.add_parser(
+        "info", help="inspect a trace file without importing it"
+    )
+    p_tinfo.add_argument("path", help="trace file (gzip/xz accepted)")
+    p_tinfo.add_argument(
+        "--format",
+        choices=("auto", "champsim", "bt9", "rptr"),
+        default=None,
+        help="source format (default: auto-detect)",
+    )
+    p_tinfo.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_tinfo.set_defaults(func=_cmd_trace)
+
+    p_tlist = trace_sub.add_parser("list", help="list imported traces")
+    p_tlist.add_argument("--store", default=None, metavar="DIR")
+    p_tlist.set_defaults(func=_cmd_trace)
+
+    p_tfetch = trace_sub.add_parser(
+        "fetch",
+        help="download, checksum-verify, and import a manifest-listed trace",
+    )
+    p_tfetch.add_argument("name", help="trace name in the manifest")
+    p_tfetch.add_argument(
+        "--manifest",
+        default="traces/public-traces.json",
+        help="trace manifest path (default: traces/public-traces.json)",
+    )
+    p_tfetch.add_argument("--store", default=None, metavar="DIR")
+    p_tfetch.set_defaults(func=_cmd_trace)
 
     p_perf = sub.add_parser(
         "perf", help="measure simulator throughput and write BENCH_perf.json"

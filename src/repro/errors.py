@@ -20,6 +20,28 @@ class TraceError(ReproError):
     """A trace file or trace stream is malformed."""
 
 
+class TraceFormatError(TraceError):
+    """A trace payload violates its format's structural contract.
+
+    Raised by the binary readers (:mod:`repro.trace.io`,
+    :mod:`repro.trace.columns`) and the external-format adapters
+    (:mod:`repro.trace.adapters`) for bad magic, unsupported versions,
+    truncated payloads, and malformed records.  ``offset`` locates the
+    defect: a byte offset into the payload for binary formats, a
+    1-based line number for text formats (see ``unit``), or None when
+    no single position is responsible.
+    """
+
+    def __init__(
+        self, message: str, offset: int | None = None, unit: str = "byte"
+    ) -> None:
+        if offset is not None:
+            message = f"{message} (at {unit} {offset})"
+        super().__init__(message)
+        self.offset = offset
+        self.unit = unit
+
+
 class WorkloadError(ReproError):
     """A workload specification cannot be resolved or generated."""
 

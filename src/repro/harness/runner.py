@@ -30,6 +30,7 @@ from repro.trace.columns import SharedTrace
 from repro.trace.io import read_trace, write_trace
 from repro.trace.records import BranchRecord
 from repro.workloads.generators.engine import generate_trace
+from repro.workloads.public import ImportedTraceSpec
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suite import suite_by_category
 
@@ -139,11 +140,49 @@ def trace_cache_path(spec: WorkloadSpec, n_branches: int) -> Path | None:
     The file is not guaranteed to exist — this is the *name* contract
     shared by :func:`load_trace` (which writes it) and the batch
     executor (which decodes it columnar-ly, skipping record objects).
+
+    Imported traces (:class:`~repro.workloads.public.ImportedTraceSpec`)
+    are their own cache: the store file is the whole trace, so it is
+    usable whenever the run replays the full trace.  A truncating run
+    (``n_branches`` below the stored length) returns None — whole-file
+    columnar decoding would silently simulate too many records.
     """
+    if isinstance(spec, ImportedTraceSpec):
+        path = Path(spec.path)
+        if n_branches >= spec.trace_records and path.exists():
+            return path
+        return None
     cache = _cache_dir()
     if cache is None:
         return None
     return cache / f"{spec.name}-{spec.seed}-{n_branches}.trace"
+
+
+def _load_imported(spec: ImportedTraceSpec, n_branches: int) -> list[BranchRecord]:
+    """Read an imported trace from the store, truncated to the run length.
+
+    The store file is the source of truth — nothing is regenerated and
+    nothing is written back.  Memoized under the same key scheme as
+    synthetic traces so sweeps decode each imported trace once per
+    process.
+    """
+    key = (spec.name, spec.seed, n_branches)
+    records = _TRACE_MEMO.get(key)
+    if records is not None:
+        _TRACE_MEMO.move_to_end(key)
+        return records
+    TELEMETRY.registry.counter("trace.decodes").inc()
+    path = Path(spec.path)
+    if not path.exists():
+        raise TraceError(
+            f"imported trace {spec.name!r} is missing its store file {path}; "
+            "re-run 'repro trace import' or 'repro trace fetch'"
+        )
+    records = read_trace(path)
+    if n_branches < len(records):
+        records = records[:n_branches]
+    _memo_put(key, records)
+    return records
 
 
 def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
@@ -153,7 +192,12 @@ def load_trace(spec: WorkloadSpec, n_branches: int) -> list[BranchRecord]:
     not mutate it.  The disk cache is still populated on memo hits, so
     enabling ``REPRO_TRACE_CACHE`` mid-process behaves as if the memo
     did not exist.
+
+    Imported traces skip the generator/cache machinery entirely and
+    read their store file (see :func:`_load_imported`).
     """
+    if isinstance(spec, ImportedTraceSpec):
+        return _load_imported(spec, n_branches)
     key = (spec.name, spec.seed, n_branches)
     records = _TRACE_MEMO.get(key)
     if records is not None:

@@ -41,7 +41,7 @@ from repro.harness.scale import Scale
 from repro.harness.scheduler import SimJob
 from repro.harness.systems import TABLE3_SYSTEMS, SystemConfig
 from repro.telemetry.manifest import stable_hash
-from repro.workloads.suite import get_workload
+from repro.harness.tracestore import resolve_workload
 
 __all__ = [
     "ServiceRequest",
@@ -199,12 +199,12 @@ def parse_request(payload: Any) -> ServiceRequest:
         echo["sampling"] = sampling.to_payload()
 
     if kind == "run":
-        spec = get_workload(_require_str(payload, "workload"))
+        spec = resolve_workload(_require_str(payload, "workload"))
         system = _system_by_name(payload.get("system", "forward-walk-coalesce"))
         jobs = [SimJob(spec=spec, system=system, n_branches=branches, sampling=sampling)]
         echo.update(workload=spec.name, system=system.name)
     elif kind == "compare":
-        spec = get_workload(_require_str(payload, "workload"))
+        spec = resolve_workload(_require_str(payload, "workload"))
         systems = _systems(payload)
         jobs = [
             SimJob(spec=spec, system=system, n_branches=branches, sampling=sampling)

@@ -126,8 +126,13 @@ def build_manifest(
         config_payload["sampling"] = sampling_payload
     if engine is not None:
         config_payload["engine"] = engine
+    # Specs may carry a content-addressed identity hook (imported
+    # traces hash their normalised payload, not their local path);
+    # synthetic specs keep the historical asdict() payload and hashes.
+    payload_fn = getattr(spec, "workload_hash_payload", None)
+    spec_payload: Any = payload_fn() if callable(payload_fn) else asdict(spec)
     workload_payload = {
-        "spec": asdict(spec),
+        "spec": spec_payload,
         "branches": n_branches,
     }
     return RunManifest(

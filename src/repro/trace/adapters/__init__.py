@@ -1,0 +1,67 @@
+"""External trace-format adapters normalising into RPTR records.
+
+Importing this package registers the built-in adapters in detection
+order: RPTR passthrough (unambiguous magic), BT9 (unambiguous text
+header), then ChampSim (structural heuristic — it has no magic, so it
+must sniff last).
+"""
+
+from __future__ import annotations
+
+from repro.trace.adapters.base import (
+    ADAPTER_VERSION,
+    ConvertedTrace,
+    TraceAdapter,
+    convert_bytes,
+    decompress_payload,
+    detect_format,
+    get_adapter,
+    register_adapter,
+    registered_adapters,
+)
+from repro.trace.adapters.bt9 import Bt9Adapter, write_bt9
+from repro.trace.adapters.champsim import ChampSimAdapter, write_champsim
+from repro.trace.io import loads_trace
+from repro.trace.records import BranchRecord
+
+__all__ = [
+    "ADAPTER_VERSION",
+    "TraceAdapter",
+    "ConvertedTrace",
+    "RptrAdapter",
+    "ChampSimAdapter",
+    "Bt9Adapter",
+    "register_adapter",
+    "registered_adapters",
+    "get_adapter",
+    "decompress_payload",
+    "detect_format",
+    "convert_bytes",
+    "write_champsim",
+    "write_bt9",
+]
+
+_RPTR_MAGIC = b"RPTR"
+
+
+class RptrAdapter:
+    """Passthrough adapter for the native binary format.
+
+    Lets ``repro trace import``/``info`` accept already-converted
+    traces (including gzip/xz-wrapped ones) through the same front
+    door as external formats.
+    """
+
+    format = "rptr"
+    version = 1
+
+    def sniff(self, payload: bytes, filename: str = "") -> bool:
+        return payload[: len(_RPTR_MAGIC)] == _RPTR_MAGIC
+
+    def read(self, payload: bytes) -> list[BranchRecord]:
+        return loads_trace(payload)
+
+
+register_adapter(RptrAdapter())
+register_adapter(Bt9Adapter())
+register_adapter(ChampSimAdapter())

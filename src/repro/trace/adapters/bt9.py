@@ -1,0 +1,343 @@
+"""BT9 (Branch Trace version 9) text trace adapter.
+
+BT9 is the CBP-2016 / SPA branch-trace container: a text header, a
+static control-flow graph (``BT9_NODES`` — one line per static branch,
+``BT9_EDGES`` — one line per observed (branch, outcome) arc), and a
+dynamic ``BT9_EDGE_SEQUENCE`` replaying the committed execution as a
+walk over that graph::
+
+    BT9_SPA_TRACE_FORMAT version: 0
+    ...key: value header lines...
+    BT9_NODES
+    NODE <id> <virt_addr> <phys_addr> <opcode> <size> ["CLASS+TOKENS"]
+    BT9_EDGES
+    EDGE <id> <src> <dest> <T|N> <br_virt_target> <br_phys_target> \
+         <inst_cnt> <traverse_cnt>
+    BT9_EDGE_SEQUENCE
+    <edge id per line>
+
+Normalisation into RPTR:
+
+* Each sequence entry emits one branch record for the edge's *source*
+  node (pc = node virtual address, direction = the edge's ``T``/``N``
+  flag).  Nodes with virtual address 0 are pseudo nodes (the ``ENTRY``
+  node 0 and a terminal ``EXIT``) and emit nothing.
+* ``inst_cnt`` counts non-branch instructions traversed *along* the
+  edge, i.e. the gap *before the next branch* — a pending-gap walk
+  turns it into RPTR ``inst_gap`` (clamped to u16).
+* Taken targets come straight from the edge's ``br_virt_target``;
+  not-taken conditionals borrow the target of the node's taken edge
+  (0 when the branch was never observed taken).
+* Node class tokens map ``RET``→RET, ``CALL``→CALL, ``CND``→COND,
+  ``IND``→INDIRECT, anything else →UNCOND; a node without a class
+  string defaults to conditional.
+* BT9 carries no memory information: ``load_addr`` is always 0.
+
+The walk is validated: every edge's source must equal the previous
+edge's destination, and a not-taken edge out of a non-conditional node
+is a format error.  All diagnostics carry 1-based line numbers
+(``unit="line"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceFormatError
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = ["Bt9Adapter", "write_bt9", "BT9_MAGIC"]
+
+BT9_MAGIC = "BT9_SPA_TRACE_FORMAT"
+_MAX_GAP = 0xFFFF
+
+
+@dataclass(frozen=True)
+class _Node:
+    vaddr: int
+    kind: BranchKind
+
+    @property
+    def pseudo(self) -> bool:
+        return self.vaddr == 0
+
+
+@dataclass(frozen=True)
+class _Edge:
+    src: int
+    dest: int
+    taken: bool
+    target: int
+    inst_cnt: int
+    line: int
+
+
+def _parse_int(token: str, what: str, line: int) -> int:
+    """Parse a BT9 integer field (decimal or 0x hex; ``-`` means absent)."""
+    if token == "-":
+        return 0
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"malformed {what} {token!r}", offset=line, unit="line"
+        ) from exc
+
+
+def _class_kind(token: str) -> BranchKind:
+    tokens = token.strip('"').split("+")
+    if "RET" in tokens:
+        return BranchKind.RET
+    if "CALL" in tokens:
+        return BranchKind.CALL
+    if "CND" in tokens:
+        return BranchKind.COND
+    if "IND" in tokens:
+        return BranchKind.INDIRECT
+    return BranchKind.UNCOND
+
+
+_KIND_CLASS = {
+    BranchKind.COND: "JMP+DIRECT+CND",
+    BranchKind.UNCOND: "JMP+DIRECT+UCD",
+    BranchKind.CALL: "CALL+DIRECT+UCD",
+    BranchKind.RET: "RET+IND+UCD",
+    BranchKind.INDIRECT: "JMP+IND+UCD",
+}
+
+
+class Bt9Adapter:
+    """Reader for BT9 text traces."""
+
+    format = "bt9"
+    version = 1
+
+    def sniff(self, payload: bytes, filename: str = "") -> bool:
+        return payload.lstrip()[: len(BT9_MAGIC)] == BT9_MAGIC.encode("ascii")
+
+    def read(self, payload: bytes) -> list[BranchRecord]:
+        try:
+            text = payload.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"bt9 payload is not ASCII text: {exc}") from exc
+        nodes, edges, sequence = self._parse_sections(text)
+        # A node's canonical taken target, for backfilling not-taken
+        # conditionals.  First sighting wins (indirect nodes may have
+        # several; any stable choice works for direction prediction).
+        taken_targets: dict[int, int] = {}
+        for edge in edges.values():
+            if edge.taken and edge.target and edge.src not in taken_targets:
+                taken_targets[edge.src] = edge.target
+        records: list[BranchRecord] = []
+        gap = 0
+        prev_dest: int | None = None
+        for edge_id, line in sequence:
+            edge = edges.get(edge_id)
+            if edge is None:
+                raise TraceFormatError(
+                    f"edge sequence references unknown edge {edge_id}",
+                    offset=line,
+                    unit="line",
+                )
+            if prev_dest is not None and edge.src != prev_dest:
+                raise TraceFormatError(
+                    f"edge sequence discontinuity: edge {edge_id} leaves node "
+                    f"{edge.src} but execution was at node {prev_dest}",
+                    offset=line,
+                    unit="line",
+                )
+            prev_dest = edge.dest
+            src = nodes.get(edge.src)
+            if src is None:
+                raise TraceFormatError(
+                    f"edge {edge_id} references unknown node {edge.src}",
+                    offset=edge.line,
+                    unit="line",
+                )
+            if edge.dest not in nodes:
+                raise TraceFormatError(
+                    f"edge {edge_id} references unknown node {edge.dest}",
+                    offset=edge.line,
+                    unit="line",
+                )
+            if not src.pseudo:
+                if not edge.taken and src.kind is not BranchKind.COND:
+                    raise TraceFormatError(
+                        f"not-taken edge {edge_id} leaves non-conditional node "
+                        f"{edge.src} ({src.kind.name})",
+                        offset=edge.line,
+                        unit="line",
+                    )
+                target = (
+                    edge.target if edge.taken else taken_targets.get(edge.src, 0)
+                )
+                records.append(
+                    BranchRecord(
+                        pc=src.vaddr,
+                        target=target,
+                        taken=edge.taken,
+                        kind=src.kind,
+                        inst_gap=min(gap, _MAX_GAP),
+                    )
+                )
+            gap = edge.inst_cnt
+        return records
+
+    def _parse_sections(
+        self, text: str
+    ) -> tuple[dict[int, _Node], dict[int, _Edge], list[tuple[int, int]]]:
+        nodes: dict[int, _Node] = {}
+        edges: dict[int, _Edge] = {}
+        sequence: list[tuple[int, int]] = []
+        section = "header"
+        saw_magic = False
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not saw_magic:
+                if not line.startswith(BT9_MAGIC):
+                    raise TraceFormatError(
+                        f"bt9 header must start with {BT9_MAGIC}",
+                        offset=line_no,
+                        unit="line",
+                    )
+                saw_magic = True
+                continue
+            if line == "BT9_NODES":
+                section = "nodes"
+                continue
+            if line == "BT9_EDGES":
+                section = "edges"
+                continue
+            if line == "BT9_EDGE_SEQUENCE":
+                section = "sequence"
+                continue
+            if section == "header":
+                continue  # free-form "key: value" provenance lines
+            if section == "nodes":
+                nodes.update(self._parse_node(line, line_no))
+            elif section == "edges":
+                edges.update(self._parse_edge(line, line_no))
+            else:
+                for token in line.split():
+                    sequence.append((_parse_int(token, "edge id", line_no), line_no))
+        if not saw_magic:
+            raise TraceFormatError(
+                f"bt9 header must start with {BT9_MAGIC}", offset=1, unit="line"
+            )
+        if not nodes:
+            raise TraceFormatError("bt9 trace has no BT9_NODES section")
+        if not edges:
+            raise TraceFormatError("bt9 trace has no BT9_EDGES section")
+        return nodes, edges, sequence
+
+    def _parse_node(self, line: str, line_no: int) -> dict[int, _Node]:
+        fields = line.split()
+        if fields[0] != "NODE" or len(fields) < 6:
+            raise TraceFormatError(
+                f"malformed NODE line {line!r}", offset=line_no, unit="line"
+            )
+        node_id = _parse_int(fields[1], "node id", line_no)
+        vaddr = _parse_int(fields[2], "node virtual address", line_no)
+        kind = _class_kind(fields[6]) if len(fields) > 6 else BranchKind.COND
+        return {node_id: _Node(vaddr=vaddr, kind=kind)}
+
+    def _parse_edge(self, line: str, line_no: int) -> dict[int, _Edge]:
+        fields = line.split()
+        if fields[0] != "EDGE" or len(fields) < 9:
+            raise TraceFormatError(
+                f"malformed EDGE line {line!r}", offset=line_no, unit="line"
+            )
+        direction = fields[4]
+        if direction not in ("T", "N"):
+            raise TraceFormatError(
+                f"edge direction must be T or N, got {direction!r}",
+                offset=line_no,
+                unit="line",
+            )
+        return {
+            _parse_int(fields[1], "edge id", line_no): _Edge(
+                src=_parse_int(fields[2], "edge source", line_no),
+                dest=_parse_int(fields[3], "edge destination", line_no),
+                taken=direction == "T",
+                target=_parse_int(fields[5], "edge target", line_no),
+                inst_cnt=_parse_int(fields[7], "edge instruction count", line_no),
+                line=line_no,
+            )
+        }
+
+
+def write_bt9(records: list[BranchRecord] | tuple[BranchRecord, ...]) -> str:
+    """Serialise RPTR records as a BT9 text trace.
+
+    Builds the static graph (one node per distinct branch pc, pseudo
+    ``ENTRY``/``EXIT`` nodes with virtual address 0) and replays the
+    record stream as an edge sequence.  Distinct (source, destination,
+    direction, target, gap) combinations become distinct edges with
+    ``traverse_cnt`` multiplicity.  Loads cannot be represented and are
+    dropped — BT9 is a pure branch-direction container.
+    """
+    node_ids: dict[int, int] = {}
+    node_kinds: dict[int, BranchKind] = {}
+    for rec in records:
+        node_id = node_ids.setdefault(rec.pc, len(node_ids) + 1)
+        known = node_kinds.setdefault(node_id, rec.kind)
+        if known is not rec.kind:
+            raise TraceFormatError(
+                f"conflicting branch kinds for pc {rec.pc:#x}: "
+                f"{known.name} vs {rec.kind.name}"
+            )
+    exit_id = len(node_ids) + 1
+    edge_ids: dict[tuple[int, int, bool, int, int], int] = {}
+    traverse: dict[int, int] = {}
+    sequence: list[int] = []
+
+    def edge_for(key: tuple[int, int, bool, int, int]) -> int:
+        edge_id = edge_ids.setdefault(key, len(edge_ids))
+        traverse[edge_id] = traverse.get(edge_id, 0) + 1
+        sequence.append(edge_id)
+        return edge_id
+
+    if records:
+        first = records[0]
+        edge_for((0, node_ids[first.pc], True, first.pc, first.inst_gap))
+        for i, rec in enumerate(records):
+            nxt = records[i + 1] if i + 1 < len(records) else None
+            dest = node_ids[nxt.pc] if nxt is not None else exit_id
+            gap = nxt.inst_gap if nxt is not None else 0
+            target = rec.target if rec.taken else 0
+            edge_for((node_ids[rec.pc], dest, rec.taken, target, gap))
+
+    total_insts = sum(rec.inst_gap + 1 for rec in records)
+    lines = [
+        f"{BT9_MAGIC} version: 0",
+        "bt9_minor_version: 0",
+        "has_physical_address: 0",
+        f"total_instruction_count: {total_insts}",
+        f"branch_instruction_count: {len(records)}",
+        "BT9_NODES",
+        "# NODE id virt_addr phys_addr opcode size class",
+        "NODE 0 0x0 - 0x0 0",
+    ]
+    for pc, node_id in node_ids.items():
+        kind = node_kinds[node_id]
+        lines.append(
+            f'NODE {node_id} {pc:#x} - 0x0 4 "{_KIND_CLASS[kind]}"'
+        )
+    lines.append(f"NODE {exit_id} 0x0 - 0x0 0")
+    lines.append("BT9_EDGES")
+    lines.append(
+        "# EDGE id src dest taken br_virt_target br_phys_target "
+        "inst_cnt traverse_cnt"
+    )
+    for (src, dest, taken, target, gap), edge_id in edge_ids.items():
+        direction = "T" if taken else "N"
+        target_str = f"{target:#x}" if taken else "-"
+        lines.append(
+            f"EDGE {edge_id} {src} {dest} {direction} {target_str} - "
+            f"{gap} {traverse[edge_id]}"
+        )
+    lines.append("BT9_EDGE_SEQUENCE")
+    lines.extend(str(edge_id) for edge_id in sequence)
+    return "\n".join(lines) + "\n"

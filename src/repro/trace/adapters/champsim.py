@@ -1,0 +1,240 @@
+"""ChampSim / CBP-2016-style binary instruction trace adapter.
+
+ChampSim traces are flat arrays of 64-byte ``trace_instr_format``
+records — every committed instruction, branch or not::
+
+    ip u64 | is_branch u8 | branch_taken u8 |
+    destination_registers u8[2] | source_registers u8[4] |
+    destination_memory u64[2] | source_memory u64[4]
+
+There is no file magic and no branch-type field: consumers re-derive
+the branch class from the architectural register sets exactly as the
+ChampSim simulator does (x86 conventions: ``SP=6``, ``FLAGS=25``,
+``IP=26``).  This adapter performs the same classification and then
+*collapses* the instruction stream into the RPTR per-branch layout:
+
+* ``inst_gap`` counts the non-branch instructions since the previous
+  branch (clamped to the RPTR u16 field).
+* A taken branch's target is the next instruction's ``ip`` — the trace
+  records committed execution, so control provably continued there.
+  Not-taken conditionals are backfilled from taken occurrences of the
+  same static branch, and stay 0 for never-taken branches.
+* The last load in each gap becomes ``load_addr``; the branch depends
+  on it when the load's destination register appears among the branch's
+  source registers.
+* Direct and indirect calls both normalise to :data:`BranchKind.CALL`
+  (the pipeline model does not distinguish them), and non-conditional
+  branches are always taken, matching the RPTR invariant.
+
+The writer emits a *consistent* instruction stream (fillers laid out at
+each branch's committed continuation), which is what makes the
+reader's next-ip target recovery exact on round trips.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import TraceFormatError
+from repro.trace.records import BranchKind, BranchRecord
+
+__all__ = ["ChampSimAdapter", "write_champsim", "CHAMPSIM_RECORD_SIZE"]
+
+_RECORD = struct.Struct("<Q8B6Q")
+CHAMPSIM_RECORD_SIZE = _RECORD.size  # 64 bytes
+
+_REG_SP = 6
+_REG_FLAGS = 25
+_REG_IP = 26
+# Synthetic registers used by the writer; any GPR works for the reader.
+_REG_LOAD = 8
+_REG_TARGET = 10
+_SPECIAL_REGS = frozenset((0, _REG_SP, _REG_FLAGS, _REG_IP))
+_MAX_GAP = 0xFFFF
+_INSN_SIZE = 4
+_SNIFF_RECORDS = 64
+
+
+def _classify(dst: tuple[int, ...], src: tuple[int, ...]) -> BranchKind:
+    """ChampSim's register-set branch classification, collapsed to RPTR kinds."""
+    if _REG_FLAGS in src:
+        return BranchKind.COND
+    if _REG_SP in src and _REG_SP in dst:
+        return BranchKind.RET if _REG_IP not in src else BranchKind.CALL
+    if any(reg not in _SPECIAL_REGS for reg in src):
+        return BranchKind.INDIRECT
+    return BranchKind.UNCOND
+
+
+class ChampSimAdapter:
+    """Reader for ChampSim/CBP-2016-style 64-byte instruction records."""
+
+    format = "champsim"
+    version = 1
+
+    def sniff(self, payload: bytes, filename: str = "") -> bool:
+        """Structural plausibility check — the format has no magic.
+
+        A payload passes when it is a non-empty multiple of 64 bytes
+        and every scanned record keeps its two flag bytes boolean.
+        Random binaries fail this with overwhelming probability.
+        """
+        if not payload or len(payload) % _RECORD.size:
+            return False
+        scan = min(len(payload) // _RECORD.size, _SNIFF_RECORDS)
+        for i in range(scan):
+            base = i * _RECORD.size
+            if payload[base + 8] > 1 or payload[base + 9] > 1:
+                return False
+        return True
+
+    def read(self, payload: bytes) -> list[BranchRecord]:
+        """Collapse an instruction stream into RPTR branch records."""
+        if len(payload) % _RECORD.size:
+            raise TraceFormatError(
+                f"champsim payload is not a whole number of {_RECORD.size}-byte "
+                f"records ({len(payload)} bytes)",
+                offset=len(payload) - len(payload) % _RECORD.size,
+            )
+        records: list[BranchRecord] = []
+        # Mutable [pc, target, taken, kind, gap, load_addr, dep] rows;
+        # target is patched from the *next* instruction's ip, so rows
+        # can only be frozen into BranchRecords afterwards.
+        rows: list[list[int]] = []
+        pending: list[int] | None = None
+        gap = 0
+        load_addr = 0
+        load_reg = -1
+        for index, fields in enumerate(_RECORD.iter_unpack(payload)):
+            ip = fields[0]
+            is_branch = fields[1]
+            taken_flag = fields[2]
+            if is_branch > 1 or taken_flag > 1:
+                raise TraceFormatError(
+                    f"champsim record {index} has non-boolean branch flags "
+                    f"({is_branch}, {taken_flag})",
+                    offset=index * _RECORD.size,
+                )
+            if pending is not None:
+                # Committed execution continued at this ip, so it is the
+                # pending taken branch's target by construction.
+                pending[1] = ip
+                pending = None
+            if not is_branch:
+                gap += 1
+                src_mem = fields[11]
+                if src_mem:
+                    load_addr = src_mem
+                    load_reg = fields[3]
+                continue
+            dst = fields[3:5]
+            src = fields[5:9]
+            kind = _classify(dst, src)
+            # Non-conditional control flow always redirects; RPTR encodes
+            # that as taken=True regardless of the tracer's flag.
+            taken = bool(taken_flag) or kind is not BranchKind.COND
+            depends = (
+                kind is BranchKind.COND and load_reg > 0 and load_reg in src
+            )
+            row = [
+                ip,
+                0,
+                int(taken),
+                int(kind),
+                min(gap, _MAX_GAP),
+                load_addr,
+                int(depends),
+            ]
+            rows.append(row)
+            if taken:
+                pending = row
+            gap = 0
+            load_addr = 0
+            load_reg = -1
+        # Backfill not-taken targets from taken sightings of the same
+        # static branch so direction-independent fields stay stable.
+        taken_targets: dict[int, int] = {}
+        for row in rows:
+            if row[2] and row[1] and row[0] not in taken_targets:
+                taken_targets[row[0]] = row[1]
+        for row in rows:
+            if not row[2]:
+                row[1] = taken_targets.get(row[0], 0)
+            records.append(
+                BranchRecord(
+                    pc=row[0],
+                    target=row[1],
+                    taken=bool(row[2]),
+                    kind=BranchKind(row[3]),
+                    inst_gap=row[4],
+                    load_addr=row[5],
+                    depends_on_load=bool(row[6]),
+                )
+            )
+        return records
+
+
+def _pack_instr(
+    ip: int,
+    is_branch: int,
+    taken: int,
+    dst: tuple[int, int],
+    src: tuple[int, int, int, int],
+    src_mem0: int = 0,
+) -> bytes:
+    return _RECORD.pack(
+        ip, is_branch, taken, dst[0], dst[1], src[0], src[1], src[2], src[3],
+        0, 0, src_mem0, 0, 0, 0,
+    )
+
+
+_BRANCH_REGS: dict[BranchKind, tuple[tuple[int, int], tuple[int, int, int, int]]] = {
+    BranchKind.COND: ((_REG_IP, 0), (_REG_IP, _REG_FLAGS, 0, 0)),
+    BranchKind.UNCOND: ((_REG_IP, 0), (_REG_IP, 0, 0, 0)),
+    BranchKind.CALL: ((_REG_IP, _REG_SP), (_REG_IP, _REG_SP, 0, 0)),
+    BranchKind.RET: ((_REG_IP, _REG_SP), (_REG_SP, 0, 0, 0)),
+    BranchKind.INDIRECT: ((_REG_IP, 0), (_REG_IP, _REG_TARGET, 0, 0)),
+}
+
+
+def write_champsim(records: list[BranchRecord] | tuple[BranchRecord, ...]) -> bytes:
+    """Serialise RPTR records as a consistent ChampSim instruction stream.
+
+    Gap fillers are placed at each branch's committed continuation
+    (taken target, or fall-through), so re-reading the stream recovers
+    taken targets exactly.  A gap's ``load_addr`` is expressed as a load
+    into a scratch register on the filler closest to the branch; gaps of
+    zero instructions cannot carry a load and drop it.  A single
+    trailing filler closes the final branch's target.
+    """
+    out = bytearray()
+    continuation: int | None = None
+    for rec in records:
+        gap = rec.inst_gap
+        if continuation is None:
+            start = rec.pc - _INSN_SIZE * gap
+            if start < 0:
+                start = 0x1000
+        else:
+            start = continuation
+        for j in range(gap):
+            ip = start + j * _INSN_SIZE
+            if j == gap - 1 and rec.load_addr:
+                out += _pack_instr(
+                    ip, 0, 0, (_REG_LOAD, 0), (0, 0, 0, 0), src_mem0=rec.load_addr
+                )
+            else:
+                out += _pack_instr(ip, 0, 0, (9, 0), (9, 0, 0, 0))
+        dst, src = _BRANCH_REGS[rec.kind]
+        if (
+            rec.kind is BranchKind.COND
+            and rec.depends_on_load
+            and rec.load_addr
+            and gap > 0
+        ):
+            src = (src[0], src[1], _REG_LOAD, src[3])
+        out += _pack_instr(rec.pc, 1, int(rec.taken), dst, src)
+        continuation = rec.target if rec.taken else rec.pc + _INSN_SIZE
+    if continuation is not None:
+        out += _pack_instr(continuation, 0, 0, (9, 0), (9, 0, 0, 0))
+    return bytes(out)

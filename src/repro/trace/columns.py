@@ -41,8 +41,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceFormatError
 from repro.telemetry import TELEMETRY
+from repro.trace.adapters.base import ADAPTER_VERSION
 from repro.trace.io import dumps_trace
 from repro.trace.records import BranchKind, BranchRecord
 
@@ -107,16 +108,19 @@ class ColumnarTrace:
         or column contents that violate the format invariants.
         """
         if len(data) < _HEADER.size:
-            raise TraceError("trace data truncated: missing header")
+            raise TraceFormatError(
+                "trace data truncated: missing header", offset=len(data)
+            )
         magic, version, count = _HEADER.unpack_from(data, 0)
         if magic != _MAGIC:
-            raise TraceError(f"bad trace magic {magic!r}")
+            raise TraceFormatError(f"bad trace magic {magic!r}", offset=0)
         if version != _VERSION:
-            raise TraceError(f"unsupported trace version {version}")
+            raise TraceFormatError(f"unsupported trace version {version}", offset=4)
         expected = _HEADER.size + count * TRACE_DTYPE.itemsize
         if len(data) < expected:
-            raise TraceError(
-                f"trace data truncated: expected {expected} bytes, got {len(data)}"
+            raise TraceFormatError(
+                f"trace data truncated: expected {expected} bytes, got {len(data)}",
+                offset=len(data),
             )
         array = np.frombuffer(data, dtype=TRACE_DTYPE, count=count, offset=_HEADER.size)
         trace = cls(array)
@@ -183,19 +187,30 @@ class ColumnarTrace:
         array = self.array
         if len(array) == 0:
             return
+
+        def record_offset(mask: "np.ndarray[Any, Any]") -> int:
+            return _HEADER.size + int(np.argmax(mask)) * TRACE_DTYPE.itemsize
+
         kinds = array["kind"]
         if int(kinds.max()) > _MAX_KIND:
-            bad = int(kinds[kinds > _MAX_KIND][0])
-            raise TraceError(f"unknown branch kind {bad}")
+            bad_kinds = kinds > _MAX_KIND
+            raise TraceFormatError(
+                f"unknown branch kind {int(kinds[bad_kinds][0])}",
+                offset=record_offset(bad_kinds),
+            )
         flags = array["flags"]
         if int(flags.max()) > 3:
-            bad = int(flags[flags > 3][0])
-            raise TraceError(f"undefined flag bits 0x{bad:02x}")
+            bad_flags = flags > 3
+            raise TraceFormatError(
+                f"undefined flag bits 0x{int(flags[bad_flags][0]):02x}",
+                offset=record_offset(bad_flags),
+            )
         not_taken_noncond = (kinds != int(BranchKind.COND)) & ((flags & 1) == 0)
         if bool(not_taken_noncond.any()):
             bad = int(kinds[not_taken_noncond][0])
-            raise TraceError(
-                f"{BranchKind(bad).name} branches are always taken"
+            raise TraceFormatError(
+                f"{BranchKind(bad).name} branches are always taken",
+                offset=record_offset(not_taken_noncond),
             )
 
     def to_records(self) -> list[BranchRecord]:
@@ -240,10 +255,14 @@ class ColumnarTrace:
 
 
 #: Per-process memo of decoded trace files, keyed by (path, mtime,
-#: size) so an overwritten file is a miss, never stale data.  Entries
-#: are decode *views* over the file bytes held alive by the arrays —
-#: callers must treat them as immutable, like the runner's record memo.
-_COLUMN_CACHE: OrderedDict[tuple[str, int, int], ColumnarTrace] = OrderedDict()
+#: size, format version, adapter version) so an overwritten file — or
+#: a trace re-converted by a newer adapter revision — is a miss, never
+#: stale data.  Entries are decode *views* over the file bytes held
+#: alive by the arrays — callers must treat them as immutable, like the
+#: runner's record memo.
+_COLUMN_CACHE: OrderedDict[tuple[str, int, int, int, int], ColumnarTrace] = (
+    OrderedDict()
+)
 _COLUMN_CACHE_MAX = 4
 
 
@@ -254,12 +273,15 @@ def load_columnar(path: str | Path) -> ColumnarTrace:
     touching the same workload from several groups, analysis tools
     re-reading a trace) return the cached decode instead of re-reading
     and re-validating; hits increment the ``trace.column_cache_hits``
-    telemetry counter.  The cache key is (path, mtime_ns, size), so
-    rewriting the file invalidates its entry.
+    telemetry counter.  The cache key is (path, mtime_ns, size, RPTR
+    format version, adapter version): rewriting the file invalidates
+    its entry, and so does upgrading the trace format or the external-
+    format adapters (a re-converted trace must never be served from a
+    pre-conversion decode, even if mtime granularity hides the write).
     """
     target = Path(path)
     stat = os.stat(target)
-    key = (str(target), stat.st_mtime_ns, stat.st_size)
+    key = (str(target), stat.st_mtime_ns, stat.st_size, _VERSION, ADAPTER_VERSION)
     cached = _COLUMN_CACHE.get(key)
     if cached is not None:
         _COLUMN_CACHE.move_to_end(key)

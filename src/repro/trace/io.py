@@ -21,7 +21,7 @@ import struct
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
-from repro.errors import TraceError
+from repro.errors import TraceFormatError
 from repro.trace.records import BranchKind, BranchRecord
 
 __all__ = ["write_trace", "read_trace", "dumps_trace", "loads_trace"]
@@ -55,16 +55,19 @@ def loads_trace(data: bytes | bytearray | memoryview | mmap.mmap) -> list[Branch
     memoryview over the buffer).
     """
     if len(data) < _HEADER.size:
-        raise TraceError("trace data truncated: missing header")
+        raise TraceFormatError(
+            "trace data truncated: missing header", offset=len(data)
+        )
     magic, version, count = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
-        raise TraceError(f"bad trace magic {magic!r}")
+        raise TraceFormatError(f"bad trace magic {magic!r}", offset=0)
     if version != _VERSION:
-        raise TraceError(f"unsupported trace version {version}")
+        raise TraceFormatError(f"unsupported trace version {version}", offset=4)
     expected = _HEADER.size + count * _RECORD.size
     if len(data) < expected:
-        raise TraceError(
-            f"trace data truncated: expected {expected} bytes, got {len(data)}"
+        raise TraceFormatError(
+            f"trace data truncated: expected {expected} bytes, got {len(data)}",
+            offset=len(data),
         )
     # Hot deserialization path: iter_unpack over the packed body, and
     # records built through __new__ + object.__setattr__ rather than the
@@ -81,10 +84,18 @@ def loads_trace(data: bytes | bytearray | memoryview | mmap.mmap) -> list[Branch
     for pc, target, flags, kind, inst_gap, load_addr in _RECORD.iter_unpack(body):
         branch_kind = kinds.get(kind)
         if branch_kind is None:
-            raise TraceError(f"unknown branch kind {kind}")
+            # len(records) is the index of the record being decoded, so
+            # the offset names the exact malformed record for free.
+            raise TraceFormatError(
+                f"unknown branch kind {kind}",
+                offset=_HEADER.size + len(records) * _RECORD.size,
+            )
         taken = flags & 1
         if not taken and kind != 0:
-            raise TraceError(f"{branch_kind.name} branches are always taken")
+            raise TraceFormatError(
+                f"{branch_kind.name} branches are always taken",
+                offset=_HEADER.size + len(records) * _RECORD.size,
+            )
         record = new(BranchRecord)
         set_field(record, "pc", pc)
         set_field(record, "target", target)

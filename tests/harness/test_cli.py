@@ -289,3 +289,103 @@ class TestSweepCommand:
         code = main(["sweep", "--systems", "nope", "--branches", "500"])
         assert code == 1
         assert "unknown system" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    """The `repro trace` family, exercised offline on committed fixtures."""
+
+    CHAMPSIM = "tests/data/traces/quicksort.champsim.gz"
+    BT9 = "tests/data/traces/dijkstra.bt9"
+
+    @pytest.fixture(autouse=True)
+    def _trace_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "store"))
+        monkeypatch.setenv("REPRO_OFFLINE", "1")
+
+    def test_info_pinned_text(self, capsys):
+        assert main(["trace", "info", self.CHAMPSIM]) == 0
+        assert capsys.readouterr().out == (
+            f"path:          {self.CHAMPSIM}\n"
+            "format:        champsim (adapter v1)\n"
+            "compression:   gzip\n"
+            "records:       1612\n"
+            "instructions:  5232\n"
+            "conditional:   1486\n"
+            "static sites:  6\n"
+            "taken rate:    0.7369\n"
+            "pc range:      0x40000000..0x400001c0\n"
+            "target range:  0x40000020..0x40000240\n"
+            "kinds:         COND=1486 CALL=63 RET=63\n"
+        )
+
+    def test_info_json_format(self, capsys):
+        import json
+
+        assert main(["trace", "info", self.BT9, "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format"] == "bt9"
+        assert info["compression"] is None
+        assert info["records"] == 6121
+        assert info["static_sites"] == 5
+        assert info["kind_counts"] == {"COND": 6072, "RET": 1, "UNCOND": 48}
+        assert info["adapter_version"] == 1
+
+    def test_info_bad_file_is_error_exit(self, tmp_path, capsys):
+        bad = tmp_path / "junk.trace"
+        bad.write_bytes(b"\x01\x02\x03 definitely not a trace")
+        assert main(["trace", "info", str(bad)]) == 1
+        assert "unrecognised" in capsys.readouterr().err
+
+    def test_import_list_run_round_trip(self, capsys):
+        assert main(["trace", "import", self.CHAMPSIM]) == 0
+        out = capsys.readouterr().out
+        assert "imported quicksort: 1612 records (champsim" in out
+        assert "sha256:" in out
+
+        assert main(["trace", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "quicksort" in listing and "champsim" in listing
+
+        assert main(
+            ["run", "--workload", "quicksort",
+             "--system", "baseline-tage", "--branches", "1500"]
+        ) == 0
+        assert "MPKI" in capsys.readouterr().out
+
+    def test_import_custom_name(self, capsys):
+        assert main(
+            ["trace", "import", self.BT9, "--name", "my-dijkstra"]
+        ) == 0
+        assert "imported my-dijkstra: 6121 records (bt9" in (
+            capsys.readouterr().out
+        )
+
+    def test_fetch_from_committed_manifest(self, capsys):
+        assert main(
+            ["trace", "fetch", "public-dijkstra",
+             "--manifest", "traces/public-traces.json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fetched public-dijkstra: 6121 records (bt9, verified sha256)" in out
+
+    def test_list_empty_store(self, capsys):
+        assert main(["trace", "list"]) == 0
+        assert "no imported traces" in capsys.readouterr().out
+
+    def test_sweep_workloads_flag_mixes_sources(self, capsys):
+        assert main(["trace", "import", self.CHAMPSIM]) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--workloads", "quicksort,hpc-fft",
+             "--systems", "baseline-tage", "--branches", "800",
+             "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quicksort" in out and "hpc-fft" in out
+
+    def test_run_unknown_workload_mentions_import(self, capsys):
+        assert main(
+            ["run", "--workload", "no-such-trace", "--branches", "500"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "repro trace import" in err or "trace store" in err

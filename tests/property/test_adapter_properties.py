@@ -1,0 +1,132 @@
+"""Property tests: adapter → RPTR → loads_trace → columnar round trips.
+
+The randomised streams are *consistent* in the sense real traces are
+(an instruction stream's next ip is a taken branch's target), which is
+exactly what the ChampSim writer emits; expectations mirror the two
+documented normalisations — not-taken targets are backfilled from taken
+sightings of the same static branch, and BT9 drops load information.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.adapters import convert_bytes, write_bt9, write_champsim
+from repro.trace.columns import ColumnarTrace
+from repro.trace.io import dumps_trace, loads_trace
+from repro.trace.records import BranchKind, BranchRecord
+from repro.trace.stats import collect_stats
+
+# Draw structured (site, direction, gap, load) tuples and materialise
+# them into records below — keeps every stream consistent while still
+# randomising control flow, gaps, biases, and memory behaviour.
+_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),      # static site index
+        st.booleans(),                               # direction
+        st.integers(min_value=0, max_value=6),       # gap
+        st.booleans(),                               # carries a load
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+_SITE_KINDS = (
+    BranchKind.COND, BranchKind.COND, BranchKind.COND, BranchKind.COND,
+    BranchKind.UNCOND, BranchKind.CALL, BranchKind.RET, BranchKind.INDIRECT,
+)
+
+
+def build_records(stream, with_loads):
+    """Materialise a drawn stream into *consistent* BranchRecords.
+
+    Consistency constraint of any real committed trace: when a taken
+    branch is followed by another branch with zero gap, the next branch
+    *is* the taken target — the trace recorded execution arriving
+    there.  The generator honours it so the ChampSim writer (which
+    emits the instruction stream) reproduces every target exactly.
+    """
+    records = []
+    for index, (site, taken, gap, load) in enumerate(stream):
+        kind = _SITE_KINDS[site]
+        if kind is not BranchKind.COND:
+            taken = True
+        pc = 0x40_0000 + site * 0x100
+        if taken and index + 1 < len(stream) and stream[index + 1][2] == 0:
+            target = 0x40_0000 + stream[index + 1][0] * 0x100
+        else:
+            target = pc + 0x40
+        load_addr = 0x1000_0000 + gap * 8 if (load and gap and with_loads) else 0
+        records.append(
+            BranchRecord(
+                pc=pc,
+                target=target,
+                taken=taken,
+                kind=kind,
+                inst_gap=gap,
+                load_addr=load_addr,
+                depends_on_load=bool(load_addr) and kind is BranchKind.COND,
+            )
+        )
+    return records
+
+
+def normalised_targets(records):
+    taken = {}
+    for rec in records:
+        if rec.taken and rec.target:
+            taken.setdefault(rec.pc, rec.target)
+    return [r.target if r.taken else taken.get(r.pc, 0) for r in records]
+
+
+def assert_stream_preserved(original, out, check_loads):
+    """The per-branch vectors and aggregates the issue pins down."""
+    assert [r.pc for r in out] == [r.pc for r in original]
+    assert [r.taken for r in out] == [r.taken for r in original]
+    assert [r.target for r in out] == normalised_targets(original)
+    assert [r.kind for r in out] == [r.kind for r in original]
+    assert [r.inst_gap for r in out] == [r.inst_gap for r in original]
+    if check_loads:
+        assert [r.load_addr for r in out] == [r.load_addr for r in original]
+        assert [r.depends_on_load for r in out] == [
+            r.depends_on_load for r in original
+        ]
+    before, after = collect_stats(original), collect_stats(out)
+    assert after.taken_rate == before.taken_rate
+    assert after.static_sites == before.static_sites
+    assert after.total_instructions == before.total_instructions
+
+    # ...and the full chain: RPTR serialise → loads_trace → columnar.
+    reloaded = loads_trace(dumps_trace(out))
+    assert reloaded == out
+    columns = ColumnarTrace.from_records(reloaded)
+    assert columns.to_records() == out
+
+
+@settings(max_examples=40, deadline=None)
+@given(_streams)
+def test_champsim_round_trip_preserves_stream(stream):
+    records = build_records(stream, with_loads=True)
+    out = convert_bytes(write_champsim(records))
+    assert out.format == "champsim"
+    assert_stream_preserved(records, out.records, check_loads=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_streams)
+def test_bt9_round_trip_preserves_stream(stream):
+    records = build_records(stream, with_loads=False)
+    out = convert_bytes(write_bt9(records).encode())
+    assert out.format == "bt9"
+    assert_stream_preserved(records, out.records, check_loads=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_streams)
+def test_formats_agree_on_direction_stream(stream):
+    """Both adapters recover the identical (pc, taken) stream."""
+    records = build_records(stream, with_loads=False)
+    champsim = convert_bytes(write_champsim(records)).records
+    bt9 = convert_bytes(write_bt9(records).encode()).records
+    assert [(r.pc, r.taken, r.kind) for r in champsim] == [
+        (r.pc, r.taken, r.kind) for r in bt9
+    ]

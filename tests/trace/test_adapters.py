@@ -1,0 +1,243 @@
+"""Unit tests for the external trace-format adapters."""
+
+import gzip
+import lzma
+import struct
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.adapters import (
+    ADAPTER_VERSION,
+    Bt9Adapter,
+    ChampSimAdapter,
+    RptrAdapter,
+    convert_bytes,
+    decompress_payload,
+    detect_format,
+    get_adapter,
+    registered_adapters,
+    write_bt9,
+    write_champsim,
+)
+from repro.trace.io import dumps_trace
+from repro.trace.records import BranchKind, BranchRecord
+
+
+def sample_records():
+    """A consistent stream covering every kind, loads, and re-visits."""
+    return [
+        BranchRecord(pc=0x400100, target=0x400200, taken=True,
+                     kind=BranchKind.COND, inst_gap=3,
+                     load_addr=0x8000, depends_on_load=True),
+        BranchRecord(pc=0x400204, target=0x400100, taken=False,
+                     kind=BranchKind.COND, inst_gap=2),
+        BranchRecord(pc=0x400208, target=0x400300, taken=True,
+                     kind=BranchKind.CALL, inst_gap=0),
+        BranchRecord(pc=0x400304, target=0x40020C, taken=True,
+                     kind=BranchKind.RET, inst_gap=1),
+        BranchRecord(pc=0x400210, target=0x400400, taken=True,
+                     kind=BranchKind.UNCOND, inst_gap=2),
+        BranchRecord(pc=0x400404, target=0x400500, taken=True,
+                     kind=BranchKind.INDIRECT, inst_gap=1),
+        BranchRecord(pc=0x400100, target=0x400200, taken=True,
+                     kind=BranchKind.COND, inst_gap=2),
+    ]
+
+
+def expected_targets(records):
+    """Adapter normalisation: not-taken targets come from taken sightings."""
+    taken = {}
+    for rec in records:
+        if rec.taken and rec.target:
+            taken.setdefault(rec.pc, rec.target)
+    return [
+        rec.target if rec.taken else taken.get(rec.pc, 0) for rec in records
+    ]
+
+
+class TestRegistry:
+    def test_detection_order(self):
+        assert [a.format for a in registered_adapters()] == [
+            "rptr", "bt9", "champsim",
+        ]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            get_adapter("vpc")
+
+    def test_undetectable_payload_rejected(self):
+        with pytest.raises(TraceFormatError, match="unrecognised"):
+            detect_format(b"\x01\x02\x03 not a trace")
+
+    def test_adapter_version_exported(self):
+        assert ADAPTER_VERSION >= 1
+
+
+class TestCompression:
+    def test_gzip_transparent(self):
+        payload = write_champsim(sample_records())
+        result = convert_bytes(gzip.compress(payload))
+        assert result.compression == "gzip"
+        assert result.format == "champsim"
+
+    def test_xz_transparent(self):
+        payload = write_bt9(sample_records()).encode()
+        result = convert_bytes(lzma.compress(payload))
+        assert result.compression == "xz"
+        assert result.format == "bt9"
+
+    def test_plain_passthrough(self):
+        assert decompress_payload(b"BT9_etc") == (b"BT9_etc", None)
+
+    def test_corrupt_gzip_is_format_error(self):
+        broken = gzip.compress(b"x" * 100)[:-6]
+        with pytest.raises(TraceFormatError, match="gzip"):
+            decompress_payload(broken)
+
+
+class TestChampSim:
+    def test_round_trip(self):
+        records = sample_records()
+        out = convert_bytes(write_champsim(records))
+        assert out.format == "champsim"
+        assert [r.pc for r in out.records] == [r.pc for r in records]
+        assert [r.taken for r in out.records] == [r.taken for r in records]
+        assert [r.kind for r in out.records] == [r.kind for r in records]
+        assert [r.inst_gap for r in out.records] == [r.inst_gap for r in records]
+        assert [r.target for r in out.records] == expected_targets(records)
+
+    def test_load_dependence_recovered(self):
+        out = convert_bytes(write_champsim(sample_records()))
+        first = out.records[0]
+        assert first.load_addr == 0x8000
+        assert first.depends_on_load
+
+    def test_partial_record_rejected_with_offset(self):
+        payload = write_champsim(sample_records()) + b"\x00" * 10
+        with pytest.raises(TraceFormatError, match="whole number") as exc:
+            ChampSimAdapter().read(payload)
+        assert exc.value.offset == len(payload) - 10
+
+    def test_non_boolean_flags_rejected(self):
+        payload = bytearray(write_champsim(sample_records()))
+        payload[8] = 7  # is_branch byte of record 0
+        with pytest.raises(TraceFormatError, match="non-boolean") as exc:
+            ChampSimAdapter().read(bytes(payload))
+        assert exc.value.offset == 0
+
+    def test_sniff_rejects_misaligned_and_text(self):
+        adapter = ChampSimAdapter()
+        assert not adapter.sniff(b"")
+        assert not adapter.sniff(b"\x00" * 63)
+        assert adapter.sniff(b"\x00" * 64)
+        assert not adapter.sniff(b"BT9_SPA_TRACE_FORMAT" + b" " * 44)
+
+    def test_uncond_always_taken_normalised(self):
+        # A tracer may mark a jump not-taken; RPTR normalises it.
+        record = struct.Struct("<Q8B6Q").pack(
+            0x1000, 1, 0, 26, 0, 26, 0, 0, 0, 0, 0, 0, 0, 0, 0
+        )
+        out = ChampSimAdapter().read(record)
+        assert out[0].kind is BranchKind.UNCOND
+        assert out[0].taken
+
+
+class TestBt9:
+    def test_round_trip(self):
+        records = sample_records()
+        text = write_bt9(records)
+        out = convert_bytes(text.encode())
+        assert out.format == "bt9"
+        assert [r.pc for r in out.records] == [r.pc for r in records]
+        assert [r.taken for r in out.records] == [r.taken for r in records]
+        assert [r.kind for r in out.records] == [r.kind for r in records]
+        assert [r.inst_gap for r in out.records] == [r.inst_gap for r in records]
+        assert [r.target for r in out.records] == expected_targets(records)
+
+    def test_missing_magic_rejected(self):
+        with pytest.raises(TraceFormatError, match="header") as exc:
+            Bt9Adapter().read(b"NODE 0 0x0 - 0x0 0\n")
+        assert exc.value.unit == "line"
+
+    def test_sequence_discontinuity_rejected_with_line(self):
+        text = write_bt9(sample_records())
+        lines = text.splitlines()
+        seq_start = lines.index("BT9_EDGE_SEQUENCE") + 1
+        # Swap two sequence entries to break dest->src continuity.
+        lines[seq_start], lines[seq_start + 1] = (
+            lines[seq_start + 1], lines[seq_start],
+        )
+        with pytest.raises(TraceFormatError, match="discontinuity") as exc:
+            Bt9Adapter().read("\n".join(lines).encode())
+        assert exc.value.unit == "line"
+        assert exc.value.offset is not None
+
+    def test_unknown_edge_rejected(self):
+        text = write_bt9(sample_records()) + "9999\n"
+        with pytest.raises(TraceFormatError, match="unknown edge"):
+            Bt9Adapter().read(text.encode())
+
+    def test_not_taken_on_unconditional_rejected(self):
+        text = (
+            "BT9_SPA_TRACE_FORMAT version: 0\n"
+            "BT9_NODES\n"
+            "NODE 0 0x0 - 0x0 0\n"
+            'NODE 1 0x1000 - 0x0 4 "JMP+DIRECT+UCD"\n'
+            "NODE 2 0x0 - 0x0 0\n"
+            "BT9_EDGES\n"
+            "EDGE 0 0 1 T 0x1000 - 0 1\n"
+            "EDGE 1 1 2 N - - 0 1\n"
+            "BT9_EDGE_SEQUENCE\n0\n1\n"
+        )
+        with pytest.raises(TraceFormatError, match="non-conditional") as exc:
+            Bt9Adapter().read(text.encode())
+        assert exc.value.unit == "line"
+
+    def test_malformed_direction_rejected(self):
+        text = (
+            "BT9_SPA_TRACE_FORMAT version: 0\n"
+            "BT9_NODES\nNODE 0 0x0 - 0x0 0\n"
+            "BT9_EDGES\nEDGE 0 0 0 X - - 0 1\n"
+            "BT9_EDGE_SEQUENCE\n"
+        )
+        with pytest.raises(TraceFormatError, match="T or N"):
+            Bt9Adapter().read(text.encode())
+
+    def test_conflicting_kinds_unwritable(self):
+        records = [
+            BranchRecord(pc=0x100, target=0x200, taken=True,
+                         kind=BranchKind.COND),
+            BranchRecord(pc=0x100, target=0x200, taken=True,
+                         kind=BranchKind.CALL),
+        ]
+        with pytest.raises(TraceFormatError, match="conflicting"):
+            write_bt9(records)
+
+    def test_gap_clamped_to_u16(self):
+        records = [
+            BranchRecord(pc=0x100, target=0x200, taken=True, inst_gap=0),
+            BranchRecord(pc=0x104, target=0x200, taken=True, inst_gap=200_000),
+        ]
+        out = Bt9Adapter().read(write_bt9(records).encode())
+        assert out[1].inst_gap == 0xFFFF
+
+
+class TestRptrPassthrough:
+    def test_detected_and_read(self):
+        records = sample_records()
+        payload = dumps_trace(records)
+        assert detect_format(payload) == "rptr"
+        out = convert_bytes(payload)
+        assert out.records == records
+
+    def test_compressed_rptr(self):
+        records = sample_records()
+        out = convert_bytes(gzip.compress(dumps_trace(records)))
+        assert out.format == "rptr"
+        assert out.compression == "gzip"
+        assert out.records == records
+
+    def test_sniff(self):
+        assert RptrAdapter().sniff(b"RPTR\x01\x00")
+        assert not RptrAdapter().sniff(b"NOPE")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceFormatError
 from repro.trace.io import dumps_trace, loads_trace, read_trace, write_trace
 from repro.trace.records import BranchKind, BranchRecord
 from tests.conftest import make_branch
@@ -79,6 +79,62 @@ class TestMalformedInput:
         data[14 + 17] = 99
         with pytest.raises(TraceError, match="kind"):
             loads_trace(bytes(data))
+
+
+class TestTypedErrors:
+    """Every corruption mode raises TraceFormatError with a byte offset."""
+
+    HEADER = 14
+    RECORD = 28
+
+    def test_missing_header_offset(self):
+        with pytest.raises(TraceFormatError) as exc:
+            loads_trace(b"RP")
+        assert exc.value.offset == 2
+        assert exc.value.unit == "byte"
+        assert "(at byte 2)" in str(exc.value)
+
+    def test_bad_magic_offset(self):
+        data = bytearray(dumps_trace(sample_records()))
+        data[:4] = b"NOPE"
+        with pytest.raises(TraceFormatError) as exc:
+            loads_trace(bytes(data))
+        assert exc.value.offset == 0
+
+    def test_bad_version_offset(self):
+        data = bytearray(dumps_trace([]))
+        data[4] = 0xFF
+        with pytest.raises(TraceFormatError) as exc:
+            loads_trace(bytes(data))
+        assert exc.value.offset == 4
+
+    def test_truncated_body_offset_is_payload_end(self):
+        data = dumps_trace(sample_records())
+        with pytest.raises(TraceFormatError) as exc:
+            loads_trace(data[:-5])
+        assert exc.value.offset == len(data) - 5
+
+    def test_unknown_kind_offset_names_the_record(self):
+        recs = [make_branch(pc=0x100), make_branch(pc=0x200), make_branch(pc=0x300)]
+        data = bytearray(dumps_trace(recs))
+        # Corrupt the kind byte of record 2 (0-based index 2).
+        kind_at = self.HEADER + 2 * self.RECORD + 17
+        data[kind_at] = 99
+        with pytest.raises(TraceFormatError) as exc:
+            loads_trace(bytes(data))
+        assert exc.value.offset == self.HEADER + 2 * self.RECORD
+
+    def test_direction_invariant_offset_names_the_record(self):
+        recs = [make_branch(pc=0x100), make_branch(pc=0x200, kind=BranchKind.RET)]
+        data = bytearray(dumps_trace(recs))
+        # Clear record 1's taken bit: RET must always be taken.
+        data[self.HEADER + self.RECORD + 16] &= ~1
+        with pytest.raises(TraceFormatError) as exc:
+            loads_trace(bytes(data))
+        assert exc.value.offset == self.HEADER + self.RECORD
+
+    def test_format_error_is_trace_error(self):
+        assert issubclass(TraceFormatError, TraceError)
 
 
 class TestReadTraceMmap:

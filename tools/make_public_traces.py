@@ -1,0 +1,227 @@
+"""Generate the committed public-trace fixtures and their fetch manifest.
+
+Captures the committed branch streams of two real algorithms running on
+deterministic inputs and serialises them in the two external formats
+the adapter layer supports:
+
+* ``tests/data/traces/quicksort.champsim.gz`` — iterative quicksort
+  over an LCG-shuffled array, written as a gzip-wrapped ChampSim
+  instruction trace (with loads and load-dependent compares);
+* ``tests/data/traces/dijkstra.bt9`` — Dijkstra shortest paths over a
+  synthetic sparse graph, written as a BT9 text trace.
+
+Also rewrites ``traces/public-traces.json`` with the fixtures' SHA-256
+checksums so ``repro trace fetch`` verifies them end to end.  Output is
+byte-stable: fixed seeds, no clocks, gzip with ``mtime=0``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/make_public_traces.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from pathlib import Path
+
+from repro.trace.adapters import write_bt9, write_champsim
+from repro.trace.records import BranchKind, BranchRecord
+
+_FIXTURE_DIR = Path("tests/data/traces")
+_MANIFEST_PATH = Path("traces/public-traces.json")
+
+_CODE_BASE = 0x4000_0000
+_DATA_BASE = 0x1000_0000
+_SITE_STRIDE = 0x40
+
+
+class _Capture:
+    """Records the committed branch stream of an instrumented algorithm.
+
+    Each static branch site gets a stable pc and taken target derived
+    from its registration order, and a fixed non-branch gap — the shape
+    real compiled code would have, held deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[BranchRecord] = []
+        self._sites: dict[str, int] = {}
+
+    def _pc(self, site: str) -> int:
+        index = self._sites.setdefault(site, len(self._sites))
+        return _CODE_BASE + index * _SITE_STRIDE
+
+    def cond(
+        self,
+        site: str,
+        taken: bool,
+        gap: int = 3,
+        load_index: int | None = None,
+        depends: bool = False,
+    ) -> bool:
+        """Record one conditional outcome; returns ``taken`` for use inline."""
+        pc = self._pc(site)
+        self.records.append(
+            BranchRecord(
+                pc=pc,
+                target=pc + 0x20,
+                taken=taken,
+                kind=BranchKind.COND,
+                inst_gap=gap,
+                load_addr=(
+                    _DATA_BASE + load_index * 8 if load_index is not None else 0
+                ),
+                depends_on_load=depends and load_index is not None,
+            )
+        )
+        return taken
+
+    def flow(self, site: str, kind: BranchKind, gap: int = 2) -> None:
+        """Record an always-taken control transfer (call/ret/jump)."""
+        pc = self._pc(site)
+        self.records.append(
+            BranchRecord(
+                pc=pc, target=pc + 0x100, taken=True, kind=kind, inst_gap=gap
+            )
+        )
+
+
+def _lcg_array(count: int, seed: int = 0x2545F491) -> list[int]:
+    values: list[int] = []
+    state = seed
+    for _ in range(count):
+        state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+        values.append(state >> 33)
+    return values
+
+
+def capture_quicksort(count: int = 96) -> list[BranchRecord]:
+    """Branch stream of an iterative Lomuto quicksort."""
+    cap = _Capture()
+    data = _lcg_array(count)
+    stack = [(0, count - 1)]
+    while cap.cond("qs.loop", bool(stack), gap=2):
+        lo, hi = stack.pop()
+        if not cap.cond("qs.span", lo < hi, gap=1):
+            continue
+        cap.flow("qs.call-partition", BranchKind.CALL)
+        pivot = data[hi]
+        i = lo - 1
+        j = lo
+        while cap.cond("qs.part-loop", j < hi, gap=2):
+            if cap.cond(
+                "qs.compare", data[j] <= pivot, gap=3, load_index=j, depends=True
+            ):
+                i += 1
+                data[i], data[j] = data[j], data[i]
+            j += 1
+        data[i + 1], data[hi] = data[hi], data[i + 1]
+        cap.flow("qs.ret-partition", BranchKind.RET)
+        p = i + 1
+        if cap.cond("qs.push-left", p - 1 > lo, gap=1):
+            stack.append((lo, p - 1))
+        if cap.cond("qs.push-right", p + 1 < hi, gap=1):
+            stack.append((p + 1, hi))
+    assert data == sorted(data)
+    return cap.records
+
+
+def _graph(nodes: int) -> list[list[tuple[int, int]]]:
+    """Deterministic sparse weighted digraph (ring + chords)."""
+    weights = _lcg_array(nodes * 4, seed=0x9E3779B9)
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(nodes)]
+    for node in range(nodes):
+        for k, stride in enumerate((1, 3, 7, 11)):
+            neighbor = (node + stride) % nodes
+            weight = weights[node * 4 + k] % 97 + 1
+            adjacency[node].append((neighbor, weight))
+    return adjacency
+
+
+def capture_dijkstra(nodes: int = 48) -> list[BranchRecord]:
+    """Branch stream of O(V^2) Dijkstra from node 0."""
+    cap = _Capture()
+    adjacency = _graph(nodes)
+    infinity = 1 << 60
+    dist = [infinity] * nodes
+    dist[0] = 0
+    visited = [False] * nodes
+    for _ in range(nodes):
+        cap.flow("dj.outer", BranchKind.UNCOND, gap=2)
+        best = -1
+        best_dist = infinity
+        node = 0
+        while cap.cond("dj.scan-loop", node < nodes, gap=1):
+            if not cap.cond("dj.visited", visited[node], gap=2):
+                if cap.cond("dj.closer", dist[node] < best_dist, gap=2):
+                    best = node
+                    best_dist = dist[node]
+            node += 1
+        if not cap.cond("dj.found", best >= 0, gap=1):
+            break
+        visited[best] = True
+        for neighbor, weight in adjacency[best]:
+            relaxed = dist[best] + weight
+            if cap.cond("dj.relax", relaxed < dist[neighbor], gap=4):
+                dist[neighbor] = relaxed
+    cap.flow("dj.done", BranchKind.RET, gap=1)
+    assert sum(1 for d in dist if d < infinity) == nodes
+    return cap.records
+
+
+def main() -> int:
+    _FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    _MANIFEST_PATH.parent.mkdir(parents=True, exist_ok=True)
+
+    quicksort = capture_quicksort()
+    champsim_payload = gzip.compress(write_champsim(quicksort), mtime=0)
+    champsim_path = _FIXTURE_DIR / "quicksort.champsim.gz"
+    champsim_path.write_bytes(champsim_payload)
+
+    dijkstra = capture_dijkstra()
+    bt9_payload = write_bt9(dijkstra).encode("ascii")
+    bt9_path = _FIXTURE_DIR / "dijkstra.bt9"
+    bt9_path.write_bytes(bt9_payload)
+
+    manifest = {
+        "version": 1,
+        "comment": (
+            "Checksum-verified sources for 'repro trace fetch'. URLs are "
+            "resolved relative to this file; the committed fixtures double "
+            "as offline-fetchable public traces."
+        ),
+        "traces": {
+            "public-quicksort": {
+                "url": "../tests/data/traces/quicksort.champsim.gz",
+                "sha256": hashlib.sha256(champsim_payload).hexdigest(),
+                "format": "champsim",
+                "description": (
+                    f"iterative quicksort over 96 LCG-shuffled keys "
+                    f"({len(quicksort)} branch records)"
+                ),
+            },
+            "public-dijkstra": {
+                "url": "../tests/data/traces/dijkstra.bt9",
+                "sha256": hashlib.sha256(bt9_payload).hexdigest(),
+                "format": "bt9",
+                "description": (
+                    f"O(V^2) Dijkstra over a 48-node ring+chord graph "
+                    f"({len(dijkstra)} branch records)"
+                ),
+            },
+        },
+    }
+    _MANIFEST_PATH.write_text(json.dumps(manifest, indent=2) + "\n")
+
+    print(f"wrote {champsim_path} ({champsim_path.stat().st_size} bytes, "
+          f"{len(quicksort)} records)")
+    print(f"wrote {bt9_path} ({bt9_path.stat().st_size} bytes, "
+          f"{len(dijkstra)} records)")
+    print(f"wrote {_MANIFEST_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
