@@ -1,0 +1,151 @@
+"""GEN001 — codegen templates must be parseable, round-trippable, eval-free.
+
+The specialized engines (:mod:`repro.pipeline.specialize`) build Python
+source from module-level ``*_TEMPLATE`` string constants, validate it
+with ``ast.parse``/``compile`` and ``exec`` it.  Code that only ever
+exists as a string is invisible to every AST-based check in this linter
+— a nondeterminism source or a speculative-state write pasted into a
+template would sail through DET001/SPEC001 while shipping in every
+generated engine.  This module closes that hole:
+
+* :func:`iter_templates` finds module-level ``NAME_TEMPLATE = "..."``
+  constants and parses their text as Python (placeholders like
+  ``__TAGE_SCAN__`` are ordinary identifiers, so raw templates parse).
+  DET001 and SPEC001 import it to extend their scans *into* template
+  code, reporting under their own rule IDs at file-mapped lines.
+* GEN001 itself checks the generation contract: every template must
+  ``ast.parse`` cleanly, must survive an ``ast.unparse`` round-trip
+  (guaranteeing the text is plain structural Python the validating
+  compile in ``load_engine`` can vouch for), and must not contain
+  ``eval``/``exec``/``compile``/``__import__`` calls — generated code
+  generating more code would make the engine cache key meaningless.
+
+Violations point at the template constant's assignment, offset by the
+line inside the template text, so findings land on (or near) the
+offending generated line even though it lives inside a string literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.simlint.model import FileContext, ModuleRole, Violation, register
+
+__all__ = ["Template", "iter_templates", "check_codegen_templates"]
+
+_RULE = "GEN001"
+
+#: Calls that would let generated code escape static validation.
+_DYNAMIC_CODE_FNS = frozenset({"eval", "exec", "compile", "__import__"})
+
+
+class Template:
+    """One ``*_TEMPLATE`` constant: its name, location, and parsed body."""
+
+    __slots__ = ("name", "lineno", "text", "tree", "error")
+
+    def __init__(
+        self,
+        name: str,
+        lineno: int,
+        text: str,
+        tree: ast.Module | None,
+        error: SyntaxError | None,
+    ) -> None:
+        self.name = name
+        self.lineno = lineno
+        self.text = text
+        self.tree = tree
+        self.error = error
+
+    def file_line(self, template_line: int) -> int:
+        """Map a 1-based line inside the template onto the host file.
+
+        Exact for triple-quoted literals (line 1 of the string is the
+        assignment's line); a close anchor for anything fancier.
+        """
+        return self.lineno + max(template_line, 1) - 1
+
+
+def iter_templates(tree: ast.Module) -> Iterator[Template]:
+    """Module-level ``NAME_TEMPLATE = "..."`` constants, parsed.
+
+    Only simple single-target assignments of a string constant to a
+    name ending in ``_TEMPLATE`` count — that is the codegen idiom this
+    project uses, and anything more dynamic (concatenation, formatting)
+    cannot be statically vouched for anyway and is GEN001's business to
+    flag via the round-trip check on what *is* found.
+    """
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or not target.id.endswith("_TEMPLATE"):
+            continue
+        if not isinstance(node.value, ast.Constant) or not isinstance(
+            node.value.value, str
+        ):
+            continue
+        text = node.value.value
+        try:
+            parsed: ast.Module | None = ast.parse(text)
+            error = None
+        except SyntaxError as exc:
+            parsed = None
+            error = exc
+        yield Template(target.id, node.value.lineno, text, parsed, error)
+
+
+def _violation(ctx: FileContext, line: int, message: str) -> Violation:
+    return Violation(path=ctx.path, line=line, col=0, rule=_RULE, message=message)
+
+
+@register(
+    _RULE,
+    summary="codegen template fails the generated-source contract",
+    invariant="generated engine source is parseable, static, and eval-free",
+    roles=(ModuleRole.SIM, ModuleRole.LIB),
+)
+def check_codegen_templates(ctx: FileContext) -> Iterator[Violation]:
+    for template in iter_templates(ctx.tree):
+        if template.tree is None:
+            line = template.error.lineno if template.error is not None else 1
+            yield _violation(
+                ctx,
+                template.file_line(line or 1),
+                f"template {template.name} does not parse as Python: "
+                f"{template.error and template.error.msg}",
+            )
+            continue
+        for node in ast.walk(template.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _DYNAMIC_CODE_FNS
+            ):
+                yield _violation(
+                    ctx,
+                    template.file_line(node.lineno),
+                    f"template {template.name} calls {node.func.id}(); "
+                    "generated code must stay statically analyzable",
+                )
+        try:
+            rendered = ast.unparse(template.tree)
+            round_trip = ast.parse(rendered)
+        except (SyntaxError, ValueError):
+            yield _violation(
+                ctx,
+                template.file_line(1),
+                f"template {template.name} does not survive an ast.unparse "
+                "round-trip; the generated source is not plain structural "
+                "Python",
+            )
+            continue
+        if ast.dump(round_trip) != ast.dump(ast.parse(ast.unparse(round_trip))):
+            yield _violation(
+                ctx,
+                template.file_line(1),
+                f"template {template.name} is unstable under unparse/parse; "
+                "the generated source is not plain structural Python",
+            )

@@ -1,0 +1,144 @@
+"""Specialization policy: when the codegen fast path engages.
+
+The engine itself (:mod:`repro.pipeline.specialize`) is pure — it
+profiles, generates, guards, and aborts, with every knob passed in
+explicitly.  Everything environmental lives here:
+
+* :func:`specialize_enabled` — the ``REPRO_SPECIALIZE`` gate composed
+  with the explicit ``--specialize`` flag (env ``off`` always wins,
+  env ``on`` auto-enables runs that never passed the flag);
+* :func:`specialize_engine_tag` — the manifest ``engine`` tag carrying
+  :data:`~repro.pipeline.specialize.SPECIALIZE_VERSION`, folded into
+  ``config_hash`` so specialized results get their own result-cache
+  keys and a codegen change invalidates them;
+* the ``REPRO_SPECIALIZE_PROFILE`` / ``REPRO_SPECIALIZE_CHECKPOINT``
+  readers for the profile-prefix length and checkpoint interval, and
+  ``REPRO_SPECIALIZE_FORCE_ABORT`` for exercising the guard-abort path
+  end to end (testing/CI only).
+
+Specialized runs are bit-identical to generic runs by construction, so
+the engine tag is conservative rather than necessary — it keeps the
+provenance story simple: a manifest says exactly which engine produced
+its numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError
+from repro.pipeline.specialize import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_PROFILE_BRANCHES,
+    SPECIALIZE_VERSION,
+)
+
+__all__ = [
+    "SPECIALIZE_ENV",
+    "SPECIALIZE_PROFILE_ENV",
+    "SPECIALIZE_CHECKPOINT_ENV",
+    "SPECIALIZE_FORCE_ABORT_ENV",
+    "specialize_enabled",
+    "specialize_engine_tag",
+    "specialize_profile_branches",
+    "specialize_checkpoint_interval",
+    "specialize_force_abort",
+]
+
+#: Gate for the specialized engines: ``on``/``1`` auto-enables
+#: specialization for every eligible exact run, ``off``/``0`` forces it
+#: off even when ``--specialize`` was passed, unset defers to the flag.
+SPECIALIZE_ENV = "REPRO_SPECIALIZE"
+
+#: Override for the generic profile-prefix length (branches).
+SPECIALIZE_PROFILE_ENV = "REPRO_SPECIALIZE_PROFILE"
+
+#: Override for the checkpoint interval inside specialized spans.
+SPECIALIZE_CHECKPOINT_ENV = "REPRO_SPECIALIZE_CHECKPOINT"
+
+#: Force a guard abort after N specialized branches (testing/CI): the
+#: run takes the full abort path — restore the last checkpoint, finish
+#: generic — and must still be bit-identical.
+SPECIALIZE_FORCE_ABORT_ENV = "REPRO_SPECIALIZE_FORCE_ABORT"
+
+_OFF_VALUES = ("off", "0", "none", "false")
+_ON_VALUES = ("on", "1", "true", "yes")
+
+
+def specialize_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the gate from the flag and ``REPRO_SPECIALIZE``.
+
+    ``explicit`` is the tri-state flag value: True (``--specialize``),
+    False (caller forcing off), None (not specified).  The environment
+    can veto (``off``) or volunteer (``on``); it never overrides an
+    explicit False.
+    """
+    value = os.environ.get(SPECIALIZE_ENV)
+    normalized = value.strip().lower() if value is not None else None
+    if normalized in _OFF_VALUES:
+        return False
+    if explicit is not None:
+        return explicit
+    return normalized in _ON_VALUES
+
+
+def specialize_engine_tag() -> str:
+    """The manifest ``engine`` tag for specialization-requested runs.
+
+    Carries the codegen version so a
+    :data:`~repro.pipeline.specialize.SPECIALIZE_VERSION` bump changes
+    ``config_hash`` and cached results from older codegen miss.
+    """
+    return f"specialize-v{SPECIALIZE_VERSION}"
+
+
+def _positive_int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be a positive integer, got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+    return parsed
+
+
+def specialize_profile_branches() -> int:
+    """Profile-prefix length: ``REPRO_SPECIALIZE_PROFILE`` or default."""
+    return _positive_int_env(SPECIALIZE_PROFILE_ENV, DEFAULT_PROFILE_BRANCHES)
+
+
+def specialize_checkpoint_interval() -> int:
+    """Checkpoint interval: ``REPRO_SPECIALIZE_CHECKPOINT`` or default."""
+    return _positive_int_env(
+        SPECIALIZE_CHECKPOINT_ENV, DEFAULT_CHECKPOINT_INTERVAL
+    )
+
+
+def specialize_force_abort() -> int | None:
+    """Forced-abort position from the environment, or None.
+
+    Returns the committed-branch index at which the driver must raise a
+    guard trip (``REPRO_SPECIALIZE_FORCE_ABORT``); unset means never.
+    Zero is valid — it aborts before the first specialized span, so the
+    whole run executes generically through the abort machinery.
+    """
+    value = os.environ.get(SPECIALIZE_FORCE_ABORT_ENV)
+    if value is None:
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{SPECIALIZE_FORCE_ABORT_ENV} must be a branch index, "
+            f"got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise ConfigError(
+            f"{SPECIALIZE_FORCE_ABORT_ENV} must be >= 0, got {value!r}"
+        )
+    return parsed

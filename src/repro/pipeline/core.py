@@ -86,12 +86,23 @@ class PipelineModel:
         #: Telemetry handle; the disabled path costs one attribute check
         #: per instrumentation site (see repro.telemetry).
         self._tel = TELEMETRY
-        # Hot-path bindings: the baseline and BTB never change after
-        # construction, so the per-branch calls in _issue/_predict go
-        # through pre-bound methods instead of two-level attribute
-        # lookups.  Bound at init so subclass overrides still apply;
-        # checkpoint/spec_push skip the GlobalPredictor delegation layer
-        # only when the predictor has not overridden them.
+        self._bind_hot_paths()
+
+    def _bind_hot_paths(self) -> None:
+        """(Re)derive the per-branch bound methods and hoisted constants.
+
+        Hot-path bindings: the baseline and BTB never change after
+        construction, so the per-branch calls in _issue/_predict go
+        through pre-bound methods instead of two-level attribute
+        lookups.  Bound at init so subclass overrides still apply;
+        checkpoint/spec_push skip the GlobalPredictor delegation layer
+        only when the predictor has not overridden them.  The
+        specialized-engine driver (:mod:`repro.pipeline.specialize`)
+        calls this again after restoring a checkpoint, because a restore
+        replaces ``baseline``/``btb`` with deep copies the old bound
+        methods no longer point at.
+        """
+        baseline = self.baseline
         self._base_lookup = baseline.lookup
         base_type = type(baseline)
         if base_type.checkpoint is GlobalPredictor.checkpoint:
@@ -136,14 +147,27 @@ class PipelineModel:
         first few mispredictions of a segment replay a shorter wrong
         path — a boundary effect sampling accepts by design.
         """
-        cfg = self.config
-        stream = TraceStream(records, window=cfg.wrong_path_window)
+        stream = TraceStream(records, window=self.config.wrong_path_window)
+        self.run_stream(stream)
+
+    def run_stream(self, stream: TraceStream, limit: int | None = None) -> int:
+        """Consume up to ``limit`` records from an externally-owned stream.
+
+        Identical per-record behaviour to :meth:`run_segment`, but the
+        stream (and with it the wrong-path replay window) survives the
+        call — which is what lets the specialized-engine driver
+        (:mod:`repro.pipeline.specialize`) interleave generic prefix
+        simulation, specialized spans, and post-abort generic replay over
+        one uninterrupted window.  Returns the number of records consumed.
+        """
         next_record = stream.next_record
         retire_up_to = self._retire_up_to
         issue = self._issue
         resolve_correct = self._resolve_correct
-        while not stream.exhausted:
+        consumed = 0
+        while not stream.exhausted and (limit is None or consumed < limit):
             record = next_record()
+            consumed += 1
             retire_up_to(self._fe_cycle)
             branch = issue(record, wrong_path=False)
             if branch is None:
@@ -152,6 +176,7 @@ class PipelineModel:
                 self._mispredict_episode(branch, stream)
             else:
                 resolve_correct(branch)
+        return consumed
 
     def current_cycle(self) -> int:
         """Front-end/retirement high-water mark, for per-segment deltas.

@@ -170,6 +170,11 @@ class TagePredictor(GlobalPredictor):
     consistent.
     """
 
+    #: ``lookup`` only reads table/history state (see the provider scan)
+    #: — the specialized engines depend on this to re-run it after a
+    #: declined :meth:`spec_resolve_correct`.
+    pure_lookup = True
+
     def __init__(self, config: TageConfig | None = None, seed: int = 0x5EED) -> None:
         self.config = config = config if config is not None else TageConfig.kb8()
         super().__init__(
@@ -519,6 +524,101 @@ class TagePredictor(GlobalPredictor):
                 index = indices[t]
                 if u_tables[t][index] > 0:
                     u_tables[t][index] -= 1
+
+    def spec_resolve_correct(self, pc: int, taken: bool) -> bool:
+        """Fused correct-path step: lookup, and if right, push + train.
+
+        One provider scan serves both the prediction and the training
+        updates, with the ``Prediction``/``TageLookup`` payloads elided —
+        the same fusion as :meth:`warm_update`, but for the speculative
+        committed path: the history push inserts the *predicted*
+        direction, which on this path equals ``taken``.  Returns False
+        with **no state changed** when the prediction is wrong (the scan
+        is pure), so the caller can fall back to the generic
+        lookup/checkpoint/push sequence and its misprediction episode;
+        ``final_pred == taken`` on the True path means the allocation
+        branch of :meth:`train` is unreachable and is dropped here.
+        """
+        n = self._n_tables
+        comps = self._fold_comps
+        phist = self.history.phist
+        pc_bits = pc >> 2
+        indices = [0] * n
+        table_tags = self._tag
+        params = self._lookup_params
+        provider = -1
+        alt_table = -1
+        for t in range(n - 1, -1, -1):
+            log, path_mask, pc_shift, islot, s0, s1, imask, tmask = params[t]
+            path = phist & path_mask
+            path ^= path >> log
+            index = (pc_bits ^ (pc_bits >> pc_shift) ^ comps[islot] ^ path) & imask
+            indices[t] = index
+            if table_tags[t][index] == (
+                (pc_bits ^ comps[s0] ^ (comps[s1] << 1)) & tmask
+            ):
+                if provider < 0:
+                    provider = t
+                else:
+                    alt_table = t
+                    break
+
+        bim_index = pc_bits & self._bim_mask
+        bim_pred = self._bimodal[bim_index] >= 2
+        alt_pred = (
+            self._ctr[alt_table][indices[alt_table]] >= 0
+            if alt_table >= 0
+            else bim_pred
+        )
+        if provider >= 0:
+            ctr = self._ctr[provider][indices[provider]]
+            provider_pred = ctr >= 0
+            weak = ctr in (-1, 0) and self._u[provider][indices[provider]] == 0
+            use_alt = weak and self._use_alt >= (self._use_alt_max + 1) // 2
+            final_pred = alt_pred if use_alt else provider_pred
+        else:
+            provider_pred = bim_pred
+            weak = False
+            final_pred = bim_pred
+
+        if final_pred != taken:
+            return False
+
+        self.history.push(pc, taken)
+
+        self._updates_since_reset += 1
+        if self._updates_since_reset >= self.config.u_reset_period:
+            self._updates_since_reset = 0
+            self._age_useful()
+
+        if provider >= 0:
+            index = indices[provider]
+            if weak and provider_pred != alt_pred:
+                if alt_pred == taken:
+                    if self._use_alt < self._use_alt_max:
+                        self._use_alt += 1
+                elif self._use_alt > 0:
+                    self._use_alt -= 1
+            ctr_row = self._ctr[provider]
+            ctr = ctr_row[index]
+            if taken:
+                if ctr < self._ctr_max:
+                    ctr_row[index] = ctr + 1
+            elif ctr > self._ctr_min:
+                ctr_row[index] = ctr - 1
+            if alt_table < 0:
+                self._update_bimodal(bim_index, taken)
+            if provider_pred != alt_pred:
+                u_row = self._u[provider]
+                u = u_row[index]
+                if provider_pred == taken:
+                    if u < self._u_max:
+                        u_row[index] = u + 1
+                elif u > 0:
+                    u_row[index] = u - 1
+        else:
+            self._update_bimodal(bim_index, taken)
+        return True
 
     def fast_update(self, pc: int, taken: bool) -> None:
         """Fast-forward touch: bimodal only, no tagged-table work.

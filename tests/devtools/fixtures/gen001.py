@@ -1,0 +1,39 @@
+"""GEN001 fixture: codegen templates violating the generation contract.
+
+Linted with a forced SIM role by ``test_simlint_rules.py``; as test
+code its on-disk role keeps ``repro lint tests`` clean.
+"""
+
+BROKEN_STEP_TEMPLATE = """
+def step(model, records):
+    return ][
+"""
+
+DYNAMIC_STEP_TEMPLATE = """
+def step(model, records):
+    fn = eval("lambda r: r.taken")
+    exec("x = 1")
+    return compile("0", "<s>", "eval")
+"""
+
+TAINTED_STEP_TEMPLATE = """
+import os
+import time
+
+
+def step(model, records, unit):
+    start = time.time()
+    limit = os.environ["REPRO_LIMIT"]
+    unit.bht._state[0] = 1
+    return start, limit
+"""
+
+CLEAN_STEP_TEMPLATE = """
+def step(model, records):
+    total = 0
+    for record in records:
+        total += 1 if record.taken else 0
+    return total
+"""
+
+not_a_template = "def f():\n    return eval('1')\n"

@@ -1,0 +1,241 @@
+"""Harness integration of the specialized engines: gating, manifests,
+scheduler/service plumbing, and the CLI surface."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, ServiceError
+from repro.harness.runner import run_matrix, run_single
+from repro.harness.sampling import SamplingConfig
+from repro.harness.scale import Scale
+from repro.harness.scheduler import Scheduler
+from repro.harness.specialize import (
+    specialize_checkpoint_interval,
+    specialize_enabled,
+    specialize_engine_tag,
+    specialize_force_abort,
+    specialize_profile_branches,
+)
+from repro.harness.systems import resolve_system
+from repro.pipeline.specialize import SPECIALIZE_VERSION
+from repro.service.api import parse_request
+from repro.workloads.suite import get_workload
+
+_SYSTEM = resolve_system("baseline-tage")
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SPECIALIZE", raising=False)
+    monkeypatch.delenv("REPRO_SPECIALIZE_PROFILE", raising=False)
+    monkeypatch.delenv("REPRO_SPECIALIZE_CHECKPOINT", raising=False)
+    monkeypatch.delenv("REPRO_SPECIALIZE_FORCE_ABORT", raising=False)
+
+
+def _scale(branches=4000):
+    return Scale(name="t", branches_per_workload=branches, workloads_per_category=1)
+
+
+class TestGate:
+    def test_explicit_flag_wins_when_env_unset(self):
+        assert specialize_enabled(True) is True
+        assert specialize_enabled(False) is False
+        assert specialize_enabled(None) is False
+
+    def test_env_off_vetoes_explicit_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "off")
+        assert specialize_enabled(True) is False
+
+    def test_env_on_enables_by_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "on")
+        assert specialize_enabled(None) is True
+        assert specialize_enabled(False) is False
+
+
+class TestEnvReaders:
+    def test_defaults(self):
+        assert specialize_profile_branches() == 2000
+        assert specialize_checkpoint_interval() == 100_000
+        assert specialize_force_abort() is None
+
+    def test_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE_PROFILE", "500")
+        monkeypatch.setenv("REPRO_SPECIALIZE_CHECKPOINT", "1000")
+        monkeypatch.setenv("REPRO_SPECIALIZE_FORCE_ABORT", "0")
+        assert specialize_profile_branches() == 500
+        assert specialize_checkpoint_interval() == 1000
+        assert specialize_force_abort() == 0
+
+    @pytest.mark.parametrize(
+        "env,value",
+        [
+            ("REPRO_SPECIALIZE_PROFILE", "zero"),
+            ("REPRO_SPECIALIZE_PROFILE", "0"),
+            ("REPRO_SPECIALIZE_CHECKPOINT", "-5"),
+            ("REPRO_SPECIALIZE_FORCE_ABORT", "-1"),
+            ("REPRO_SPECIALIZE_FORCE_ABORT", "soon"),
+        ],
+    )
+    def test_invalid_values_raise_config_error(self, monkeypatch, env, value):
+        monkeypatch.setenv(env, value)
+        reader = {
+            "REPRO_SPECIALIZE_PROFILE": specialize_profile_branches,
+            "REPRO_SPECIALIZE_CHECKPOINT": specialize_checkpoint_interval,
+            "REPRO_SPECIALIZE_FORCE_ABORT": specialize_force_abort,
+        }[env]
+        with pytest.raises(ConfigError):
+            reader()
+
+
+class TestManifests:
+    def test_engine_tag_carries_version(self):
+        assert specialize_engine_tag() == f"specialize-v{SPECIALIZE_VERSION}"
+
+    def test_specialized_run_tags_engine_and_changes_config_hash(self):
+        spec = get_workload("hpc-fft")
+        plain = run_single(spec, _SYSTEM, 4000, use_result_cache=False)
+        fast = run_single(
+            spec, _SYSTEM, 4000, use_result_cache=False, specialize=True
+        )
+        assert fast.manifest["engine"] == specialize_engine_tag()
+        assert "engine" not in plain.manifest
+        assert fast.manifest["config_hash"] != plain.manifest["config_hash"]
+        assert fast.manifest["specialize"]["engine"] == "specialized"
+        # The stats themselves stay bit-identical.
+        assert (fast.ipc, fast.mpki, fast.cycles) == (
+            plain.ipc,
+            plain.mpki,
+            plain.cycles,
+        )
+
+    def test_telemetry_forces_generic(self):
+        from repro.telemetry import TELEMETRY
+
+        spec = get_workload("hpc-fft")
+        TELEMETRY.enable()
+        try:
+            result = run_single(
+                spec, _SYSTEM, 4000, use_result_cache=False, specialize=True
+            )
+        finally:
+            TELEMETRY.disable()
+        assert "engine" not in result.manifest
+        assert "specialize" not in result.manifest
+
+    def test_sampling_forces_generic(self):
+        spec = get_workload("hpc-fft")
+        result = run_single(
+            spec,
+            _SYSTEM,
+            6000,
+            use_result_cache=False,
+            specialize=True,
+            sampling=SamplingConfig(mode="periodic"),
+        )
+        assert "engine" not in result.manifest
+        assert "specialize" not in result.manifest
+
+    def test_scheduler_marks_jobs_and_manifests_match(self):
+        jobs = Scheduler().plan(
+            [get_workload("hpc-fft")], [_SYSTEM], 4000, specialize=True
+        )
+        assert all(job.specialize for job in jobs)
+        assert jobs[0].manifest()["engine"] == specialize_engine_tag()
+        plain = Scheduler().plan([get_workload("hpc-fft")], [_SYSTEM], 4000)
+        assert "engine" not in plain[0].manifest()
+
+    def test_sampled_jobs_drop_the_tag(self):
+        jobs = Scheduler().plan(
+            [get_workload("hpc-fft")],
+            [_SYSTEM],
+            4000,
+            sampling=SamplingConfig(mode="periodic"),
+            specialize=True,
+        )
+        assert "engine" not in jobs[0].manifest()
+
+
+class TestMatrix:
+    def test_env_on_engages_matrix(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "on")
+        results = run_matrix(
+            [get_workload("hpc-fft")], [_SYSTEM], _scale(), workers=1
+        )
+        assert results[0].manifest["specialize"]["engine"] == "specialized"
+
+    def test_env_off_vetoes_explicit_request(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "off")
+        results = run_matrix(
+            [get_workload("hpc-fft")], [_SYSTEM], _scale(), workers=1,
+            specialize=True,
+        )
+        assert "specialize" not in results[0].manifest
+
+    def test_matrix_identical_to_plain(self):
+        plain = run_matrix([get_workload("hpc-fft")], [_SYSTEM], _scale())
+        fast = run_matrix(
+            [get_workload("hpc-fft")], [_SYSTEM], _scale(), specialize=True
+        )
+        assert plain[0].mpki == fast[0].mpki
+        assert plain[0].ipc == fast[0].ipc
+        assert plain[0].mispredictions == fast[0].mispredictions
+
+
+class TestService:
+    def test_specialize_field_accepted_and_echoed(self):
+        request = parse_request(
+            {
+                "kind": "run",
+                "workload": "hpc-fft",
+                "system": "baseline-tage",
+                "branches": 4000,
+                "specialize": True,
+            }
+        )
+        assert request.payload["specialize"] is True
+        assert all(job.specialize for job in request.jobs)
+
+    def test_missing_field_defers_to_environment(self, monkeypatch):
+        payload = {"kind": "run", "workload": "hpc-fft", "branches": 4000}
+        request = parse_request(dict(payload))
+        assert "specialize" not in request.payload
+        monkeypatch.setenv("REPRO_SPECIALIZE", "on")
+        request = parse_request(dict(payload))
+        assert request.payload["specialize"] is True
+
+    def test_non_boolean_field_rejected(self):
+        with pytest.raises(ServiceError):
+            parse_request(
+                {"kind": "run", "workload": "hpc-fft", "specialize": "yes"}
+            )
+
+
+class TestCli:
+    def test_run_specialize_prints_note(self, capsys):
+        code = main(
+            ["run", "--workload", "hpc-fft", "--system", "baseline-tage",
+             "--branches", "4000", "--specialize"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "specialized: tage template" in out
+        assert "2000 of 4000 branches" in out
+
+    def test_run_without_flag_prints_no_note(self, capsys):
+        code = main(
+            ["run", "--workload", "hpc-fft", "--system", "baseline-tage",
+             "--branches", "4000"]
+        )
+        assert code == 0
+        assert "specialized:" not in capsys.readouterr().out
+
+    def test_forced_abort_via_env_still_succeeds(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SPECIALIZE_FORCE_ABORT", "3000")
+        code = main(
+            ["run", "--workload", "hpc-fft", "--system", "baseline-tage",
+             "--branches", "4000", "--specialize"]
+        )
+        assert code == 0
+        assert "aborted on guard 'forced'" in capsys.readouterr().out
